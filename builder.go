@@ -1,0 +1,93 @@
+package qof
+
+// SchemaBuilder constructs custom structuring schemas through the public
+// API, mirroring the paper's Section 4 schema definitions: terminal
+// classes, productions (with literals, terminals, non-terminals and
+// separated repetitions) and class bindings.
+//
+//	b := qof.NewSchemaBuilder("Log")
+//	b.Terminal("Word", `[a-z]+`)
+//	b.Rule("Log", qof.Rep("Line", ""))
+//	b.Rule("Line", qof.Lit("> "), qof.NT("Msg"))
+//	b.Rule("Msg", qof.Term("Word"))
+//	b.BindClass("Lines", "Line")
+//	schema, err := b.Build()
+
+import (
+	"qof/internal/compile"
+	"qof/internal/grammar"
+)
+
+// Elem is one element of a production's right-hand side; build with Lit,
+// Term, NT and Rep.
+type Elem = grammar.Elem
+
+// Lit is a literal text element.
+func Lit(text string) Elem { return grammar.Lit(text) }
+
+// Term references a terminal class declared with Terminal.
+func Term(name string) Elem { return grammar.Term(name) }
+
+// NT references a non-terminal.
+func NT(name string) Elem { return grammar.NT(name) }
+
+// Rep is zero or more name occurrences separated by sep (may be empty).
+// With whitespace skipping on (the default), write separators without
+// surrounding spaces.
+func Rep(name, sep string) Elem { return grammar.Rep(name, sep) }
+
+// SchemaBuilder accumulates a schema definition; errors surface at Build.
+type SchemaBuilder struct {
+	g       *grammar.Grammar
+	classes map[string]string
+	err     error
+}
+
+// NewSchemaBuilder starts a schema with the given root non-terminal.
+func NewSchemaBuilder(root string) *SchemaBuilder {
+	return &SchemaBuilder{g: grammar.NewGrammar(root), classes: make(map[string]string)}
+}
+
+// Terminal declares a terminal class matched by an RE2 pattern.
+func (b *SchemaBuilder) Terminal(name, pattern string) *SchemaBuilder {
+	if b.err == nil {
+		b.err = b.g.AddTerminal(name, pattern)
+	}
+	return b
+}
+
+// Rule appends a production alternative for lhs. Alternatives are tried in
+// order (PEG semantics).
+func (b *SchemaBuilder) Rule(lhs string, rhs ...Elem) *SchemaBuilder {
+	b.g.AddProduction(lhs, rhs...)
+	return b
+}
+
+// SkipWhitespace controls whether the parser skips ASCII whitespace before
+// every element (default true).
+func (b *SchemaBuilder) SkipWhitespace(on bool) *SchemaBuilder {
+	b.g.SkipSpace = on
+	return b
+}
+
+// BindClass maps an XSQL class name to the non-terminal whose regions form
+// its extent.
+func (b *SchemaBuilder) BindClass(class, nonTerminal string) *SchemaBuilder {
+	b.classes[class] = nonTerminal
+	return b
+}
+
+// Build validates the grammar and returns the schema.
+func (b *SchemaBuilder) Build() (*Schema, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	cat := compile.NewCatalog(b.g)
+	for class, nt := range b.classes {
+		cat.Bind(class, nt)
+	}
+	return &Schema{cat: cat}, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"qof/internal/engine"
+	"qof/internal/grammar"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+func TestWriteJSONResult(t *testing.T) {
+	d, err := lookupDomain("bibtex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := text.NewDocument("j.bib", d.generate(10, 3))
+	in, _, err := d.catalog().Grammar.BuildInstance(doc, grammar.IndexSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(d.catalog(), in)
+
+	// Projection query → values.
+	q := xsql.MustParse(`SELECT r.Key FROM References r`)
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := writeJSONResult(&out, doc, q, res, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded jsonResult
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded.Values) != 10 || decoded.Stats.Results != 10 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.Explain == "" {
+		t.Error("explain requested but absent")
+	}
+	if decoded.Query == "" || len(decoded.Objects) != 0 {
+		t.Errorf("shape: %+v", decoded)
+	}
+
+	// Whole-object query → spans.
+	q2 := xsql.MustParse(`SELECT r FROM References r WHERE r.Key = "Key000002"`)
+	res2, err := eng.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := writeJSONResult(&out, doc, q2, res2, false); err != nil {
+		t.Fatal(err)
+	}
+	var decoded2 jsonResult
+	if err := json.Unmarshal([]byte(out.String()), &decoded2); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded2.Objects) != 1 || !strings.Contains(decoded2.Objects[0].Text, "Key000002") {
+		t.Errorf("objects = %+v", decoded2.Objects)
+	}
+	if decoded2.Explain != "" {
+		t.Error("explain not requested but present")
+	}
+}

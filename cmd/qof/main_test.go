@@ -1,0 +1,68 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"qof/internal/text"
+)
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Error("empty list")
+	}
+}
+
+func TestSpecFlags(t *testing.T) {
+	spec, err := specFlags("Reference,Last_Name", "Name:Authors,Last_Name:Editors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Names) != 2 || spec.Names[0] != "Reference" {
+		t.Errorf("names = %v", spec.Names)
+	}
+	if len(spec.Scoped) != 2 || spec.Scoped[0].Name != "Name" || spec.Scoped[0].Within != "Authors" {
+		t.Errorf("scoped = %v", spec.Scoped)
+	}
+	if _, err := specFlags("", "bad-entry"); err == nil {
+		t.Error("bad scoped entry accepted")
+	}
+	empty, err := specFlags("", "")
+	if err != nil || empty.Names != nil || empty.Scoped != nil {
+		t.Errorf("empty spec = %+v, %v", empty, err)
+	}
+}
+
+func TestLookupDomain(t *testing.T) {
+	for _, name := range []string{"bibtex", "logs", "sgml", "src"} {
+		d, err := lookupDomain(name)
+		if err != nil {
+			t.Errorf("lookupDomain(%s): %v", name, err)
+			continue
+		}
+		if d.catalog() == nil || d.generate(3, 1) == "" || d.sample == "" {
+			t.Errorf("domain %s incomplete", name)
+		}
+	}
+	if _, err := lookupDomain("nope"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestDomainSamplesParse(t *testing.T) {
+	for name, d := range domains {
+		cat := d.catalog()
+		if _, err := cat.Grammar.Parse(docOf(name+"-sample", d.sample)); err != nil {
+			t.Errorf("domain %s: sample does not parse: %v", name, err)
+		}
+		if _, err := cat.Grammar.Parse(docOf(name+"-gen", d.generate(4, 9))); err != nil {
+			t.Errorf("domain %s: generated corpus does not parse: %v", name, err)
+		}
+	}
+}
+
+func docOf(name, content string) *text.Document { return text.NewDocument(name, content) }

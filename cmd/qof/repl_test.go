@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"qof/internal/grammar"
+	"qof/internal/text"
+)
+
+func TestReplSession(t *testing.T) {
+	d, err := lookupDomain("bibtex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := d.generate(20, 5)
+	doc := text.NewDocument("session.bib", content)
+	in, _, err := d.catalog().Grammar.BuildInstance(doc, grammar.IndexSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := strings.Join([]string{
+		".help",
+		".names",
+		".rig",
+		".classes",
+		".explain",
+		`SELECT r.Key FROM References r WHERE r.Year STARTS "19"`,
+		`= outermost(Reference)`,
+		`= bogus(`,
+		`SELECT nonsense`,
+		"",
+		".quit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := repl(strings.NewReader(script), &out, d, in); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"qof repl",
+		"commands:",
+		"Reference", // .names and .rig
+		"explain true",
+		"results in",    // query ran
+		"-> 20 regions", // algebra expression
+		"error:",        // both error paths
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repl output missing %q:\n%s", want, got)
+		}
+	}
+	// EOF without .quit also terminates cleanly.
+	var out2 strings.Builder
+	if err := repl(strings.NewReader(".names\n"), &out2, d, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	if got := snippet("a   b\n\tc"); got != "a b c" {
+		t.Errorf("snippet = %q", got)
+	}
+	long := strings.Repeat("x", 100)
+	if got := snippet(long); len(got) != 72 || !strings.HasSuffix(got, "...") {
+		t.Errorf("snippet long = %q (%d)", got, len(got))
+	}
+}

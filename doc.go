@@ -1,0 +1,34 @@
+// Package qof is a from-scratch Go reproduction of "Optimizing Queries on
+// Files" (Mariano P. Consens and Tova Milo, SIGMOD 1994): a framework that
+// gives semi-structured files a database query interface by compiling
+// object-database queries into optimized expressions over a text-indexing
+// engine.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//   - internal/text, internal/index: the text-indexing substrate (word
+//     index with PAT-style sistring search, named region indexes,
+//     persistence);
+//   - internal/region, internal/algebra: the PAT region algebra and its
+//     evaluator;
+//   - internal/rig, internal/optimizer: region inclusion graphs and the
+//     paper's polynomial optimization algorithm (Theorem 3.6);
+//   - internal/grammar, internal/db, internal/xsql: structuring schemas,
+//     the object-database substrate, and the XSQL-like query language;
+//   - internal/compile, internal/engine: query compilation (full and
+//     partial indexing, exactness analysis) and two-phase execution;
+//   - internal/advisor: Section 7's index selection;
+//   - internal/bibtex, internal/logs, internal/sgml, internal/srccode: the
+//     built-in file formats with deterministic generators;
+//   - internal/scan: the full-scan and grep baselines;
+//   - internal/experiments: the harness regenerating every table of
+//     EXPERIMENTS.md.
+//
+// The root package is the public API: Schema (built-ins via BibTeX, Logs,
+// SGML, SourceCode, or custom formats via NewSchemaBuilder), File (Index,
+// Query, Eval, Save/Load, Replace/InsertAfter/Delete), Corpus, and Advise.
+// The qof CLI (cmd/qof) and the experiment runner (cmd/qofbench) expose the
+// workflow end to end; the benchmarks in bench_test.go mirror the
+// experiments under testing.B.
+package qof

@@ -1,0 +1,96 @@
+package qof_test
+
+import (
+	"fmt"
+	"log"
+
+	"qof"
+	"qof/internal/bibtex"
+)
+
+// Example reproduces the paper's Section 2 walkthrough: find the references
+// where Chang is one of the authors, without scanning the file.
+func Example() {
+	schema := qof.BibTeX()
+	file, err := schema.Index("sample.bib", bibtex.SampleEntry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := file.Query(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Values, "exact:", res.Stats.Exact)
+	// Output: [Corl82a] exact: true
+}
+
+// ExampleFile_Eval evaluates a raw region-algebra expression — the paper's
+// optimized form of the Chang query.
+func ExampleFile_Eval() {
+	file, err := qof.BibTeX().Index("sample.bib", bibtex.SampleEntry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spans, err := file.Eval(`Reference > Authors > contains(Last_Name, "Chang")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(spans), "reference(s)")
+	// Output: 1 reference(s)
+}
+
+// ExampleSchema_Index_partial shows partial indexing (Section 6): with only
+// {Reference, Key, Last_Name} indexed, the index yields a candidate
+// superset and the engine parses just those candidates.
+func ExampleSchema_Index_partial() {
+	file, err := qof.BibTeX().Index("sample.bib", bibtex.SampleEntry,
+		qof.WithRegions("Reference", "Key", "Last_Name"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := file.Query(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Values, "exact:", res.Stats.Exact, "candidates:", res.Stats.Candidates)
+	// Output: [Corl82a] exact: false candidates: 1
+}
+
+// ExampleSchema_Advise recommends the minimal index set for a workload
+// (Section 7).
+func ExampleSchema_Advise() {
+	names, _, err := qof.BibTeX().Advise(
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(names)
+	// Output: [Authors Last_Name Reference]
+}
+
+// ExampleNewSchemaBuilder defines a custom structuring schema through the
+// public API and queries a file of that format.
+func ExampleNewSchemaBuilder() {
+	schema, err := qof.NewSchemaBuilder("Config").
+		Terminal("Key", `[a-z]+`).
+		Terminal("Value", `[^\n]+`).
+		Rule("Config", qof.Rep("Setting", "")).
+		Rule("Setting", qof.NT("Name"), qof.Lit("="), qof.NT("Val")).
+		Rule("Name", qof.Term("Key")).
+		Rule("Val", qof.Term("Value")).
+		BindClass("Settings", "Setting").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	file, err := schema.Index("app.conf", "host = db7.example\nport = 5432\nhost = backup9\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := file.Query(`SELECT s.Val FROM Settings s WHERE s.Name = "host"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Values)
+	// Output: [db7.example backup9]
+}

@@ -1,0 +1,304 @@
+package qof
+
+// The public API: a thin facade over the internal packages, so that a
+// downstream user can define a structuring schema, index files, and query
+// them without touching internals.
+//
+//	schema, _ := qof.BibTeX()
+//	file, _ := schema.Index("refs.bib", content)
+//	res, _ := file.Query(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+
+import (
+	"fmt"
+	"io"
+
+	"qof/internal/advisor"
+	"qof/internal/algebra"
+	"qof/internal/bibtex"
+	"qof/internal/compile"
+	"qof/internal/engine"
+	"qof/internal/grammar"
+	"qof/internal/index"
+	"qof/internal/logs"
+	"qof/internal/region"
+	"qof/internal/sgml"
+	"qof/internal/srccode"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+// Schema couples a structuring schema (grammar + database mapping) with its
+// class bindings; it is the entry point for indexing and querying files of
+// one format.
+type Schema struct {
+	cat *compile.Catalog
+}
+
+// BibTeX returns the built-in bibliography schema (class References).
+func BibTeX() *Schema { return &Schema{cat: bibtex.Catalog()} }
+
+// Logs returns the built-in server-log schema (class Entries).
+func Logs() *Schema { return &Schema{cat: logs.Catalog()} }
+
+// SGML returns the built-in nested-document schema (classes Docs, Sections).
+func SGML() *Schema { return &Schema{cat: sgml.Catalog()} }
+
+// SourceCode returns the built-in source-code schema (class Decls).
+func SourceCode() *Schema { return &Schema{cat: srccode.Catalog()} }
+
+// RIG renders the schema's region inclusion graph, one "A -> B" line per
+// possible direct inclusion.
+func (s *Schema) RIG() string { return s.cat.RIG.String() }
+
+// IndexOption configures Index.
+type IndexOption func(*grammar.IndexSpec)
+
+// WithRegions restricts indexing to the given region names (partial
+// indexing); the default indexes every non-terminal.
+func WithRegions(names ...string) IndexOption {
+	return func(spec *grammar.IndexSpec) { spec.Names = append(spec.Names, names...) }
+}
+
+// WithScopedRegion selectively indexes name only inside within regions.
+func WithScopedRegion(name, within string) IndexOption {
+	return func(spec *grammar.IndexSpec) {
+		spec.Scoped = append(spec.Scoped, grammar.ScopedName{Name: name, Within: within})
+	}
+}
+
+// File is an indexed document ready for querying.
+type File struct {
+	schema *Schema
+	eng    *engine.Engine
+}
+
+// Index parses and indexes a document held in memory.
+func (s *Schema) Index(name, content string, opts ...IndexOption) (*File, error) {
+	var spec grammar.IndexSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	doc := text.NewDocument(name, content)
+	in, _, err := s.cat.Grammar.BuildInstance(doc, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &File{schema: s, eng: engine.New(s.cat, in)}, nil
+}
+
+// Load re-attaches a persisted index (written by Save) to the document
+// content, verifying it has not changed.
+func (s *Schema) Load(r io.Reader, name, content string) (*File, error) {
+	in, err := index.Load(r, text.NewDocument(name, content))
+	if err != nil {
+		return nil, err
+	}
+	return &File{schema: s, eng: engine.New(s.cat, in)}, nil
+}
+
+// Save persists the file's indexes.
+func (f *File) Save(w io.Writer) error { return f.eng.Instance().Save(w) }
+
+// Name returns the document name.
+func (f *File) Name() string { return f.eng.Instance().Document().Name() }
+
+// Span is a region of the document with its text.
+type Span struct {
+	Start, End int
+	Text       string
+}
+
+// Stats summarizes how a query executed.
+type Stats struct {
+	// Candidates is the number of candidate regions the index produced.
+	Candidates int
+	// Parsed is the number of regions parsed (0 for index-only answers).
+	Parsed int
+	// ParsedBytes is the number of document bytes parsed.
+	ParsedBytes int
+	// Exact reports that the index computed the answer with no filtering.
+	Exact bool
+	// FullScan reports that the index offered no narrowing.
+	FullScan bool
+}
+
+// Results is a query outcome: whole-object selects fill Spans, projections
+// fill Values.
+type Results struct {
+	Spans   []Span
+	Values  []string
+	Stats   Stats
+	explain string
+}
+
+// Len reports the number of results.
+func (r *Results) Len() int {
+	if r.Values != nil {
+		return len(r.Values)
+	}
+	return len(r.Spans)
+}
+
+// Explain renders the query plan (candidate expressions, rewrites applied,
+// exactness classification).
+func (r *Results) Explain() string { return r.explain }
+
+// Query runs an XSQL query (see the xsql package comment for the dialect)
+// against the file.
+func (f *File) Query(src string) (*Results, error) {
+	q, err := xsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.eng.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(f.eng.Instance().Document(), res), nil
+}
+
+func convertResults(doc *text.Document, res *engine.Result) *Results {
+	out := &Results{explain: res.Plan.Explain()}
+	out.Stats = Stats{
+		Candidates:  res.Stats.Candidates,
+		Parsed:      res.Stats.Parsed,
+		ParsedBytes: res.Stats.ParsedBytes,
+		Exact:       res.Stats.Exact,
+		FullScan:    res.Stats.FullScan,
+	}
+	if res.Projected {
+		out.Values = append([]string(nil), res.Strings...)
+		return out
+	}
+	for _, r := range res.Regions.Regions() {
+		out.Spans = append(out.Spans, Span{Start: r.Start, End: r.End, Text: doc.Slice(r.Start, r.End)})
+	}
+	return out
+}
+
+// Eval evaluates a raw region-algebra expression (see the algebra package
+// comment for the syntax) and returns the matching spans.
+func (f *File) Eval(src string) ([]Span, error) {
+	e, err := algebra.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	set, err := algebra.NewEvaluator(f.eng.Instance()).Eval(e)
+	if err != nil {
+		return nil, err
+	}
+	doc := f.eng.Instance().Document()
+	spans := make([]Span, 0, set.Len())
+	for _, r := range set.Regions() {
+		spans = append(spans, Span{Start: r.Start, End: r.End, Text: doc.Slice(r.Start, r.End)})
+	}
+	return spans, nil
+}
+
+// Replace applies an in-place edit: the span (which must be an indexed
+// region of the given name) is replaced by newText, re-parsing only the
+// replacement. It returns the updated file; the receiver is unchanged.
+func (f *File) Replace(regionName string, span Span, newText string) (*File, error) {
+	_, in, err := engine.ReplaceRegion(f.schema.cat, f.eng.Instance(), regionName,
+		regionOf(span), newText)
+	if err != nil {
+		return nil, err
+	}
+	return &File{schema: f.schema, eng: engine.New(f.schema.cat, in)}, nil
+}
+
+// InsertAfter inserts newText (a complete occurrence of regionName's
+// format) immediately after the span, parsing only the insertion.
+func (f *File) InsertAfter(regionName string, span Span, newText string) (*File, error) {
+	_, in, err := engine.InsertAfter(f.schema.cat, f.eng.Instance(), regionName,
+		regionOf(span), newText)
+	if err != nil {
+		return nil, err
+	}
+	return &File{schema: f.schema, eng: engine.New(f.schema.cat, in)}, nil
+}
+
+// Delete removes the span (an indexed region of regionName) without any
+// re-parsing.
+func (f *File) Delete(regionName string, span Span) (*File, error) {
+	_, in, err := engine.DeleteRegion(f.schema.cat, f.eng.Instance(), regionName, regionOf(span))
+	if err != nil {
+		return nil, err
+	}
+	return &File{schema: f.schema, eng: engine.New(f.schema.cat, in)}, nil
+}
+
+// Content returns the file's current text.
+func (f *File) Content() string { return f.eng.Instance().Document().Content() }
+
+// Corpus queries many files of one schema together.
+type Corpus struct {
+	schema *Schema
+	c      *engine.Corpus
+}
+
+// NewCorpus creates an empty corpus.
+func (s *Schema) NewCorpus() *Corpus {
+	return &Corpus{schema: s, c: engine.NewCorpus(s.cat)}
+}
+
+// Add indexes a document and adds it to the corpus.
+func (c *Corpus) Add(name, content string, opts ...IndexOption) error {
+	var spec grammar.IndexSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	return c.c.Add(text.NewDocument(name, content), spec)
+}
+
+// CorpusHit is one file's results.
+type CorpusHit struct {
+	File   string
+	Spans  []Span
+	Values []string
+}
+
+// Query runs the query against every file and merges the outcomes.
+func (c *Corpus) Query(src string) ([]CorpusHit, error) {
+	q, err := xsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.c.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []CorpusHit
+	for _, h := range res.Hits {
+		hit := CorpusHit{File: h.File, Values: append([]string(nil), h.Strings...)}
+		for _, r := range h.Regions.Regions() {
+			hit.Spans = append(hit.Spans, Span{Start: r.Start, End: r.End})
+		}
+		out = append(out, hit)
+	}
+	return out, nil
+}
+
+// Advise recommends which regions to index so the given query workload is
+// fully computed by the indexing engine (Section 7 of the paper). It
+// returns the recommended region names and a human-readable report.
+func (s *Schema) Advise(queries ...string) ([]string, string, error) {
+	var parsed []*xsql.Query
+	for _, src := range queries {
+		q, err := xsql.Parse(src)
+		if err != nil {
+			return nil, "", fmt.Errorf("qof: query %q: %w", src, err)
+		}
+		parsed = append(parsed, q)
+	}
+	rec, err := advisor.Recommend(s.cat, parsed)
+	if err != nil {
+		return nil, "", err
+	}
+	return rec.Names, rec.String(), nil
+}
+
+func regionOf(s Span) (r regionT) { r.Start, r.End = s.Start, s.End; return }
+
+// regionT aliases the internal region type for the facade's conversions.
+type regionT = region.Region

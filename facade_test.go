@@ -1,0 +1,260 @@
+package qof_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qof"
+	"qof/internal/bibtex"
+)
+
+func TestFacadeQuery(t *testing.T) {
+	schema := qof.BibTeX()
+	file, err := schema.Index("sample.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := file.Query(`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || len(res.Spans) != 1 {
+		t.Fatalf("results = %+v", res)
+	}
+	if !strings.Contains(res.Spans[0].Text, "Corl82a") {
+		t.Errorf("span text = %q", res.Spans[0].Text[:40])
+	}
+	if !res.Stats.Exact || res.Stats.FullScan {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if !strings.Contains(res.Explain(), "Reference") {
+		t.Error("Explain")
+	}
+	// Projection fills Values.
+	proj, err := file.Query(`SELECT r.Key FROM References r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 1 || proj.Values[0] != "Corl82a" {
+		t.Fatalf("projection = %+v", proj.Values)
+	}
+	// Bad query.
+	if _, err := file.Query(`SELECT`); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestFacadeEval(t *testing.T) {
+	file, err := qof.BibTeX().Index("sample.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := file.Eval(`equals(Last_Name, "Chang") < Authors`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Text != "Chang" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if _, err := file.Eval(`>>>`); err == nil {
+		t.Error("bad expression accepted")
+	}
+}
+
+func TestFacadePartialAndScoped(t *testing.T) {
+	content := bibtex.SampleEntry
+	file, err := qof.BibTeX().Index("s.bib", content,
+		qof.WithRegions("Reference"),
+		qof.WithScopedRegion("Last_Name", "Authors"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := file.Query(`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("results = %d", res.Len())
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	schema := qof.BibTeX()
+	file, err := schema.Index("s.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := file.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := schema.Load(&buf, "s.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Query(`SELECT r.Key FROM References r WHERE r CONTAINS "Chang"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("loaded query results = %d", res.Len())
+	}
+	if loaded.Name() != "s.bib" {
+		t.Error("Name")
+	}
+}
+
+func TestFacadeReplace(t *testing.T) {
+	file, err := qof.BibTeX().Index("s.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := file.Query(`SELECT r FROM References r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(bibtex.SampleEntry, "Corl82a", "Edited99", 1)
+	edited = strings.TrimSuffix(edited, "\n")
+	file2, err := file.Replace("Reference", res.Spans[0], edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := file2.Query(`SELECT r.Key FROM References r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Values[0] != "Edited99" {
+		t.Fatalf("after replace: %+v", got.Values)
+	}
+	// Original file unchanged.
+	if !strings.Contains(file.Content(), "Corl82a") {
+		t.Error("receiver mutated")
+	}
+}
+
+func TestFacadeCorpus(t *testing.T) {
+	schema := qof.BibTeX()
+	corpus := schema.NewCorpus()
+	if err := corpus.Add("a.bib", bibtex.SampleEntry); err != nil {
+		t.Fatal(err)
+	}
+	cfg := bibtex.DefaultConfig(5)
+	gen, _ := bibtex.Generate(cfg)
+	if err := corpus.Add("b.bib", gen); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := corpus.Query(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].File != "a.bib" || hits[0].Values[0] != "Corl82a" {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestFacadeAdvise(t *testing.T) {
+	names, report, err := qof.BibTeX().Advise(
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || !strings.Contains(report, "recommended") {
+		t.Fatalf("advise: %v\n%s", names, report)
+	}
+	if _, _, err := qof.BibTeX().Advise(`SELECT`); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestFacadeRIG(t *testing.T) {
+	if !strings.Contains(qof.BibTeX().RIG(), "Authors -> Name") {
+		t.Error("RIG")
+	}
+}
+
+func TestSchemaBuilder(t *testing.T) {
+	b := qof.NewSchemaBuilder("Log")
+	b.Terminal("Word", `[a-z]+`).
+		Terminal("Num", `[0-9]+`).
+		Rule("Log", qof.Rep("Line", "")).
+		Rule("Line", qof.Lit("> "), qof.NT("Code"), qof.Lit(":"), qof.NT("Msg")).
+		Rule("Code", qof.Term("Num")).
+		Rule("Msg", qof.Term("Word")).
+		BindClass("Lines", "Line")
+	schema, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := schema.Index("x.log", "> 42: hello\n> 7: world\n> 42: again\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := file.Query(`SELECT l.Msg FROM Lines l WHERE l.Code = "42"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Values[0] != "hello" || res.Values[1] != "again" {
+		t.Fatalf("results = %+v", res.Values)
+	}
+	// Builder error paths.
+	if _, err := qof.NewSchemaBuilder("S").Terminal("T", `[`).Build(); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	if _, err := qof.NewSchemaBuilder("S").Build(); err == nil {
+		t.Error("empty grammar accepted")
+	}
+	// SkipWhitespace off.
+	strict, err := qof.NewSchemaBuilder("S").
+		Terminal("N", `[0-9]+`).
+		Rule("S", qof.Lit("a"), qof.NT("V")).
+		Rule("V", qof.Term("N")).
+		SkipWhitespace(false).
+		BindClass("Vs", "V").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.Index("d", "a 1"); err == nil {
+		t.Error("space accepted with skipping off")
+	}
+}
+
+func TestFacadeInsertDelete(t *testing.T) {
+	file, err := qof.BibTeX().Index("s.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := file.Query(`SELECT r FROM References r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := strings.Replace(bibtex.SampleEntry, "Corl82a", "Added01", 1)
+	file2, err := file.InsertAfter("Reference", res.Spans[0], "\n"+strings.TrimSuffix(second, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := file2.Query(`SELECT r.Key FROM References r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys.Len() != 2 || keys.Values[1] != "Added01" {
+		t.Fatalf("after insert: %v", keys.Values)
+	}
+	// Delete the original.
+	objs, err := file2.Query(`SELECT r FROM References r WHERE r.Key = "Corl82a"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file3, err := file2.Delete("Reference", objs.Spans[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := file3.Query(`SELECT r.Key FROM References r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Len() != 1 || left.Values[0] != "Added01" {
+		t.Fatalf("after delete: %v", left.Values)
+	}
+}

@@ -1,0 +1,3 @@
+module qof
+
+go 1.22

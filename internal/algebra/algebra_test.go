@@ -1,0 +1,468 @@
+package algebra
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qof/internal/index"
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// fixture builds a small two-reference instance shaped like the paper's
+// BIBTEX example: Reference ⊃ Authors|Editors ⊃ Name ⊃ First/Last_Name.
+//
+// Layout (one line per reference):
+//
+//	[ AUTHOR Verena Chang EDITOR Alan Corliss ]
+//	[ AUTHOR Gaston Corliss EDITOR Yf Chang ]
+func fixture(t testing.TB) *index.Instance {
+	t.Helper()
+	content := "[ AUTHOR Verena Chang EDITOR Alan Corliss ]\n" +
+		"[ AUTHOR Gaston Corliss EDITOR Yf Chang ]\n"
+	doc := text.NewDocument("fixture.bib", content)
+	in := index.NewInstance(doc)
+
+	var refs, authors, editors, names, firsts, lasts []region.Region
+	lineStart := 0
+	for _, line := range strings.SplitAfter(content, "\n") {
+		if !strings.HasPrefix(line, "[") {
+			continue
+		}
+		end := lineStart + strings.IndexByte(line, ']') + 1
+		refs = append(refs, region.Region{Start: lineStart, End: end})
+		aStart := lineStart + strings.Index(line, "AUTHOR")
+		eStart := lineStart + strings.Index(line, "EDITOR")
+		authors = append(authors, region.Region{Start: aStart, End: eStart - 1})
+		editors = append(editors, region.Region{Start: eStart, End: end - 2})
+
+		addName := func(kwStart, kwLen, limit int) {
+			nStart := kwStart + kwLen + 1
+			names = append(names, region.Region{Start: nStart, End: limit})
+			sp := nStart + strings.IndexByte(content[nStart:limit], ' ')
+			firsts = append(firsts, region.Region{Start: nStart, End: sp})
+			lasts = append(lasts, region.Region{Start: sp + 1, End: limit})
+		}
+		addName(aStart, len("AUTHOR"), eStart-1)
+		addName(eStart, len("EDITOR"), end-2)
+		lineStart += len(line)
+	}
+	in.Define("Reference", region.FromRegions(refs))
+	in.Define("Authors", region.FromRegions(authors))
+	in.Define("Editors", region.FromRegions(editors))
+	in.Define("Name", region.FromRegions(names))
+	in.Define("First_Name", region.FromRegions(firsts))
+	in.Define("Last_Name", region.FromRegions(lasts))
+	if !in.Universe().ProperlyNested() {
+		t.Fatal("fixture instance is not properly nested")
+	}
+	return in
+}
+
+func evalStr(t *testing.T, in *index.Instance, src string) region.Set {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	got, err := NewEvaluator(in).Eval(e)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return got
+}
+
+func TestPaperChangQuery(t *testing.T) {
+	in := fixture(t)
+	// The paper's running query: references where Chang is an author.
+	// Only the first reference qualifies (in the second, Chang edits).
+	got := evalStr(t, in, `Reference > Authors > contains(Last_Name, "Chang")`)
+	if got.Len() != 1 || got.At(0).Start != 0 {
+		t.Fatalf("Chang-as-author = %v, want first reference only", got)
+	}
+	// The unoptimized ⊃d form gives the same answer (Prop 3.5 soundness).
+	direct := evalStr(t, in, `Reference >d Authors >d Name >d contains(Last_Name, "Chang")`)
+	if !direct.Equal(got) {
+		t.Fatalf("direct chain = %v, want %v", direct, got)
+	}
+	// Without the Authors filter, both references qualify.
+	both := evalStr(t, in, `Reference > contains(Last_Name, "Chang")`)
+	if both.Len() != 2 {
+		t.Fatalf("Chang-anywhere = %v, want both references", both)
+	}
+}
+
+func TestPaperUnionExample(t *testing.T) {
+	in := fixture(t)
+	// (Reference ⊃ Authors ⊃ σChang(Last_Name)) ∪ (Reference ⊃ Editors ⊃ σCorliss(Last_Name))
+	got := evalStr(t, in,
+		`(Reference > Authors > contains(Last_Name, "Chang")) + (Reference > Editors > contains(Last_Name, "Corliss"))`)
+	if got.Len() != 1 || got.At(0).Start != 0 {
+		t.Fatalf("union query = %v", got)
+	}
+}
+
+func TestProjectionChain(t *testing.T) {
+	in := fixture(t)
+	// Last names of authors: Last_Name ⊂ Authors ⊂ Reference.
+	got := evalStr(t, in, `Last_Name < Authors < Reference`)
+	if got.Len() != 2 {
+		t.Fatalf("author last names = %v", got)
+	}
+	doc := in.Document()
+	var texts []string
+	for _, r := range got.Regions() {
+		texts = append(texts, doc.Slice(r.Start, r.End))
+	}
+	if texts[0] != "Chang" || texts[1] != "Corliss" {
+		t.Fatalf("texts = %v", texts)
+	}
+	// Direct-chain version agrees.
+	direct := evalStr(t, in, `Last_Name <d Name <d Authors <d Reference`)
+	if !direct.Equal(got) {
+		t.Fatalf("direct projection = %v, want %v", direct, got)
+	}
+}
+
+func TestSetAndNestOps(t *testing.T) {
+	in := fixture(t)
+	if got := evalStr(t, in, `Authors + Editors`); got.Len() != 4 {
+		t.Errorf("union = %v", got)
+	}
+	if got := evalStr(t, in, `Authors & Editors`); !got.IsEmpty() {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := evalStr(t, in, `Name - (Name < Editors)`); got.Len() != 2 {
+		t.Errorf("author names via diff = %v", got)
+	}
+	if got := evalStr(t, in, `outermost(Reference + Name)`); got.Len() != 2 {
+		t.Errorf("outermost = %v", got)
+	}
+	if got := evalStr(t, in, `innermost(Reference + Name + Last_Name)`); got.Len() != 4 {
+		t.Errorf("innermost = %v", got)
+	}
+	if got := evalStr(t, in, `word("Chang")`); got.Len() != 2 {
+		t.Errorf("word = %v", got)
+	}
+	if got := evalStr(t, in, `prefix("Cor")`); got.Len() != 2 {
+		t.Errorf("prefix = %v", got)
+	}
+	if got := evalStr(t, in, `equals(Last_Name, "Chang")`); got.Len() != 2 {
+		t.Errorf("equals = %v", got)
+	}
+}
+
+func TestEvalNotIndexed(t *testing.T) {
+	in := fixture(t)
+	in.Drop("Name")
+	_, err := NewEvaluator(in).Eval(MustParse(`Reference > Name`))
+	if !errors.Is(err, ErrNotIndexed) {
+		t.Fatalf("err = %v, want ErrNotIndexed", err)
+	}
+}
+
+func TestEvalStats(t *testing.T) {
+	in := fixture(t)
+	ev := NewEvaluator(in)
+	ev.Stats = &Stats{}
+	if _, err := ev.Eval(MustParse(`Reference >d Authors > contains(Last_Name, "Chang")`)); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats.Ops != 3 || ev.Stats.DirectOps != 1 {
+		t.Errorf("stats = %+v", ev.Stats)
+	}
+	if ev.Stats.RegionsTouched == 0 {
+		t.Error("RegionsTouched = 0")
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	exprs := []string{
+		`Reference`,
+		`Reference > Authors`,
+		`Reference >d Authors >d Name >d contains(Last_Name, "Chang")`,
+		`Last_Name <d Name <d Authors <d Reference`,
+		`(A + B) - C & D`,
+		`A + (B - C)`,
+		`(A > B) > C`,
+		`A > B > C`,
+		`innermost(outermost(A + B))`,
+		`word("Chang") + prefix("Cor")`,
+		`equals(Last_Name, "Chang")`,
+		`contains(A & B, "w")`,
+	}
+	for _, src := range exprs {
+		e1, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed := e1.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q (printed %q): %v", src, printed, err)
+			continue
+		}
+		if !Equal(e1, e2) {
+			t.Errorf("round trip %q -> %q changed the tree", src, printed)
+		}
+	}
+}
+
+func TestParseRightAssociativity(t *testing.T) {
+	// A > B > C must parse as A > (B > C) per the paper.
+	e := MustParse(`A > B > C`)
+	b, ok := e.(Binary)
+	if !ok || b.Op != OpIncluding {
+		t.Fatalf("parse shape: %v", e)
+	}
+	if _, ok := b.L.(Name); !ok {
+		t.Fatalf("left of > is %T, want Name", b.L)
+	}
+	if inner, ok := b.R.(Binary); !ok || inner.Op != OpIncluding {
+		t.Fatalf("right of > is %v, want B > C", b.R)
+	}
+	// (A > B) > C keeps the explicit grouping.
+	e2 := MustParse(`(A > B) > C`)
+	b2 := e2.(Binary)
+	if _, ok := b2.L.(Binary); !ok {
+		t.Fatalf("(A > B) > C mis-parsed: %v", e2)
+	}
+	if Equal(e, e2) {
+		t.Fatal("grouping lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`>`,
+		`A >`,
+		`A + `,
+		`(A`,
+		`A)`,
+		`word(`,
+		`word(A)`,
+		`contains(A)`,
+		`contains(A, B)`,
+		`unknownfn(A)`,
+		`"unterminated`,
+		`A ? B`,
+		`A B`,
+		`innermost(A`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseOpLexing(t *testing.T) {
+	// ">d" only lexes as direct inclusion when not starting an identifier.
+	e := MustParse(`A >d B`)
+	if b := e.(Binary); b.Op != OpDirIncluding {
+		t.Fatalf("A >d B op = %v", b.Op)
+	}
+	e2 := MustParse(`A > dB`)
+	b2 := e2.(Binary)
+	if b2.Op != OpIncluding {
+		t.Fatalf("A > dB op = %v", b2.Op)
+	}
+	if n, ok := b2.R.(Name); !ok || n.Ident != "dB" {
+		t.Fatalf("A > dB right = %v", b2.R)
+	}
+	if b3 := MustParse(`A <d B`).(Binary); b3.Op != OpDirIncluded {
+		t.Fatalf("A <d B op = %v", b3.Op)
+	}
+}
+
+func TestChainBuilders(t *testing.T) {
+	e := Chain([]string{"Reference", "Authors", "Last_Name"},
+		[]BinOp{OpIncluding, OpIncluding}, "Chang")
+	want := MustParse(`Reference > Authors > contains(Last_Name, "Chang")`)
+	if !Equal(e, want) {
+		t.Errorf("Chain = %v, want %v", e, want)
+	}
+	u := UniformChain(OpDirIncluding, "", "A", "B", "C")
+	if !Equal(u, MustParse(`A >d B >d C`)) {
+		t.Errorf("UniformChain = %v", u)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Chain with mismatched ops must panic")
+			}
+		}()
+		Chain([]string{"A"}, []BinOp{OpIncluding}, "")
+	}()
+}
+
+func TestNamesAndWalk(t *testing.T) {
+	e := MustParse(`Reference > Authors > contains(Last_Name, "Chang") + Reference`)
+	names := Names(e)
+	if len(names) != 3 || names[0] != "Reference" || names[1] != "Authors" || names[2] != "Last_Name" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cheap := MustParse(`Reference > Authors > contains(Last_Name, "Chang")`)
+	costly := MustParse(`Reference >d Authors >d Name >d contains(Last_Name, "Chang")`)
+	if Cost(cheap) >= Cost(costly) {
+		t.Errorf("Cost(optimized)=%d must be < Cost(original)=%d", Cost(cheap), Cost(costly))
+	}
+	// Shorter chains are cheaper.
+	shorter := MustParse(`Reference > contains(Last_Name, "Chang")`)
+	if Cost(shorter) >= Cost(cheap) {
+		t.Errorf("Cost(shorter)=%d must be < Cost(longer)=%d", Cost(shorter), Cost(cheap))
+	}
+	c := CountOps(costly)
+	if c.Directs != 3 || c.Selects != 1 || c.Inclusions != 0 {
+		t.Errorf("CountOps = %+v", c)
+	}
+}
+
+func TestPretty(t *testing.T) {
+	e := MustParse(`Reference >d Authors > contains(Last_Name, "Chang")`)
+	got := Pretty(e)
+	for _, want := range []string{"⊃d", "⊃", `σ"Chang"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Pretty = %q, missing %q", got, want)
+		}
+	}
+	if Pretty(MustParse(`innermost(A) + outermost(B)`)) != "ι(A) ∪ ω(B)" {
+		t.Errorf("Pretty nest = %q", Pretty(MustParse(`innermost(A) + outermost(B)`)))
+	}
+}
+
+func TestLayeredDirectMatchesUniverse(t *testing.T) {
+	in := fixture(t)
+	exprs := []string{
+		`Reference >d Authors`,
+		`Reference >d Name`,
+		`Authors >d Name`,
+		`Authors >d Last_Name`,
+		`Reference >d Authors >d Name >d contains(Last_Name, "Chang")`,
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		std := NewEvaluator(in)
+		lay := NewEvaluator(in)
+		lay.UseLayeredDirect = true
+		a, err := std.Eval(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := lay.Eval(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: universe=%v layered=%v", src, a, b)
+		}
+	}
+}
+
+func TestLayeredDirectMatchesNaiveRandomNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 120; trial++ {
+		in, setNames := randomNestedInstance(rng)
+		u := in.Universe()
+		for i := 0; i < 3; i++ {
+			rn := setNames[rng.Intn(len(setNames))]
+			sn := setNames[rng.Intn(len(setNames))]
+			R, S := in.MustRegion(rn), in.MustRegion(sn)
+			ev := NewEvaluator(in)
+			got := ev.layeredDirectlyIncluding(R, S)
+			want := region.NaiveDirectlyIncluding(R, S, u.All())
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: %s >d %s: layered=%v naive=%v (universe %v)",
+					trial, rn, sn, got, want, u.All())
+			}
+		}
+	}
+}
+
+// randomNestedInstance builds an instance over a synthetic document with
+// properly nested region names A, B, C assigned at random.
+func randomNestedInstance(rng *rand.Rand) (*index.Instance, []string) {
+	content := strings.Repeat("x ", 64)
+	doc := text.NewDocument("rand", content)
+	in := index.NewInstance(doc)
+	names := []string{"A", "B", "C"}
+	groups := make(map[string][]region.Region)
+	var subdivide func(lo, hi, depth int)
+	subdivide = func(lo, hi, depth int) {
+		if hi-lo < 2 || depth > 5 {
+			return
+		}
+		n := names[rng.Intn(len(names))]
+		groups[n] = append(groups[n], region.Region{Start: lo, End: hi})
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		if rng.Intn(4) > 0 {
+			subdivide(lo, mid, depth+1)
+		}
+		if rng.Intn(4) > 0 {
+			subdivide(mid, hi, depth+1)
+		}
+	}
+	subdivide(0, len(content), 0)
+	for _, n := range names {
+		in.Define(n, region.FromRegions(groups[n]))
+	}
+	return in, names
+}
+
+func TestAlgebraParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		e, err := Parse(s)
+		return err != nil || e != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonSubexpressionCache(t *testing.T) {
+	in := fixture(t)
+	ev := NewEvaluator(in)
+	ev.Stats = &Stats{}
+	// The full Chang chain occurs twice; the second occurrence must come
+	// from the cache.
+	const chang = `Reference > Authors > contains(Last_Name, "Chang")`
+	e := MustParse(`(` + chang + `) + ((` + chang + `) & (Reference > Editors))`)
+	got, err := ev.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stats.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1: %+v", ev.Stats.CacheHits, ev.Stats)
+	}
+	// Same answer as evaluating the Chang chain alone (the intersection
+	// keeps the same single reference here).
+	want := evalStr(t, in, chang)
+	if !got.Equal(want) {
+		t.Fatalf("cached %v vs %v", got, want)
+	}
+	// The cache resets between Eval calls.
+	ev2 := NewEvaluator(in)
+	ev2.Stats = &Stats{}
+	if _, err := ev2.Eval(MustParse(`Reference > Authors`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev2.Eval(MustParse(`Reference > Authors`)); err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Stats.CacheHits != 0 {
+		t.Errorf("cache leaked across Eval calls: %+v", ev2.Stats)
+	}
+}

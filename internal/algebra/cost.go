@@ -1,0 +1,77 @@
+package algebra
+
+// Static cost model for region expressions. The paper's Definition 3.4
+// orders expressions by efficiency using two observations: an expression
+// with fewer inclusion operations is cheaper, and ⊃ is cheaper than the
+// "significantly more expensive" ⊃d (whose evaluation iterates over nested
+// layers and consults every other region index). The weights below encode
+// that ordering; they drive EXPLAIN output and the ablation benchmarks, not
+// correctness.
+const (
+	CostSetOp     = 1  // ∪, ∩, −
+	CostSelect    = 2  // σ (word/region index lookups)
+	CostNest      = 2  // ι, ω (single sweep)
+	CostInclusion = 3  // ⊃, ⊂ (sorted sweep with range queries)
+	CostDirect    = 12 // ⊃d, ⊂d (layered evaluation over all indices)
+)
+
+// Cost returns the static cost of e under the model above. For any RIG, the
+// paper's "more efficient" relation (Definition 3.4) strictly decreases
+// Cost: replacing ⊃d by ⊃ saves CostDirect−CostInclusion, and shortening a
+// chain removes at least one inclusion operator.
+func Cost(e Expr) int {
+	total := 0
+	Walk(e, func(x Expr) {
+		switch x := x.(type) {
+		case Binary:
+			if x.Op.IsDirect() {
+				total += CostDirect
+			} else if x.Op.IsInclusion() {
+				total += CostInclusion
+			} else {
+				total += CostSetOp
+			}
+		case Unary:
+			total += CostNest
+		case Select:
+			total += CostSelect
+		case Near:
+			total += CostInclusion
+		case Freq:
+			total += CostSelect
+		}
+	})
+	return total
+}
+
+// OpCounts summarises the operator mix of an expression, for EXPLAIN output.
+type OpCounts struct {
+	SetOps     int
+	Selects    int
+	Nests      int
+	Inclusions int
+	Directs    int
+}
+
+// CountOps tallies the operators in e.
+func CountOps(e Expr) OpCounts {
+	var c OpCounts
+	Walk(e, func(x Expr) {
+		switch x := x.(type) {
+		case Binary:
+			switch {
+			case x.Op.IsDirect():
+				c.Directs++
+			case x.Op.IsInclusion():
+				c.Inclusions++
+			default:
+				c.SetOps++
+			}
+		case Unary:
+			c.Nests++
+		case Select:
+			c.Selects++
+		}
+	})
+	return c
+}

@@ -1,0 +1,366 @@
+// Package algebra implements the PAT region algebra of Section 3 of the
+// paper: expressions over named region indices with union, intersection,
+// difference, word selection, innermost/outermost, inclusion (⊃, ⊂) and
+// direct inclusion (⊃d, ⊂d), together with a textual syntax, an evaluator
+// over an index instance, and a static cost model.
+//
+// The textual syntax (used by the CLI, tests and examples):
+//
+//	expr   := incl (("+" | "-") incl)*            union, difference
+//	incl   := isect ((">" | ">d" | "<" | "<d") incl)?   right-grouped
+//	isect  := term ("&" term)*
+//	term   := NAME | "(" expr ")"
+//	        | "word"(STRING) | "prefix"(STRING)
+//	        | "contains"(expr, STRING) | "equals"(expr, STRING)
+//	        | "innermost"(expr) | "outermost"(expr)
+//
+// Following the paper, the inclusion operators are not associative and group
+// from the right: A > B > C parses as A > (B > C).
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// BinOp identifies a binary operator of the region algebra.
+type BinOp int
+
+// Binary operators. The direct variants consult the whole index instance to
+// rule out regions lying in between, which makes them significantly more
+// expensive (Section 3.1).
+const (
+	OpUnion        BinOp = iota // e + e
+	OpDiff                      // e - e
+	OpIntersect                 // e & e
+	OpIncluding                 // e > e   (⊃)
+	OpIncluded                  // e < e   (⊂)
+	OpDirIncluding              // e >d e  (⊃d)
+	OpDirIncluded               // e <d e  (⊂d)
+)
+
+// IsInclusion reports whether the operator is one of ⊃, ⊂, ⊃d, ⊂d.
+func (op BinOp) IsInclusion() bool { return op >= OpIncluding }
+
+// IsDirect reports whether the operator is ⊃d or ⊂d.
+func (op BinOp) IsDirect() bool { return op == OpDirIncluding || op == OpDirIncluded }
+
+func (op BinOp) String() string {
+	switch op {
+	case OpUnion:
+		return "+"
+	case OpDiff:
+		return "-"
+	case OpIntersect:
+		return "&"
+	case OpIncluding:
+		return ">"
+	case OpIncluded:
+		return "<"
+	case OpDirIncluding:
+		return ">d"
+	case OpDirIncluded:
+		return "<d"
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// Pretty returns the paper's symbol for the operator.
+func (op BinOp) Pretty() string {
+	switch op {
+	case OpUnion:
+		return "∪"
+	case OpDiff:
+		return "−"
+	case OpIntersect:
+		return "∩"
+	case OpIncluding:
+		return "⊃"
+	case OpIncluded:
+		return "⊂"
+	case OpDirIncluding:
+		return "⊃d"
+	case OpDirIncluded:
+		return "⊂d"
+	}
+	return op.String()
+}
+
+// UnOp identifies a unary operator.
+type UnOp int
+
+// Unary operators ι and ω.
+const (
+	OpInnermost UnOp = iota // ι
+	OpOutermost             // ω
+)
+
+func (op UnOp) String() string {
+	if op == OpInnermost {
+		return "innermost"
+	}
+	return "outermost"
+}
+
+// SelMode distinguishes the two selection flavours.
+type SelMode int
+
+const (
+	// SelContains is the paper's σ_w: regions containing the word w.
+	SelContains SelMode = iota
+	// SelEquals keeps regions whose text is exactly w; used when a query
+	// compares a leaf attribute to a constant ("a Last_Name region that
+	// is the word Chang").
+	SelEquals
+	// SelPrefix keeps regions whose text starts with w (PAT's
+	// lexicographical search applied to a region's own text).
+	SelPrefix
+)
+
+func (m SelMode) String() string {
+	switch m {
+	case SelContains:
+		return "contains"
+	case SelEquals:
+		return "equals"
+	default:
+		return "starts"
+	}
+}
+
+// Expr is a region-algebra expression.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Name refers to a named region index R_i.
+type Name struct{ Ident string }
+
+// Word denotes the match points of the exact word W (the word index).
+type Word struct{ W string }
+
+// Prefix denotes the match points of every word starting with P (PAT
+// sistring search).
+type Prefix struct{ P string }
+
+// Match denotes the match points of every occurrence of the substring S
+// anywhere in the text (byte-level suffix-array search).
+type Match struct{ S string }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary applies ι or ω.
+type Unary struct {
+	Op  UnOp
+	Arg Expr
+}
+
+// Select applies σ: keep regions of Arg related to the word W per Mode.
+type Select struct {
+	Mode SelMode
+	W    string
+	Arg  Expr
+}
+
+func (Name) isExpr()   {}
+func (Word) isExpr()   {}
+func (Prefix) isExpr() {}
+func (Match) isExpr()  {}
+func (Binary) isExpr() {}
+func (Unary) isExpr()  {}
+func (Select) isExpr() {}
+
+func (e Name) String() string   { return e.Ident }
+func (e Word) String() string   { return "word(" + strconv.Quote(e.W) + ")" }
+func (e Prefix) String() string { return "prefix(" + strconv.Quote(e.P) + ")" }
+func (e Match) String() string  { return "match(" + strconv.Quote(e.S) + ")" }
+
+func (e Binary) String() string {
+	l := maybeParen(e.L, e.Op, true)
+	r := maybeParen(e.R, e.Op, false)
+	return l + " " + e.Op.String() + " " + r
+}
+
+func (e Unary) String() string {
+	return e.Op.String() + "(" + e.Arg.String() + ")"
+}
+
+func (e Select) String() string {
+	return e.Mode.String() + "(" + e.Arg.String() + ", " + strconv.Quote(e.W) + ")"
+}
+
+// precedence levels for printing: higher binds tighter.
+func prec(op BinOp) int {
+	switch op {
+	case OpUnion, OpDiff:
+		return 1
+	case OpIntersect:
+		return 2
+	default: // inclusion operators
+		return 3
+	}
+}
+
+// maybeParen parenthesizes a child when required so that the printed form
+// re-parses to the same tree.
+func maybeParen(child Expr, parent BinOp, leftChild bool) string {
+	b, ok := child.(Binary)
+	if !ok {
+		return child.String()
+	}
+	pc, pp := prec(b.Op), prec(parent)
+	switch {
+	case pc < pp:
+		return "(" + b.String() + ")"
+	case pc > pp:
+		return b.String()
+	case parent.IsInclusion():
+		// Inclusion groups from the right: the left child of an
+		// inclusion needs parens, the right child does not.
+		if leftChild {
+			return "(" + b.String() + ")"
+		}
+		return b.String()
+	default:
+		// +,-,& group from the left.
+		if leftChild {
+			return b.String()
+		}
+		return "(" + b.String() + ")"
+	}
+}
+
+// Pretty renders the expression with the paper's operator symbols (⊃, σ, ι…).
+func Pretty(e Expr) string {
+	switch e := e.(type) {
+	case Name:
+		return e.Ident
+	case Word:
+		return strconv.Quote(e.W)
+	case Prefix:
+		return strconv.Quote(e.P) + "…"
+	case Binary:
+		l, r := Pretty(e.L), Pretty(e.R)
+		if b, ok := e.L.(Binary); ok && (prec(b.Op) < prec(e.Op) || prec(b.Op) == prec(e.Op)) {
+			l = "(" + l + ")"
+		}
+		if b, ok := e.R.(Binary); ok && prec(b.Op) < prec(e.Op) {
+			r = "(" + r + ")"
+		}
+		return l + " " + e.Op.Pretty() + " " + r
+	case Unary:
+		if e.Op == OpInnermost {
+			return "ι(" + Pretty(e.Arg) + ")"
+		}
+		return "ω(" + Pretty(e.Arg) + ")"
+	case Select:
+		switch e.Mode {
+		case SelContains:
+			return "σ" + strconv.Quote(e.W) + "(" + Pretty(e.Arg) + ")"
+		case SelEquals:
+			return "σ=" + strconv.Quote(e.W) + "(" + Pretty(e.Arg) + ")"
+		default:
+			return "σ^" + strconv.Quote(e.W) + "(" + Pretty(e.Arg) + ")"
+		}
+	}
+	return e.String()
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	switch a := a.(type) {
+	case Name:
+		b, ok := b.(Name)
+		return ok && a == b
+	case Word:
+		b, ok := b.(Word)
+		return ok && a == b
+	case Prefix:
+		b, ok := b.(Prefix)
+		return ok && a == b
+	case Match:
+		b, ok := b.(Match)
+		return ok && a == b
+	case Binary:
+		bb, ok := b.(Binary)
+		return ok && a.Op == bb.Op && Equal(a.L, bb.L) && Equal(a.R, bb.R)
+	case Unary:
+		bb, ok := b.(Unary)
+		return ok && a.Op == bb.Op && Equal(a.Arg, bb.Arg)
+	case Select:
+		bb, ok := b.(Select)
+		return ok && a.Mode == bb.Mode && a.W == bb.W && Equal(a.Arg, bb.Arg)
+	case Near:
+		bb, ok := b.(Near)
+		return ok && a.K == bb.K && Equal(a.E, bb.E) && Equal(a.To, bb.To)
+	case Freq:
+		bb, ok := b.(Freq)
+		return ok && a.W == bb.W && a.N == bb.N && Equal(a.Arg, bb.Arg)
+	}
+	return false
+}
+
+// Walk calls fn for e and every subexpression of e, parents first.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch e := e.(type) {
+	case Binary:
+		Walk(e.L, fn)
+		Walk(e.R, fn)
+	case Unary:
+		Walk(e.Arg, fn)
+	case Select:
+		Walk(e.Arg, fn)
+	case Near:
+		Walk(e.E, fn)
+		Walk(e.To, fn)
+	case Freq:
+		Walk(e.Arg, fn)
+	}
+}
+
+// Names returns the distinct region names referenced by e, in first-use order.
+func Names(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	Walk(e, func(x Expr) {
+		if n, ok := x.(Name); ok && !seen[n.Ident] {
+			seen[n.Ident] = true
+			out = append(out, n.Ident)
+		}
+	})
+	return out
+}
+
+// Chain builds the right-grouped inclusion chain
+// n1 op1 (n2 op2 (… σ…(nk))) used throughout the paper, e.g.
+// Chain([]string{"Reference","Authors","Last_Name"}, []BinOp{OpIncluding, OpIncluding}, "Chang")
+// is Reference ⊃ Authors ⊃ σ"Chang"(Last_Name). With w == "" no selection is
+// applied to the last name.
+func Chain(names []string, ops []BinOp, w string) Expr {
+	if len(ops) != len(names)-1 {
+		panic("algebra: Chain needs one fewer op than names")
+	}
+	var e Expr = Name{Ident: names[len(names)-1]}
+	if w != "" {
+		e = Select{Mode: SelContains, W: w, Arg: e}
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		e = Binary{Op: ops[i], L: Name{Ident: names[i]}, R: e}
+	}
+	return e
+}
+
+// UniformChain is Chain with the same operator between every pair of names.
+func UniformChain(op BinOp, w string, names ...string) Expr {
+	ops := make([]BinOp, len(names)-1)
+	for i := range ops {
+		ops[i] = op
+	}
+	return Chain(names, ops, w)
+}

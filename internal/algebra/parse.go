@@ -1,0 +1,397 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual region-algebra syntax documented in the package
+// comment into an expression tree.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and fixed expressions.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokOp     // + - & > < >d <d
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return strconv.Quote(t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '+' || c == '-' || c == '&':
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case c == '>' || c == '<':
+		l.pos++
+		// ">d" / "<d" only when the d is not the start of an identifier.
+		if l.pos < len(l.src) && l.src[l.pos] == 'd' &&
+			(l.pos+1 >= len(l.src) || !isIdentChar(l.src[l.pos+1])) {
+			l.pos++
+			return token{kind: tokOp, text: string(c) + "d", pos: start}, nil
+		}
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				sb.WriteByte(l.src[l.pos+1])
+				l.pos += 2
+				continue
+			}
+			if ch == '"' {
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("algebra: unterminated string at offset %d", start)
+	case isIdentStart(c) || isDigit(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("algebra: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("algebra: offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+// parseExpr handles + and - (lowest precedence, left associative).
+func (p *parser) parseExpr() (Expr, error) {
+	e, err := p.parseInclusion()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := OpUnion
+		if p.tok.text == "-" {
+			op = OpDiff
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseInclusion()
+		if err != nil {
+			return nil, err
+		}
+		e = Binary{Op: op, L: e, R: r}
+	}
+	return e, nil
+}
+
+// parseInclusion handles >, >d, <, <d (right associative, per the paper).
+func (p *parser) parseInclusion() (Expr, error) {
+	l, err := p.parseIntersect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokOp {
+		return l, nil
+	}
+	var op BinOp
+	switch p.tok.text {
+	case ">":
+		op = OpIncluding
+	case "<":
+		op = OpIncluded
+	case ">d":
+		op = OpDirIncluding
+	case "<d":
+		op = OpDirIncluded
+	default:
+		return l, nil
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseInclusion()
+	if err != nil {
+		return nil, err
+	}
+	return Binary{Op: op, L: l, R: r}, nil
+}
+
+// parseIntersect handles & (left associative).
+func (p *parser) parseIntersect() (Expr, error) {
+	e, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.text == "&" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		e = Binary{Op: OpIntersect, L: e, R: r}
+	}
+	return e, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ), got %s", p.tok)
+		}
+		return e, p.next()
+	case tokIdent:
+		ident := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return Name{Ident: ident}, nil
+		}
+		return p.parseCall(ident)
+	default:
+		return nil, p.errorf("expected region name, function or (, got %s", p.tok)
+	}
+}
+
+// parseCall parses fn(...) for the built-in functions.
+func (p *parser) parseCall(fn string) (Expr, error) {
+	if err := p.next(); err != nil { // consume (
+		return nil, err
+	}
+	switch fn {
+	case "word", "prefix", "match":
+		if p.tok.kind != tokString {
+			return nil, p.errorf("%s() expects a string argument", fn)
+		}
+		w := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		switch fn {
+		case "word":
+			return Word{W: w}, nil
+		case "prefix":
+			return Prefix{P: w}, nil
+		default:
+			return Match{S: w}, nil
+		}
+	case "innermost", "outermost":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		op := OpInnermost
+		if fn == "outermost" {
+			op = OpOutermost
+		}
+		return Unary{Op: op, Arg: arg}, nil
+	case "contains", "equals", "starts":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, p.errorf("%s() expects a string as second argument", fn)
+		}
+		w := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		mode := SelContains
+		switch fn {
+		case "equals":
+			mode = SelEquals
+		case "starts":
+			mode = SelPrefix
+		}
+		return Select{Mode: mode, W: w, Arg: arg}, nil
+	case "near":
+		e1, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		e2, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return Near{E: e1, To: e2, K: k}, nil
+	case "freq":
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, p.errorf("freq() expects a string as second argument")
+		}
+		w := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokComma); err != nil {
+			return nil, err
+		}
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return Freq{Arg: arg, W: w, N: n}, nil
+	default:
+		return nil, p.errorf("unknown function %q", fn)
+	}
+}
+
+// number parses a non-negative integer literal token.
+func (p *parser) number() (int, error) {
+	t := p.tok
+	if t.kind != tokIdent {
+		return 0, p.errorf("expected a number, got %s", t)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errorf("expected a non-negative number, got %q", t.text)
+	}
+	return n, p.next()
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errorf("unexpected %s", p.tok)
+	}
+	return p.next()
+}

@@ -1,0 +1,110 @@
+// Package bibtex provides the paper's running example as a reusable domain:
+// a structuring schema for BIBTEX bibliography files (Figure 1 / Section
+// 4.1) and a deterministic synthetic generator with controllable size and
+// selectivity, used by the examples, the integration tests and every
+// benchmark that reproduces a BIBTEX experiment.
+package bibtex
+
+import (
+	"qof/internal/compile"
+	"qof/internal/grammar"
+)
+
+// Non-terminal names of the schema, exported for queries and index specs.
+const (
+	NTRefSet    = "Ref_Set"
+	NTReference = "Reference"
+	NTKey       = "Key"
+	NTAuthors   = "Authors"
+	NTEditors   = "Editors"
+	NTName      = "Name"
+	NTFirstName = "First_Name"
+	NTLastName  = "Last_Name"
+	NTTitle     = "Title"
+	NTBooktitle = "Booktitle"
+	NTYear      = "Year"
+	NTPublisher = "Publisher"
+	NTPages     = "Pages"
+	NTKeywords  = "Keywords"
+	NTKeyword   = "Keyword"
+	NTReferred  = "Referred"
+	NTRefKey    = "RefKey"
+	NTAbstract  = "Abstract"
+)
+
+// ClassReferences is the XSQL class bound to Reference regions.
+const ClassReferences = "References"
+
+// Grammar builds the BIBTEX structuring schema. The layout follows the
+// paper's Figure 1; every field is wrapped in its delimiters so that parent
+// and child regions never coincide.
+func Grammar() *grammar.Grammar {
+	g := grammar.NewGrammar(NTRefSet)
+	g.MustAddTerminal("Ident", `[A-Za-z][A-Za-z0-9]*`)
+	g.MustAddTerminal("Initials", `[A-Z]\.(?: [A-Z]\.)*`)
+	g.MustAddTerminal("Word", `[A-Za-z][A-Za-z0-9'-]*`)
+	g.MustAddTerminal("Text", `[^"]*`)
+	g.MustAddTerminal("Phrase", `[A-Za-z0-9][A-Za-z0-9 '-]*`)
+	g.MustAddTerminal("Num", `[0-9]+`)
+	g.MustAddTerminal("PageRange", `[0-9]+--[0-9]+`)
+
+	g.AddProduction(NTRefSet, grammar.Rep(NTReference, ""))
+	g.AddProduction(NTReference,
+		grammar.Lit("@INCOLLECTION{"), grammar.NT(NTKey), grammar.Lit(","),
+		grammar.Lit("AUTHOR ="), grammar.NT(NTAuthors), grammar.Lit(","),
+		grammar.Lit("TITLE ="), grammar.NT(NTTitle), grammar.Lit(","),
+		grammar.Lit("BOOKTITLE ="), grammar.NT(NTBooktitle), grammar.Lit(","),
+		grammar.Lit("YEAR ="), grammar.NT(NTYear), grammar.Lit(","),
+		grammar.Lit("EDITOR ="), grammar.NT(NTEditors), grammar.Lit(","),
+		grammar.Lit("PUBLISHER ="), grammar.NT(NTPublisher), grammar.Lit(","),
+		grammar.Lit("PAGES ="), grammar.NT(NTPages), grammar.Lit(","),
+		grammar.Lit("REFERRED ="), grammar.NT(NTReferred), grammar.Lit(","),
+		grammar.Lit("KEYWORDS ="), grammar.NT(NTKeywords), grammar.Lit(","),
+		grammar.Lit("ABSTRACT ="), grammar.NT(NTAbstract), grammar.Lit(","),
+		grammar.Lit("}"))
+	g.AddProduction(NTKey, grammar.Term("Ident"))
+	g.AddProduction(NTAuthors, grammar.Lit(`"`), grammar.Rep(NTName, "and"), grammar.Lit(`"`))
+	g.AddProduction(NTEditors, grammar.Lit(`"`), grammar.Rep(NTName, "and"), grammar.Lit(`"`))
+	g.AddProduction(NTName, grammar.NT(NTFirstName), grammar.NT(NTLastName))
+	g.AddProduction(NTFirstName, grammar.Term("Initials"))
+	g.AddProduction(NTLastName, grammar.Term("Word"))
+	g.AddProduction(NTTitle, grammar.Lit(`"`), grammar.Term("Text"), grammar.Lit(`"`))
+	g.AddProduction(NTBooktitle, grammar.Lit(`"`), grammar.Term("Text"), grammar.Lit(`"`))
+	g.AddProduction(NTYear, grammar.Lit(`"`), grammar.Term("Num"), grammar.Lit(`"`))
+	g.AddProduction(NTPublisher, grammar.Lit(`"`), grammar.Term("Text"), grammar.Lit(`"`))
+	g.AddProduction(NTPages, grammar.Lit(`"`), grammar.Term("PageRange"), grammar.Lit(`"`))
+	g.AddProduction(NTReferred, grammar.Lit(`"`), grammar.Rep(NTRefKey, ";"), grammar.Lit(`"`))
+	g.AddProduction(NTRefKey, grammar.Lit("["), grammar.Term("Ident"), grammar.Lit("]"))
+	g.AddProduction(NTKeywords, grammar.Lit(`"`), grammar.Rep(NTKeyword, ";"), grammar.Lit(`"`))
+	g.AddProduction(NTKeyword, grammar.Term("Phrase"))
+	g.AddProduction(NTAbstract, grammar.Lit(`"`), grammar.Term("Text"), grammar.Lit(`"`))
+	if err := g.Validate(); err != nil {
+		panic("bibtex: invalid grammar: " + err.Error())
+	}
+	return g
+}
+
+// Catalog builds the compile catalog with the standard class binding
+// (References → Reference).
+func Catalog() *compile.Catalog {
+	cat := compile.NewCatalog(Grammar())
+	cat.Bind(ClassReferences, NTReference)
+	return cat
+}
+
+// SampleEntry reproduces the paper's Figure 1 entry in this schema's
+// canonical layout. It is the quickstart document of the examples and the
+// golden input of the figure tests.
+const SampleEntry = `@INCOLLECTION{Corl82a,
+AUTHOR = "G. F. Corliss and Y. F. Chang",
+TITLE = "Solving Ordinary Differential Equations Using Taylor Series",
+BOOKTITLE = "Automatic Differentiation of Algorithms",
+YEAR = "1982",
+EDITOR = "A. Griewank and G. F. Corliss",
+PUBLISHER = "SIAM",
+PAGES = "114--144",
+REFERRED = "[Aber88a]; [Corl88a]; [Gupt85a]",
+KEYWORDS = "point algorithm; Taylor series; radius of convergence",
+ABSTRACT = "A Fortran pre-processor uses automatic differentiation to write a Fortran program to solve the system",
+}
+`

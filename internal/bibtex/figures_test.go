@@ -1,0 +1,80 @@
+package bibtex
+
+// Golden tests pinning the reproduction of the paper's figures: the sample
+// entry (Figure 1), its parse tree with regions (Figure 2), and the partial
+// RIG of Section 6.1 (Figure 3's indexing choice).
+
+import (
+	"strings"
+	"testing"
+
+	"qof/internal/text"
+)
+
+func TestFigureGoldens(t *testing.T) {
+	g := Grammar()
+	doc := text.NewDocument("sample.bib", SampleEntry)
+	tree, err := g.Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 2: the parse tree under full indexing. The exact skeleton of
+	// the first levels is pinned; offsets are byte positions in
+	// SampleEntry.
+	dump := tree.Dump("")
+	wantPrefix := strings.TrimLeft(`
+Ref_Set [0,519)
+  Reference [0,519)
+    Key [14,21)
+      <Ident> [14,21)
+    Authors [32,63)
+      Name [33,46)
+        First_Name [33,38)
+          <Initials> [33,38)
+        Last_Name [39,46)
+          <Word> [39,46)
+      Name [51,62)
+`, "\n")
+	if !strings.HasPrefix(dump, wantPrefix) {
+		t.Errorf("Figure 2 parse tree changed:\n%s", dump[:min(len(dump), 600)])
+	}
+	// Structural invariants of the figure: every Name sits under Authors
+	// or Editors, every Last_Name under a Name.
+	for _, name := range tree.Find(NTName) {
+		if len(name.Find(NTLastName)) != 1 {
+			t.Errorf("Name %v without exactly one Last_Name", name)
+		}
+	}
+	if got := len(tree.Find(NTName)); got != 4 {
+		t.Errorf("Figure 1 has 2 authors + 2 editors, found %d names", got)
+	}
+
+	// Figure 3 / Section 6.1: the RIG projected onto
+	// {Reference, Key, Last_Name}.
+	partial := g.DeriveRIG().Project(NTReference, NTKey, NTLastName)
+	const wantRIG = "Reference -> Key\nReference -> Last_Name"
+	if partial.String() != wantRIG {
+		t.Errorf("Figure 3 partial RIG:\n%s\nwant:\n%s", partial, wantRIG)
+	}
+
+	// The Section 3.2 RIG fragment: Reference above Authors and Editors,
+	// both above Name, Name above First/Last_Name.
+	full := g.DeriveRIG()
+	for _, e := range [][2]string{
+		{NTReference, NTAuthors}, {NTReference, NTEditors},
+		{NTAuthors, NTName}, {NTEditors, NTName},
+		{NTName, NTFirstName}, {NTName, NTLastName},
+	} {
+		if !full.HasEdge(e[0], e[1]) {
+			t.Errorf("RIG edge %v missing", e)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,447 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"qof/internal/algebra"
+	"qof/internal/bibtex"
+	. "qof/internal/compile"
+	"qof/internal/grammar"
+	"qof/internal/index"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+// setup builds the BIBTEX catalog plus an instance with the given index
+// spec over a small generated corpus.
+func setup(t *testing.T, spec grammar.IndexSpec) (*Catalog, *index.Instance) {
+	t.Helper()
+	cat := bibtex.Catalog()
+	content, _ := bibtex.Generate(bibtex.DefaultConfig(10))
+	doc := text.NewDocument("t.bib", content)
+	in, _, err := cat.Grammar.BuildInstance(doc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, in
+}
+
+func compileOne(t *testing.T, cat *Catalog, in *index.Instance, src string) *Plan {
+	t.Helper()
+	plan, err := cat.Compile(xsql.MustParse(src), in)
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", src, err)
+	}
+	return plan
+}
+
+func TestCompilePaperQueryFullIndex(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	vp := plan.Var("r")
+	if vp == nil || vp.Candidates == nil {
+		t.Fatalf("no candidates: %+v", plan)
+	}
+	// Optimized form per Section 5.1 (equality selection, so the deepest
+	// ⊃d cannot use the rightmost rule; only-path conversions and the
+	// Name shortening still apply).
+	want := `Reference > Authors > equals(Last_Name, "Chang")`
+	if got := vp.Candidates.String(); got != want {
+		t.Fatalf("candidates = %q, want %q", got, want)
+	}
+	if !vp.Exact {
+		t.Error("full indexing with unique paths must be exact")
+	}
+	if algebra.Cost(vp.Candidates) >= algebra.Cost(vp.Original) {
+		t.Errorf("optimization did not reduce cost: %d vs %d",
+			algebra.Cost(vp.Candidates), algebra.Cost(vp.Original))
+	}
+	if len(vp.Rewrites) == 0 {
+		t.Error("no rewrites recorded")
+	}
+	if plan.Trivial {
+		t.Error("plan flagged trivial")
+	}
+	// EXPLAIN mentions both expressions.
+	exp := plan.Explain()
+	for _, wantSub := range []string{"original", "candidates", "exact"} {
+		if !strings.Contains(exp, wantSub) {
+			t.Errorf("Explain missing %q:\n%s", wantSub, exp)
+		}
+	}
+}
+
+func TestCompileOriginalIsDirectChain(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	want := `Reference >d Authors >d Name >d equals(Last_Name, "Chang")`
+	if got := plan.Var("r").Original.String(); got != want {
+		t.Errorf("original = %q, want %q", got, want)
+	}
+}
+
+func TestCompilePartialIndexSuperset(t *testing.T) {
+	// Section 6.1's example: only {Reference, Key, Last_Name} indexed.
+	cat, in := setup(t, grammar.IndexSpec{
+		Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName},
+	})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	vp := plan.Var("r")
+	// Section 6.1's pre-optimization expression…
+	if got := vp.Original.String(); got != `Reference >d equals(Last_Name, "Chang")` {
+		t.Fatalf("original = %q", got)
+	}
+	// …which the paper notes "can be further optimized": on the projected
+	// RIG the edge is the only path, so ⊃d becomes ⊃.
+	want := `Reference > equals(Last_Name, "Chang")`
+	if got := vp.Candidates.String(); got != want {
+		t.Fatalf("candidates = %q, want %q", got, want)
+	}
+	if vp.Exact {
+		t.Error("two realizing paths (Authors, Editors): must be a superset")
+	}
+}
+
+func TestCompilePartialIndexExact(t *testing.T) {
+	// With Authors and Editors indexed, each contracted edge has a unique
+	// realizing path and the leaf is indexed: Section 6.3 exactness.
+	cat, in := setup(t, grammar.IndexSpec{
+		Names: []string{bibtex.NTReference, bibtex.NTAuthors, bibtex.NTEditors, bibtex.NTLastName},
+	})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	vp := plan.Var("r")
+	if !vp.Exact {
+		t.Fatalf("expected exact plan, got %s", plan.Explain())
+	}
+	// Both projected edges are unique paths, so both ⊃d convert to ⊃.
+	want := `Reference > Authors > equals(Last_Name, "Chang")`
+	if got := vp.Candidates.String(); got != want {
+		t.Errorf("candidates = %q, want %q", got, want)
+	}
+}
+
+func TestCompileRootUnindexed(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{Names: []string{bibtex.NTLastName}})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	vp := plan.Var("r")
+	if vp.Candidates != nil {
+		t.Fatalf("no index support expected, got %v", vp.Candidates)
+	}
+	if !strings.Contains(plan.Explain(), "full extent scan") {
+		t.Errorf("Explain:\n%s", plan.Explain())
+	}
+}
+
+func TestCompileTrivialPath(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"`)
+	if !plan.Trivial {
+		t.Fatalf("Title.Last_Name should be trivial: %s", plan.Explain())
+	}
+	if !strings.Contains(plan.Explain(), "trivially empty") {
+		t.Errorf("Explain:\n%s", plan.Explain())
+	}
+}
+
+func TestCompileBooleanComposition(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" AND r.Key = "Key000002"`)
+	vp := plan.Var("r")
+	if vp.Candidates == nil || !vp.Exact {
+		t.Fatalf("AND: %s", plan.Explain())
+	}
+	if b, ok := vp.Candidates.(algebra.Binary); !ok || b.Op != algebra.OpIntersect {
+		t.Errorf("AND compiles to %v", vp.Candidates)
+	}
+	// OR.
+	plan2 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" OR r.Editors.Name.Last_Name = "Corliss"`)
+	if b, ok := plan2.Var("r").Candidates.(algebra.Binary); !ok || b.Op != algebra.OpUnion {
+		t.Errorf("OR compiles to %v", plan2.Var("r").Candidates)
+	}
+	if !plan2.Var("r").Exact {
+		t.Error("OR of exact chains is exact")
+	}
+	// NOT of an exact chain.
+	plan3 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE NOT r.Authors.Name.Last_Name = "Chang"`)
+	vp3 := plan3.Var("r")
+	if b, ok := vp3.Candidates.(algebra.Binary); !ok || b.Op != algebra.OpDiff {
+		t.Errorf("NOT compiles to %v", vp3.Candidates)
+	}
+	if !vp3.Exact {
+		t.Error("NOT of exact is exact")
+	}
+	// NOT of an inexact chain falls back to the full extent.
+	cat2, in2 := setup(t, grammar.IndexSpec{
+		Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName},
+	})
+	plan4 := compileOne(t, cat2, in2,
+		`SELECT r FROM References r WHERE NOT r.Authors.Name.Last_Name = "Chang"`)
+	vp4 := plan4.Var("r")
+	if vp4.Exact {
+		t.Error("NOT of superset cannot be exact")
+	}
+	if vp4.Candidates.String() != "Reference" {
+		t.Errorf("NOT fallback = %v", vp4.Candidates)
+	}
+}
+
+func TestCompileStarVariable(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	// Section 5.3: r.*X.Last_Name compiles to a single plain inclusion.
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"`)
+	vp := plan.Var("r")
+	want := `Reference > equals(Last_Name, "Chang")`
+	if got := vp.Candidates.String(); got != want {
+		t.Fatalf("star candidates = %q, want %q", got, want)
+	}
+	if !vp.Exact {
+		t.Error("star over a fully indexed leaf is exact")
+	}
+	// The star plan is cheaper than enumerating both concrete paths.
+	enumCost := 2 * algebra.Cost(algebra.MustParse(`Reference > Authors > equals(Last_Name, "x")`))
+	if algebra.Cost(vp.Candidates) >= enumCost {
+		t.Errorf("star cost %d !< enumeration cost %d", algebra.Cost(vp.Candidates), enumCost)
+	}
+}
+
+func TestCompileAnyVariable(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	// r.?X.Name.Last_Name enumerates X ∈ {Authors, Editors}.
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.?X.Name.Last_Name = "Chang"`)
+	vp := plan.Var("r")
+	got := vp.Candidates.String()
+	if !strings.Contains(got, "Authors") || !strings.Contains(got, "Editors") {
+		t.Fatalf("enumeration = %q", got)
+	}
+	if b, ok := vp.Candidates.(algebra.Binary); !ok || b.Op != algebra.OpUnion {
+		t.Fatalf("expected union, got %v", vp.Candidates)
+	}
+	if !vp.Exact {
+		t.Error("complete enumeration is exact")
+	}
+}
+
+func TestCompileJoinCondition(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`)
+	vp := plan.Var("r")
+	if vp.Exact {
+		t.Error("joins cannot be computed by the index (Section 5.2)")
+	}
+	got := vp.Candidates.String()
+	// Existence chains for both sides, intersected.
+	if !strings.Contains(got, "Editors") || !strings.Contains(got, "Authors") || !strings.Contains(got, "&") {
+		t.Errorf("join candidates = %q", got)
+	}
+}
+
+func TestCompileProjection(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r.Authors.Name.Last_Name FROM References r`)
+	pp := plan.Projection
+	if pp.Chain == nil {
+		t.Fatalf("no projection chain: %s", plan.Explain())
+	}
+	// Optimized per Section 5.2: Last_Name ⊂ Authors ⊂ Reference.
+	want := `Last_Name < Authors < Reference`
+	if got := pp.Chain.Expr().String(); got != want {
+		t.Errorf("projection = %q, want %q", got, want)
+	}
+	if !pp.Exact {
+		t.Error("fully indexed projection is exact")
+	}
+	if len(pp.Steps) != 3 {
+		t.Errorf("steps = %v", pp.Steps)
+	}
+	// Unindexed leaf: no index-side projection.
+	cat2, in2 := setup(t, grammar.IndexSpec{Names: []string{bibtex.NTReference, bibtex.NTAuthors}})
+	plan2 := compileOne(t, cat2, in2, `SELECT r.Authors.Name.Last_Name FROM References r`)
+	if plan2.Projection.Chain != nil {
+		t.Error("projection chain without an indexed leaf")
+	}
+}
+
+func TestCompileNoWhere(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in, `SELECT r FROM References r`)
+	vp := plan.Var("r")
+	if vp.Candidates == nil || vp.Candidates.String() != "Reference" {
+		t.Fatalf("candidates = %v", vp.Candidates)
+	}
+	if !vp.Exact {
+		t.Error("no WHERE: all regions, exact")
+	}
+}
+
+func TestCompileUnboundClass(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	_, err := cat.Compile(xsql.MustParse(`SELECT x FROM Unknown x`), in)
+	if err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompileWholeObjectComparison(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in, `SELECT r FROM References r WHERE r = "Chang"`)
+	vp := plan.Var("r")
+	if vp.Exact {
+		t.Error("whole-object comparison must filter")
+	}
+	if !strings.Contains(vp.Candidates.String(), `contains`) {
+		t.Errorf("candidates = %v", vp.Candidates)
+	}
+}
+
+func TestCompileContains(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	// Single clean word on an unfaithful leaf (Abstract is quoted): still
+	// exact because word containment is insensitive to the quotes as long
+	// as the word cannot come from literals.
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Abstract CONTAINS "differentiation"`)
+	vp := plan.Var("r")
+	if !vp.Exact {
+		t.Fatalf("single-word CONTAINS should be exact:\n%s", plan.Explain())
+	}
+	want := `Reference > contains(Abstract, "differentiation")`
+	if got := vp.Candidates.String(); got != want {
+		t.Errorf("candidates = %q, want %q", got, want)
+	}
+	// Multi-word constants are supersets.
+	plan2 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Abstract CONTAINS "automatic differentiation"`)
+	if plan2.Var("r").Exact {
+		t.Error("phrase CONTAINS cannot be exact")
+	}
+	got := plan2.Var("r").Candidates.String()
+	if !strings.Contains(got, `"automatic"`) || !strings.Contains(got, `"differentiation"`) {
+		t.Errorf("phrase candidates = %q", got)
+	}
+	// A word that occurs in production literals (INCOLLECTION markup)
+	// must not be certified exact.
+	plan3 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Abstract CONTAINS "x"`)
+	if !plan3.Var("r").Exact {
+		t.Log("sanity: 'x' is not a literal token")
+	}
+	plan4 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r CONTAINS "INCOLLECTION"`)
+	if plan4.Var("r").Exact {
+		t.Error("literal-token CONTAINS must not be exact")
+	}
+	// Whole-object CONTAINS with a clean data word is exact.
+	plan5 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r CONTAINS "Chang"`)
+	if !plan5.Var("r").Exact {
+		t.Errorf("whole-object CONTAINS should be exact:\n%s", plan5.Explain())
+	}
+}
+
+func TestCompileJoinFastPlan(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`)
+	if plan.JoinFast == nil {
+		t.Fatalf("expected JoinFast plan:\n%s", plan.Explain())
+	}
+	l := plan.JoinFast.L.Expr().String()
+	r := plan.JoinFast.R.Expr().String()
+	if !strings.Contains(l, "Editors") || !strings.Contains(r, "Authors") {
+		t.Errorf("chains: L=%q R=%q", l, r)
+	}
+	// Unfaithful leaves (Name is a tuple) disable the fast join.
+	plan2 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Editors.Name = r.Authors.Name`)
+	if plan2.JoinFast != nil {
+		t.Error("tuple-valued join leaf must not use JoinFast")
+	}
+	// Extra conditions disable it (the pattern covers the sole-condition case).
+	plan3 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name AND r.Key = "k"`)
+	if plan3.JoinFast != nil {
+		t.Error("JoinFast with extra conditions")
+	}
+}
+
+func TestResolvePaths(t *testing.T) {
+	cat, _ := setup(t, grammar.IndexSpec{})
+	paths, complete := cat.ResolvePaths(bibtex.NTReference, xsql.MustParse(
+		`SELECT r FROM References r WHERE r.?X.Name.Last_Name = "c"`).Where.(xsql.CmpConst).Path.Segs)
+	if !complete || len(paths) != 2 {
+		t.Fatalf("paths = %v complete=%v", paths, complete)
+	}
+	star, _ := cat.ResolvePaths(bibtex.NTReference, xsql.MustParse(
+		`SELECT r FROM References r WHERE r.*X.Last_Name = "c"`).Where.(xsql.CmpConst).Path.Segs)
+	if len(star) != 1 || star[0][1] != "*" {
+		t.Fatalf("star paths = %v", star)
+	}
+}
+
+func TestCompileMultiVar(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r, References s WHERE r.Authors.Name.Last_Name = "Chang" AND s.Key = r.Key`)
+	if len(plan.Vars) != 2 {
+		t.Fatalf("vars = %d", len(plan.Vars))
+	}
+	vr, vs := plan.Var("r"), plan.Var("s")
+	if vr.Candidates == nil || !strings.Contains(vr.Candidates.String(), "Authors") {
+		t.Errorf("r candidates = %v", vr.Candidates)
+	}
+	// s is narrowed only by the join existence chain.
+	if vs.Candidates == nil {
+		t.Errorf("s candidates = %v", vs.Candidates)
+	}
+	if vs.Exact {
+		t.Error("join var cannot be exact")
+	}
+}
+
+func TestCompileTrivialOrBranchPruned(t *testing.T) {
+	cat, in := setup(t, grammar.IndexSpec{})
+	// The left branch is trivially empty (Title has no Last_Name); the
+	// union must collapse to the right branch alone.
+	plan := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Title.Last_Name = "x" OR r.Key = "Key000001"`)
+	vp := plan.Var("r")
+	if plan.Trivial {
+		t.Fatal("whole plan flagged trivial")
+	}
+	got := vp.Candidates.String()
+	if strings.Contains(got, "Title") || strings.Contains(got, "+") {
+		t.Errorf("trivial branch not pruned: %q", got)
+	}
+	if !vp.Exact {
+		t.Errorf("pruned OR should stay exact:\n%s", plan.Explain())
+	}
+	// Both branches trivial → plan trivial.
+	plan2 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE r.Title.Last_Name = "x" OR r.Key.Authors = "y"`)
+	if !plan2.Trivial {
+		t.Errorf("both-trivial OR:\n%s", plan2.Explain())
+	}
+	// NOT of a trivial condition constrains nothing but is exact.
+	plan3 := compileOne(t, cat, in,
+		`SELECT r FROM References r WHERE NOT r.Title.Last_Name = "x"`)
+	if plan3.Trivial || !plan3.Var("r").Exact {
+		t.Errorf("NOT trivial:\n%s", plan3.Explain())
+	}
+	if plan3.Var("r").Candidates.String() != "Reference" {
+		t.Errorf("candidates = %v", plan3.Var("r").Candidates)
+	}
+}

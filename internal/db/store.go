@@ -1,0 +1,182 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OID identifies an object within one Database.
+type OID int
+
+// Object is a class member: an identity plus a complex value.
+type Object struct {
+	ID    OID
+	Class string
+	Val   Value
+}
+
+func (o *Object) String() string {
+	return fmt.Sprintf("%s#%d%s", o.Class, o.ID, o.Val.String())
+}
+
+// Database is an in-memory object database: named classes with extents.
+type Database struct {
+	classes map[string][]*Object
+	order   []string
+	nextOID OID
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{classes: make(map[string][]*Object)}
+}
+
+// DefineClass registers a class (idempotent).
+func (d *Database) DefineClass(name string) {
+	if _, ok := d.classes[name]; !ok {
+		d.classes[name] = nil
+		d.order = append(d.order, name)
+	}
+}
+
+// Insert creates an object of the class with the given value and adds it to
+// the class extent.
+func (d *Database) Insert(class string, v Value) *Object {
+	d.DefineClass(class)
+	d.nextOID++
+	o := &Object{ID: d.nextOID, Class: class, Val: v}
+	d.classes[class] = append(d.classes[class], o)
+	return o
+}
+
+// Extent returns the objects of the class in insertion order.
+func (d *Database) Extent(class string) []*Object {
+	return d.classes[class]
+}
+
+// Classes returns the class names in definition order.
+func (d *Database) Classes() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Count reports the extent size of a class.
+func (d *Database) Count(class string) int { return len(d.classes[class]) }
+
+// Step is one component of a path expression. Exactly one field is set:
+// Attr navigates a named attribute, Any ("X") navigates exactly one
+// arbitrary attribute, and Star ("*X") navigates zero or more arbitrary
+// attributes (Section 5.3's extended path expressions).
+type Step struct {
+	Attr string
+	Any  bool
+	Star bool
+}
+
+func (s Step) String() string {
+	switch {
+	case s.Star:
+		return "*"
+	case s.Any:
+		return "?"
+	default:
+		return s.Attr
+	}
+}
+
+// PathOf builds a plain attribute path.
+func PathOf(attrs ...string) []Step {
+	steps := make([]Step, len(attrs))
+	for i, a := range attrs {
+		steps[i] = Step{Attr: a}
+	}
+	return steps
+}
+
+// Navigate evaluates a path expression against a value, with the usual
+// object-database semantics: navigating into a set applies the remaining
+// path to every element. It returns every value the path reaches.
+func Navigate(v Value, steps []Step) []Value {
+	if v == nil {
+		return nil
+	}
+	if len(steps) == 0 {
+		return []Value{v}
+	}
+	switch val := v.(type) {
+	case *Set:
+		var out []Value
+		for _, e := range val.Elems() {
+			out = append(out, Navigate(e, steps)...)
+		}
+		return out
+	case *Tuple:
+		step := steps[0]
+		switch {
+		case step.Star:
+			// Zero steps consumed here, or descend one attribute
+			// keeping the star.
+			out := Navigate(v, steps[1:])
+			for _, a := range val.Attrs() {
+				child, _ := val.Get(a)
+				out = append(out, Navigate(child, steps)...)
+			}
+			return out
+		case step.Any:
+			var out []Value
+			for _, a := range val.Attrs() {
+				child, _ := val.Get(a)
+				out = append(out, Navigate(child, steps[1:])...)
+			}
+			return out
+		default:
+			child, ok := val.Get(step.Attr)
+			if !ok {
+				return nil
+			}
+			return Navigate(child, steps[1:])
+		}
+	case String:
+		if steps[0].Star {
+			// A star may consume zero steps at a leaf.
+			return Navigate(v, steps[1:])
+		}
+		return nil
+	}
+	return nil
+}
+
+// NavigateStrings evaluates the path and flattens the results to their
+// atomic strings, the form used by selections and joins.
+func NavigateStrings(v Value, steps []Step) []string {
+	var out []string
+	for _, r := range Navigate(v, steps) {
+		out = append(out, Strings(r)...)
+	}
+	return out
+}
+
+// HasLeaf reports whether the path reaches some atomic string equal to w.
+func HasLeaf(v Value, steps []Step, w string) bool {
+	for _, s := range NavigateStrings(v, steps) {
+		if s == w {
+			return true
+		}
+	}
+	return false
+}
+
+// SortedUnique sorts and deduplicates a string slice in place, returning it.
+// Shared by join and projection result handling.
+func SortedUnique(ss []string) []string {
+	sort.Strings(ss)
+	w := 0
+	for i, s := range ss {
+		if i == 0 || s != ss[w-1] {
+			ss[w] = s
+			w++
+		}
+	}
+	return ss[:w]
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"qof/internal/compile"
+	"qof/internal/db"
+	"qof/internal/grammar"
+	"qof/internal/region"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+// Corpus evaluates queries over many files sharing one structuring schema —
+// the paper's actual setting ("a multitude of bibliographic files ... all
+// of the members may share access"). Each file carries its own index
+// instance; a query runs against every file and the results are merged,
+// so only the candidate regions of each file are ever parsed.
+type Corpus struct {
+	cat     *compile.Catalog
+	engines []*Engine
+
+	// Parallelism bounds the number of files queried concurrently;
+	// values < 2 evaluate sequentially. Engines are independent per
+	// file, so parallel execution needs no locking.
+	Parallelism int
+}
+
+// NewCorpus creates an empty corpus over the catalog.
+func NewCorpus(cat *compile.Catalog) *Corpus {
+	return &Corpus{cat: cat}
+}
+
+// Add indexes a document per spec and adds it to the corpus.
+func (c *Corpus) Add(doc *text.Document, spec grammar.IndexSpec) error {
+	in, _, err := c.cat.Grammar.BuildInstance(doc, spec)
+	if err != nil {
+		return fmt.Errorf("engine: indexing %s: %w", doc.Name(), err)
+	}
+	c.engines = append(c.engines, New(c.cat, in))
+	return nil
+}
+
+// Len reports the number of files in the corpus.
+func (c *Corpus) Len() int { return len(c.engines) }
+
+// FileHit is one file's contribution to a corpus result.
+type FileHit struct {
+	File    string
+	Regions region.Set
+	Objects []db.Value
+	Strings []string
+	Stats   Stats
+}
+
+// CorpusResult is the merged outcome of a corpus query.
+type CorpusResult struct {
+	Hits      []FileHit // files with at least one result, in corpus order
+	Projected bool
+	Stats     Stats // aggregated over every file
+}
+
+// Results reports the total number of results across files.
+func (r *CorpusResult) Results() int { return r.Stats.Results }
+
+// AllStrings concatenates projected strings across files.
+func (r *CorpusResult) AllStrings() []string {
+	var out []string
+	for _, h := range r.Hits {
+		out = append(out, h.Strings...)
+	}
+	return out
+}
+
+// Execute runs the query against every file (in parallel when Parallelism
+// is set), merging the per-file results in corpus order. Queries with
+// several range variables range over objects of the same file (cross-file
+// joins are out of scope, as in the paper).
+func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
+	results := make([]*Result, len(c.engines))
+	errs := make([]error, len(c.engines))
+	if c.Parallelism > 1 {
+		sem := make(chan struct{}, c.Parallelism)
+		var wg sync.WaitGroup
+		for i, eng := range c.engines {
+			wg.Add(1)
+			go func(i int, eng *Engine) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = eng.Execute(q)
+			}(i, eng)
+		}
+		wg.Wait()
+	} else {
+		for i, eng := range c.engines {
+			results[i], errs[i] = eng.Execute(q)
+		}
+	}
+	out := &CorpusResult{}
+	for i, eng := range c.engines {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("engine: %s: %w", eng.Instance().Document().Name(), errs[i])
+		}
+		res := results[i]
+		out.Projected = res.Projected
+		st := res.Stats
+		out.Stats.Candidates += st.Candidates
+		out.Stats.Parsed += st.Parsed
+		out.Stats.ParsedBytes += st.ParsedBytes
+		out.Stats.Results += st.Results
+		out.Stats.Exact = out.Stats.Exact || st.Exact
+		out.Stats.FullScan = out.Stats.FullScan || st.FullScan
+		if st.Results == 0 {
+			continue
+		}
+		out.Hits = append(out.Hits, FileHit{
+			File:    eng.Instance().Document().Name(),
+			Regions: res.Regions,
+			Objects: res.Objects,
+			Strings: res.Strings,
+			Stats:   st,
+		})
+	}
+	return out, nil
+}

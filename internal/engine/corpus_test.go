@@ -1,0 +1,117 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"qof/internal/bibtex"
+	"qof/internal/engine"
+	"qof/internal/grammar"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+func TestCorpusQuery(t *testing.T) {
+	cat := bibtex.Catalog()
+	corpus := engine.NewCorpus(cat)
+	wantTotal := 0
+	for i := 0; i < 4; i++ {
+		cfg := bibtex.DefaultConfig(25)
+		cfg.Seed = int64(100 + i)
+		cfg.TargetAuthorShare = 0.2
+		content, st := bibtex.Generate(cfg)
+		doc := text.NewDocument(fmt.Sprintf("lib%d.bib", i), content)
+		if err := corpus.Add(doc, grammar.IndexSpec{}); err != nil {
+			t.Fatal(err)
+		}
+		wantTotal += st.TargetAsAuthor
+	}
+	if corpus.Len() != 4 {
+		t.Fatalf("Len = %d", corpus.Len())
+	}
+	res, err := corpus.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Results() != wantTotal {
+		t.Fatalf("results = %d, want %d", res.Results(), wantTotal)
+	}
+	if len(res.Hits) == 0 || len(res.Hits) > 4 {
+		t.Fatalf("hits = %d", len(res.Hits))
+	}
+	for _, h := range res.Hits {
+		if h.Stats.Results != len(h.Objects) || h.Stats.Results == 0 {
+			t.Errorf("file %s: results %d objects %d", h.File, h.Stats.Results, len(h.Objects))
+		}
+	}
+	if !res.Stats.Exact {
+		t.Error("full indexing should be exact")
+	}
+}
+
+func TestCorpusProjection(t *testing.T) {
+	cat := bibtex.Catalog()
+	corpus := engine.NewCorpus(cat)
+	for i := 0; i < 2; i++ {
+		cfg := bibtex.DefaultConfig(10)
+		cfg.Seed = int64(i)
+		content, _ := bibtex.Generate(cfg)
+		if err := corpus.Add(text.NewDocument(fmt.Sprintf("l%d.bib", i), content), grammar.IndexSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := corpus.Execute(xsql.MustParse(`SELECT r.Key FROM References r`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Projected || len(res.AllStrings()) != 20 {
+		t.Fatalf("projection: %d strings", len(res.AllStrings()))
+	}
+}
+
+func TestCorpusAddError(t *testing.T) {
+	corpus := engine.NewCorpus(bibtex.Catalog())
+	err := corpus.Add(text.NewDocument("bad.bib", "not bibtex"), grammar.IndexSpec{})
+	if err == nil {
+		t.Fatal("unparseable file accepted")
+	}
+}
+
+func TestCorpusParallel(t *testing.T) {
+	cat := bibtex.Catalog()
+	seq := engine.NewCorpus(cat)
+	par := engine.NewCorpus(cat)
+	par.Parallelism = 4
+	for i := 0; i < 6; i++ {
+		cfg := bibtex.DefaultConfig(20)
+		cfg.Seed = int64(i)
+		cfg.TargetAuthorShare = 0.3
+		content, _ := bibtex.Generate(cfg)
+		doc := text.NewDocument(fmt.Sprintf("p%d.bib", i), content)
+		doc2 := text.NewDocument(fmt.Sprintf("p%d.bib", i), content)
+		if err := seq.Add(doc, grammar.IndexSpec{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Add(doc2, grammar.IndexSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := xsql.MustParse(changAuthorQuery)
+	a, err := seq.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Results() != b.Results() || len(a.Hits) != len(b.Hits) {
+		t.Fatalf("sequential %d/%d vs parallel %d/%d",
+			a.Results(), len(a.Hits), b.Results(), len(b.Hits))
+	}
+	for i := range a.Hits {
+		if a.Hits[i].File != b.Hits[i].File || !a.Hits[i].Regions.Equal(b.Hits[i].Regions) {
+			t.Errorf("hit %d differs", i)
+		}
+	}
+}

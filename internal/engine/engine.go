@@ -1,0 +1,353 @@
+// Package engine executes compiled query plans against an indexed document,
+// implementing the paper's evaluation strategy end to end:
+//
+//  1. evaluate the optimized inclusion expression on the indexing engine to
+//     obtain candidate regions (Sections 5.1 and 6.1);
+//  2. when the plan is not exact, parse only the candidate regions with the
+//     structuring schema and filter the resulting objects in the database
+//     (Section 6.2) — the whole file is never scanned;
+//  3. produce the SELECT output, using the index alone when the projection
+//     chain is exact (no file access beyond the projected regions).
+//
+// The engine reports detailed statistics (candidates, parsed regions and
+// bytes, filtering) that the benchmarks and EXPLAIN output rely on.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qof/internal/algebra"
+	"qof/internal/compile"
+	"qof/internal/db"
+	"qof/internal/grammar"
+	"qof/internal/index"
+	"qof/internal/region"
+	"qof/internal/xsql"
+)
+
+// Engine evaluates queries over one indexed document.
+type Engine struct {
+	cat *compile.Catalog
+	in  *index.Instance
+	ev  *algebra.Evaluator
+}
+
+// New creates an engine over the catalog and instance.
+func New(cat *compile.Catalog, in *index.Instance) *Engine {
+	return &Engine{cat: cat, in: in, ev: algebra.NewEvaluator(in)}
+}
+
+// Instance returns the engine's index instance.
+func (e *Engine) Instance() *index.Instance { return e.in }
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *compile.Catalog { return e.cat }
+
+// Stats describes how a query was executed.
+type Stats struct {
+	Candidates  int  // candidate regions after phase 1
+	Parsed      int  // regions parsed in phase 2 (including result materialization)
+	ParsedBytes int  // bytes covered by parsed regions
+	Results     int  // final result size
+	Exact       bool // phase-2 filtering was skipped (Section 6.3)
+	IndexOnly   bool // answered without parsing anything
+	FullScan    bool // the index offered no narrowing
+	JoinFast    bool // the Section 5.2 region-level join was used
+
+	// Wall-clock breakdown: query compilation + optimization, index
+	// evaluation (phase 1), and candidate parsing + filtering +
+	// projection (phase 2).
+	CompileTime time.Duration
+	Phase1Time  time.Duration
+	Phase2Time  time.Duration
+}
+
+// Result is the outcome of a query.
+type Result struct {
+	// Objects holds the selected objects for whole-object selects, in
+	// document order; Regions holds their regions.
+	Objects []db.Value
+	Regions region.Set
+	// Strings holds the projected values for path selects, in document
+	// order (duplicates preserved).
+	Strings []string
+	// Projected reports whether Strings is the result form.
+	Projected bool
+	Plan      *compile.Plan
+	Stats     Stats
+}
+
+// Execute compiles and runs the query.
+func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
+	start := time.Now()
+	plan, err := e.cat.Compile(q, e.in)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan, Projected: len(q.Select.Segs) > 0}
+	res.Stats.CompileTime = time.Since(start)
+	if plan.Trivial {
+		return res, nil
+	}
+	if len(q.From) == 1 {
+		if err := e.executeSingle(q, plan, res); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := e.executeMulti(q, plan, res); err != nil {
+			return nil, err
+		}
+	}
+	if res.Projected {
+		res.Stats.Results = len(res.Strings)
+	} else {
+		res.Stats.Results = res.Regions.Len()
+	}
+	return res, nil
+}
+
+// executeSingle runs the one-range-variable fast path.
+func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) error {
+	vp := &plan.Vars[0]
+	res.Stats.Exact = vp.Exact
+	phase1 := time.Now()
+	defer func() { res.Stats.Phase2Time = time.Since(phase1) - res.Stats.Phase1Time }()
+
+	// Phase 1: candidate regions from the index.
+	var candidates region.Set
+	switch {
+	case vp.Candidates != nil:
+		var err error
+		candidates, err = e.ev.Eval(vp.Candidates)
+		if err != nil {
+			return fmt.Errorf("engine: evaluating candidates: %w", err)
+		}
+	default:
+		// The index offers nothing: parse the whole document and use
+		// every object region as a candidate.
+		res.Stats.FullScan = true
+		doc := e.in.Document()
+		tree, err := e.cat.Grammar.Parse(doc)
+		if err != nil {
+			return fmt.Errorf("engine: full scan parse: %w", err)
+		}
+		res.Stats.ParsedBytes += doc.Len()
+		candidates = grammar.ExtractRegions(tree, vp.NT)[vp.NT]
+		res.Stats.Parsed += candidates.Len()
+	}
+	res.Stats.Candidates = candidates.Len()
+	res.Stats.Phase1Time = time.Since(phase1)
+
+	// Index-only projection: exact candidates plus an exact projection
+	// chain answer the query without touching the file.
+	if res.Projected && vp.Exact && plan.Projection.Chain != nil && plan.Projection.Exact && !res.Stats.FullScan {
+		projected, err := e.ev.Eval(plan.Projection.Chain.Expr())
+		if err != nil {
+			return fmt.Errorf("engine: evaluating projection: %w", err)
+		}
+		within := projected.Included(candidates)
+		content := e.in.Document().Content()
+		for _, r := range within.Regions() {
+			// The projection plan is only exact for faithful leaves,
+			// whose region text is the database value verbatim.
+			res.Strings = append(res.Strings, content[r.Start:r.End])
+		}
+		res.Stats.IndexOnly = true
+		return nil
+	}
+
+	// Section 5.2 fast join: decide the path comparison from the leaf
+	// regions alone, then parse only the matching objects.
+	if plan.JoinFast != nil && !res.Stats.FullScan {
+		matched, ok, err := e.joinFastCandidates(plan.JoinFast, candidates)
+		if err != nil {
+			return err
+		}
+		if ok {
+			res.Stats.JoinFast = true
+			candidates = matched
+			vp = &compile.VarPlan{Var: vp.Var, NT: vp.NT, Exact: true}
+		}
+	}
+
+	// Phase 2: parse candidates, filter unless exact, project.
+	var kept []region.Region
+	for _, r := range candidates.Regions() {
+		obj, err := e.parseRegion(vp.NT, r, &res.Stats)
+		if err != nil {
+			return err
+		}
+		if !vp.Exact {
+			ok, err := xsql.EvalCond(xsql.Env{vp.Var: obj}, q.Where)
+			if err != nil {
+				return fmt.Errorf("engine: filtering: %w", err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		kept = append(kept, r)
+		if res.Projected {
+			res.Strings = append(res.Strings, db.NavigateStrings(obj, plan.Projection.Steps)...)
+		} else {
+			res.Objects = append(res.Objects, obj)
+		}
+	}
+	res.Regions = region.FromRegions(kept)
+	return nil
+}
+
+// joinFastCandidates implements Section 5.2's join strategy: locate the
+// leaf regions of both paths through the index, read only their bytes, and
+// hash-join the values per candidate. It requires candidates to be
+// non-nested (so every leaf has a unique container); ok=false means the
+// caller must fall back to parsing.
+func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.Set) (region.Set, bool, error) {
+	cands := candidates.Regions()
+	for i := 1; i < len(cands); i++ {
+		if cands[i-1].End > cands[i].Start {
+			return region.Empty, false, nil // nested or overlapping candidates
+		}
+	}
+	content := e.in.Document().Content()
+	groups := func(ch algebra.Expr) (map[int]map[string]bool, error) {
+		leaves, err := e.ev.Eval(ch)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[int]map[string]bool)
+		for _, leaf := range leaves.Regions() {
+			i := sort.Search(len(cands), func(i int) bool { return cands[i].Start > leaf.Start }) - 1
+			if i < 0 || !cands[i].Includes(leaf) {
+				continue
+			}
+			if out[i] == nil {
+				out[i] = make(map[string]bool)
+			}
+			out[i][content[leaf.Start:leaf.End]] = true
+		}
+		return out, nil
+	}
+	lGroups, err := groups(jf.L.Expr())
+	if err != nil {
+		return region.Empty, false, err
+	}
+	rGroups, err := groups(jf.R.Expr())
+	if err != nil {
+		return region.Empty, false, err
+	}
+	var matched []region.Region
+	for i, ls := range lGroups {
+		rs := rGroups[i]
+		for v := range ls {
+			if rs[v] {
+				matched = append(matched, cands[i])
+				break
+			}
+		}
+	}
+	return region.FromRegions(matched), true, nil
+}
+
+// executeMulti runs multi-variable queries with a nested-loop join over
+// per-variable candidates; comparisons are evaluated in the database
+// (Section 5.2: joins are beyond the indexing engine).
+func (e *Engine) executeMulti(q *xsql.Query, plan *compile.Plan, res *Result) error {
+	type binding struct {
+		regions []region.Region
+		objects []db.Value
+	}
+	bindings := make([]binding, len(plan.Vars))
+	for i := range plan.Vars {
+		vp := &plan.Vars[i]
+		var cands region.Set
+		if vp.Candidates != nil {
+			var err error
+			cands, err = e.ev.Eval(vp.Candidates)
+			if err != nil {
+				return fmt.Errorf("engine: candidates for %s: %w", vp.Var, err)
+			}
+		} else {
+			res.Stats.FullScan = true
+			tree, err := e.cat.Grammar.Parse(e.in.Document())
+			if err != nil {
+				return err
+			}
+			res.Stats.ParsedBytes += e.in.Document().Len()
+			cands = grammar.ExtractRegions(tree, vp.NT)[vp.NT]
+		}
+		res.Stats.Candidates += cands.Len()
+		b := binding{regions: cands.Regions()}
+		for _, r := range cands.Regions() {
+			obj, err := e.parseRegion(vp.NT, r, &res.Stats)
+			if err != nil {
+				return err
+			}
+			b.objects = append(b.objects, obj)
+		}
+		bindings[i] = b
+	}
+	// Nested-loop join with residual evaluation. Each assignment binds
+	// every variable, then the WHERE clause decides; the select
+	// variable's distinct matches form the result.
+	selVar := q.Select.Var
+	seen := make(map[region.Region]bool)
+	var kept []region.Region
+	env := make(xsql.Env, len(plan.Vars))
+	idx := make([]int, len(plan.Vars))
+	var loop func(i int) error
+	loop = func(i int) error {
+		if i < len(plan.Vars) {
+			for k := range bindings[i].objects {
+				idx[i] = k
+				env[plan.Vars[i].Var] = bindings[i].objects[k]
+				if err := loop(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		ok, err := xsql.EvalCond(env, q.Where)
+		if err != nil || !ok {
+			return err
+		}
+		for j := range plan.Vars {
+			if plan.Vars[j].Var != selVar {
+				continue
+			}
+			r := bindings[j].regions[idx[j]]
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			kept = append(kept, r)
+			obj := bindings[j].objects[idx[j]]
+			if res.Projected {
+				res.Strings = append(res.Strings, db.NavigateStrings(obj, plan.Projection.Steps)...)
+			} else {
+				res.Objects = append(res.Objects, obj)
+			}
+		}
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return err
+	}
+	res.Regions = region.FromRegions(kept)
+	return nil
+}
+
+// parseRegion parses one candidate region as the non-terminal and builds
+// its database value, updating statistics.
+func (e *Engine) parseRegion(nt string, r region.Region, st *Stats) (db.Value, error) {
+	doc := e.in.Document()
+	node, err := e.cat.Grammar.ParseAs(doc, nt, r.Start, r.End)
+	if err != nil {
+		return nil, fmt.Errorf("engine: parsing candidate %v as %s: %w", r, nt, err)
+	}
+	st.Parsed++
+	st.ParsedBytes += r.Len()
+	return grammar.BuildValue(node, doc.Content()), nil
+}

@@ -1,0 +1,491 @@
+package engine_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qof/internal/bibtex"
+	"qof/internal/compile"
+	"qof/internal/db"
+	"qof/internal/engine"
+	"qof/internal/grammar"
+	"qof/internal/index"
+	"qof/internal/scan"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+// fixture bundles everything the integration tests need.
+type fixture struct {
+	cat  *compile.Catalog
+	doc  *text.Document
+	eng  *engine.Engine
+	st   bibtex.Stats
+	in   *index.Instance
+	spec grammar.IndexSpec
+}
+
+func newFixture(t testing.TB, n int, spec grammar.IndexSpec, mutate func(*bibtex.Config)) *fixture {
+	t.Helper()
+	cfg := bibtex.DefaultConfig(n)
+	cfg.TargetAuthorShare = 0.15
+	cfg.TargetEditorShare = 0.25
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	content, st := bibtex.Generate(cfg)
+	cat := bibtex.Catalog()
+	doc := text.NewDocument("corpus.bib", content)
+	in, _, err := cat.Grammar.BuildInstance(doc, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{cat: cat, doc: doc, eng: engine.New(cat, in), st: st, in: in, spec: spec}
+}
+
+const changAuthorQuery = `SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`
+
+func TestPaperQueryFullIndexing(t *testing.T) {
+	f := newFixture(t, 60, grammar.IndexSpec{}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != f.st.TargetAsAuthor {
+		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.st.TargetAsAuthor)
+	}
+	if !res.Stats.Exact {
+		t.Error("full indexing should be exact")
+	}
+	// Exact plans parse only the final results.
+	if res.Stats.Parsed != res.Stats.Results {
+		t.Errorf("parsed %d regions for %d results", res.Stats.Parsed, res.Stats.Results)
+	}
+	if res.Stats.ParsedBytes >= f.doc.Len()/2 {
+		t.Errorf("parsed %d of %d bytes; expected a small fraction", res.Stats.ParsedBytes, f.doc.Len())
+	}
+	if res.Stats.FullScan {
+		t.Error("full scan flagged")
+	}
+}
+
+func TestPartialIndexingSuperset(t *testing.T) {
+	// Section 6.1: {Reference, Key, Last_Name} cannot distinguish authors
+	// from editors; candidates are the Chang-anywhere references, then
+	// parsing filters.
+	f := newFixture(t, 60, grammar.IndexSpec{
+		Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName},
+	}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != f.st.TargetAsAuthor {
+		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.st.TargetAsAuthor)
+	}
+	if res.Stats.Exact {
+		t.Error("partial plan must not be exact")
+	}
+	if res.Stats.Candidates != f.st.TargetAsEither {
+		t.Errorf("candidates = %d, want %d (Chang as author or editor)",
+			res.Stats.Candidates, f.st.TargetAsEither)
+	}
+	if res.Stats.Parsed != res.Stats.Candidates {
+		t.Errorf("parsed %d != candidates %d", res.Stats.Parsed, res.Stats.Candidates)
+	}
+	// Far less than the whole file was parsed.
+	if res.Stats.ParsedBytes >= f.doc.Len() {
+		t.Error("parsed the whole file")
+	}
+}
+
+func TestPartialIndexingExactPerSection63(t *testing.T) {
+	f := newFixture(t, 60, grammar.IndexSpec{
+		Names: []string{bibtex.NTReference, bibtex.NTAuthors, bibtex.NTEditors, bibtex.NTLastName},
+	}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Exact {
+		t.Fatal("Section 6.3 conditions hold; plan must be exact")
+	}
+	if res.Stats.Results != f.st.TargetAsAuthor {
+		t.Fatalf("results = %d, want %d", res.Stats.Results, f.st.TargetAsAuthor)
+	}
+}
+
+func TestFullScanFallback(t *testing.T) {
+	f := newFixture(t, 30, grammar.IndexSpec{Names: []string{bibtex.NTKey}}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.FullScan {
+		t.Error("expected full-scan fallback")
+	}
+	if res.Stats.Results != f.st.TargetAsAuthor {
+		t.Fatalf("results = %d, want %d", res.Stats.Results, f.st.TargetAsAuthor)
+	}
+}
+
+func TestIndexOnlyProjection(t *testing.T) {
+	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
+	const q = `SELECT r.Authors.Name.Last_Name FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`
+	res, err := f.eng.Execute(xsql.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.IndexOnly {
+		t.Fatalf("expected index-only execution: %+v\n%s", res.Stats, res.Plan.Explain())
+	}
+	if res.Stats.Parsed != 0 || res.Stats.ParsedBytes != 0 {
+		t.Errorf("index-only run parsed %d regions", res.Stats.Parsed)
+	}
+	// Cross-check against the full-scan baseline.
+	base, err := scan.FullScan(f.cat, f.doc, xsql.MustParse(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(db.SortedUnique(res.Strings), db.SortedUnique(base.Strings)) {
+		t.Errorf("projection mismatch: engine %v, baseline %v", res.Strings, base.Strings)
+	}
+}
+
+// TestEngineMatchesFullScan is the central integration property: for every
+// query and indexing choice, the engine's answers equal the full-scan
+// baseline's.
+func TestEngineMatchesFullScan(t *testing.T) {
+	queries := []string{
+		changAuthorQuery,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.Key = "Key000003"`,
+		`SELECT r FROM References r WHERE r.Year = "1982"`,
+		`SELECT r FROM References r WHERE r.Keywords.Keyword = "taylor series"`,
+		`SELECT r FROM References r WHERE r.Abstract CONTAINS "differentiation"`,
+		`SELECT r FROM References r WHERE r CONTAINS "Chang"`,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name STARTS "Cor"`,
+		`SELECT r FROM References r WHERE r.Title STARTS "On the"`,
+		`SELECT r FROM References r WHERE r.Title CONTAINS "Systems" AND r.Authors.Name.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.?X.Name.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" AND r.Editors.Name.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" OR r.Editors.Name.Last_Name = "Corliss"`,
+		`SELECT r FROM References r WHERE NOT r.Authors.Name.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" AND NOT r.Editors.Name.Last_Name = "Corliss"`,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`,
+		`SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"`, // trivial
+		`SELECT r FROM References r`,
+		`SELECT r.Authors.Name.Last_Name FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`,
+		`SELECT r.Key FROM References r WHERE r.Editors.Name.Last_Name = "Chang"`,
+		`SELECT r.*X.Last_Name FROM References r WHERE r.Year = "1975"`,
+	}
+	specs := map[string]grammar.IndexSpec{
+		"full":    {},
+		"partial": {Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName}},
+		"exact63": {Names: []string{bibtex.NTReference, bibtex.NTAuthors, bibtex.NTEditors, bibtex.NTLastName}},
+		"minimal": {Names: []string{bibtex.NTReference}},
+		"scoped": {
+			Names:  []string{bibtex.NTReference, bibtex.NTAuthors},
+			Scoped: []grammar.ScopedName{{Name: bibtex.NTLastName, Within: bibtex.NTAuthors}},
+		},
+	}
+	for specName, spec := range specs {
+		f := newFixture(t, 40, spec, nil)
+		for _, src := range queries {
+			q := xsql.MustParse(src)
+			res, err := f.eng.Execute(q)
+			if err != nil {
+				t.Errorf("[%s] %s: engine error: %v", specName, src, err)
+				continue
+			}
+			base, err := scan.FullScan(f.cat, f.doc, q)
+			if err != nil {
+				t.Errorf("[%s] %s: baseline error: %v", specName, src, err)
+				continue
+			}
+			if res.Projected {
+				got := db.SortedUnique(append([]string(nil), res.Strings...))
+				want := db.SortedUnique(append([]string(nil), base.Strings...))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("[%s] %s:\n engine   %v\n baseline %v\n%s",
+						specName, src, got, want, res.Plan.Explain())
+				}
+			} else if len(res.Objects) != len(base.Objects) {
+				t.Errorf("[%s] %s: engine %d objects, baseline %d\n%s",
+					specName, src, len(res.Objects), len(base.Objects), res.Plan.Explain())
+			} else {
+				for i := range res.Objects {
+					if !db.Equal(res.Objects[i], base.Objects[i]) {
+						t.Errorf("[%s] %s: object %d differs", specName, src, i)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineMatchesFullScanRandomSpecs stresses the compiler's
+// exactness/superset classification: random index subsets must never change
+// query answers, only how much work phase 2 does.
+func TestEngineMatchesFullScanRandomSpecs(t *testing.T) {
+	all := bibtex.Grammar().FullIndexSpec().Names
+	queries := []string{
+		changAuthorQuery,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "Chang" OR r.Year = "1982"`,
+		`SELECT r.Key FROM References r WHERE r.*X.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.Abstract CONTAINS "taylor"`,
+		`SELECT r FROM References r WHERE NOT r.Keywords.Keyword CONTAINS "algorithm"`,
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		// Random subset of names; always give Reference a 50% chance so
+		// both index-backed and full-scan paths are exercised.
+		var names []string
+		for _, n := range all {
+			if rng.Intn(3) > 0 {
+				names = append(names, n)
+			}
+		}
+		spec := grammar.IndexSpec{Names: names}
+		f := newFixture(t, 25, spec, nil)
+		for _, src := range queries {
+			q := xsql.MustParse(src)
+			res, err := f.eng.Execute(q)
+			if err != nil {
+				t.Fatalf("trial %d %v: %s: %v", trial, names, src, err)
+			}
+			base, err := scan.FullScan(f.cat, f.doc, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Projected {
+				got := db.SortedUnique(append([]string(nil), res.Strings...))
+				want := db.SortedUnique(append([]string(nil), base.Strings...))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("trial %d (%v): %s:\n engine %v\n base   %v\n%s",
+						trial, names, src, got, want, res.Plan.Explain())
+				}
+			} else if len(res.Objects) != len(base.Objects) {
+				t.Errorf("trial %d (%v): %s: %d vs %d\n%s",
+					trial, names, src, len(res.Objects), len(base.Objects), res.Plan.Explain())
+			}
+		}
+	}
+}
+
+func TestScopedIndexingAnswersScopedQuery(t *testing.T) {
+	// Index Last_Name only inside Authors (Section 7): the author query
+	// still gets index support, with Last_Name candidates already
+	// restricted to author names.
+	f := newFixture(t, 60, grammar.IndexSpec{
+		Names:  []string{bibtex.NTReference},
+		Scoped: []grammar.ScopedName{{Name: bibtex.NTLastName, Within: bibtex.NTAuthors}},
+	}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FullScan {
+		t.Fatal("scoped index should support the query")
+	}
+	if res.Stats.Results != f.st.TargetAsAuthor {
+		t.Fatalf("results = %d, want %d", res.Stats.Results, f.st.TargetAsAuthor)
+	}
+	// Candidate narrowing is tighter than the unscoped partial index:
+	// editor-only Changs are not even candidates.
+	if res.Stats.Candidates != f.st.TargetAsAuthor {
+		t.Errorf("candidates = %d, want %d (scoped index excludes editor names)",
+			res.Stats.Candidates, f.st.TargetAsAuthor)
+	}
+}
+
+func TestSelfJoinQuery(t *testing.T) {
+	f := newFixture(t, 50, grammar.IndexSpec{}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != f.st.SelfEditedByAuth {
+		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.st.SelfEditedByAuth)
+	}
+}
+
+// TestPaperFlagshipQuery approximates the paper's Section 2 showcase —
+// "editors who never wrote a paper with any of the keywords occurring in a
+// book that they edited" — via its positive core: pairs of references where
+// an editor of r authored s and r, s share a keyword. The engine's
+// nested-loop evaluation must agree with the full-scan baseline.
+func TestPaperFlagshipQuery(t *testing.T) {
+	f := newFixture(t, 15, grammar.IndexSpec{}, func(c *bibtex.Config) {
+		c.TargetAuthorShare = 0.4
+		c.TargetEditorShare = 0.4
+		c.MaxKeywords = 2
+	})
+	q := xsql.MustParse(`SELECT r FROM References r, References s WHERE ` +
+		`r.Editors.Name.Last_Name = s.Authors.Name.Last_Name AND ` +
+		`r.Keywords.Keyword = s.Keywords.Keyword`)
+	res, err := f.eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := scan.FullScan(f.cat, f.doc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != len(base.Objects) {
+		t.Fatalf("engine %d, baseline %d", len(res.Objects), len(base.Objects))
+	}
+	// The "never" form: books whose editors all avoid that pattern.
+	qNeg := xsql.MustParse(`SELECT r FROM References r, References s WHERE ` +
+		`NOT (r.Editors.Name.Last_Name = s.Authors.Name.Last_Name AND ` +
+		`r.Keywords.Keyword = s.Keywords.Keyword) AND r.Key = r.Key`)
+	resNeg, err := f.eng.Execute(qNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseNeg, err := scan.FullScan(f.cat, f.doc, qNeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resNeg.Objects) != len(baseNeg.Objects) {
+		t.Fatalf("negated: engine %d, baseline %d", len(resNeg.Objects), len(baseNeg.Objects))
+	}
+}
+
+func TestMultiVarJoin(t *testing.T) {
+	f := newFixture(t, 12, grammar.IndexSpec{}, nil)
+	// References whose key is referred to by some other reference.
+	q := xsql.MustParse(
+		`SELECT r FROM References r, References s WHERE s.Referred.RefKey = r.Key`)
+	res, err := f.eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := scan.FullScan(f.cat, f.doc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != len(base.Objects) {
+		t.Fatalf("engine %d, baseline %d", len(res.Objects), len(base.Objects))
+	}
+}
+
+func TestTrivialQueryShortCircuits(t *testing.T) {
+	f := newFixture(t, 20, grammar.IndexSpec{}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(
+		`SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != 0 || res.Stats.Parsed != 0 || res.Stats.Candidates != 0 {
+		t.Fatalf("trivial query did work: %+v", res.Stats)
+	}
+	if !res.Plan.Trivial {
+		t.Error("plan not flagged trivial")
+	}
+}
+
+func TestGrepBaseline(t *testing.T) {
+	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
+	g := scan.Grep(f.doc, "Chang")
+	if g.BytesScanned != f.doc.Len() {
+		t.Error("grep must scan the whole file")
+	}
+	// Grep counts occurrences (authors + editors), which is at least the
+	// number of matching references and cannot equal the author-only
+	// ground truth in this corpus.
+	if g.Occurrences < f.st.TargetAsEither {
+		t.Errorf("occurrences = %d < %d", g.Occurrences, f.st.TargetAsEither)
+	}
+	if got := scan.Grep(f.doc, ""); got.Occurrences != 0 {
+		t.Error("empty word")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	f := newFixture(t, 5, grammar.IndexSpec{}, nil)
+	if f.eng.Instance() != f.in || f.eng.Catalog() != f.cat {
+		t.Error("accessors")
+	}
+}
+
+func TestStartsQueries(t *testing.T) {
+	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
+	// Last_Name is faithful: STARTS on it is index-exact.
+	res, err := f.eng.Execute(xsql.MustParse(
+		`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name STARTS "Chan"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Exact {
+		t.Errorf("STARTS on faithful leaf should be exact:\n%s", res.Plan.Explain())
+	}
+	if res.Stats.Results != f.st.TargetAsAuthor {
+		t.Errorf("results = %d, want %d (only Chang starts with Chan here)",
+			res.Stats.Results, f.st.TargetAsAuthor)
+	}
+	// Cross-check against the baseline, also for an unfaithful leaf.
+	for _, src := range []string{
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name STARTS "Cha"`,
+		`SELECT r FROM References r WHERE r.Title STARTS "On the"`,
+		`SELECT r FROM References r WHERE r.Abstract STARTS "term"`,
+	} {
+		q := xsql.MustParse(src)
+		res, err := f.eng.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		base, err := scan.FullScan(f.cat, f.doc, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Objects) != len(base.Objects) {
+			t.Errorf("%s: engine %d vs baseline %d\n%s",
+				src, len(res.Objects), len(base.Objects), res.Plan.Explain())
+		}
+	}
+}
+
+func TestMultiVarSelectUnconstrained(t *testing.T) {
+	// The selected variable has no own conditions: every r pairs with the
+	// matching s objects; r qualifies iff some s exists.
+	f := newFixture(t, 10, grammar.IndexSpec{}, nil)
+	q := xsql.MustParse(`SELECT r FROM References r, References s WHERE s.Authors.Name.Last_Name = "Chang"`)
+	res, err := f.eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := scan.FullScan(f.cat, f.doc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != len(base.Objects) {
+		t.Fatalf("engine %d vs baseline %d", len(res.Objects), len(base.Objects))
+	}
+	// Some Chang-author exists in this corpus, so every r qualifies.
+	want := 0
+	if f.st.TargetAsAuthor > 0 {
+		want = 10
+	}
+	if len(res.Objects) != want {
+		t.Fatalf("results = %d, want %d", len(res.Objects), want)
+	}
+}
+
+func TestExecuteTimings(t *testing.T) {
+	f := newFixture(t, 30, grammar.IndexSpec{}, nil)
+	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CompileTime <= 0 || res.Stats.Phase1Time <= 0 {
+		t.Errorf("timings not recorded: %+v", res.Stats)
+	}
+	if res.Stats.Phase2Time < 0 {
+		t.Errorf("negative phase-2 time: %v", res.Stats.Phase2Time)
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qof/internal/algebra"
+	"qof/internal/scan"
+)
+
+// E3 regenerates Section 3.1's cost claim: the direct-inclusion operator ⊃d
+// is significantly more expensive than plain inclusion ⊃, and its cost
+// grows with nesting depth (the layered program iterates layer by layer and
+// consults every other region index).
+func E3(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "cost of Section >d Section vs Section > Section as nesting deepens",
+		Header: []string{"depth", "sections", "plain_ms", "direct_ms", "layered_ms",
+			"direct_vs_plain", "layered_vs_plain"},
+		Notes: []string{
+			"plain: ⊃ sweep; direct: universe-based ⊃d; layered: the paper's while-loop program",
+		},
+	}
+	for _, depth := range []int{3, 5, 7, 9} {
+		setup, err := NewSgmlSetup(depth, 2)
+		if err != nil {
+			return nil, err
+		}
+		ev := algebra.NewEvaluator(setup.Instance)
+		lay := algebra.NewEvaluator(setup.Instance)
+		lay.UseLayeredDirect = true
+
+		plain := algebra.MustParse(`Section > Section`)
+		direct := algebra.MustParse(`Section >d Section`)
+
+		plainTime, err := MedianTime(opt.Repeats, func() error {
+			_, err := ev.Eval(plain)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var directN int
+		directTime, err := MedianTime(opt.Repeats, func() error {
+			s, err := ev.Eval(direct)
+			directN = s.Len()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var layeredN int
+		layeredTime, err := MedianTime(opt.Repeats, func() error {
+			s, err := lay.Eval(direct)
+			layeredN = s.Len()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if directN != layeredN {
+			return nil, fmt.Errorf("E3: ⊃d implementations disagree: %d vs %d", directN, layeredN)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(depth), itoa(setup.Stats.Sections),
+			ms(plainTime), ms(directTime), ms(layeredTime),
+			ratio(plainTime, directTime), ratio(plainTime, layeredTime),
+		})
+	}
+	return t, nil
+}
+
+// E10 regenerates the closure claim at the end of Section 5.3: a path
+// regular expression with transitive closure ("sections containing, at any
+// depth, a paragraph with the word") is one inclusion expression on the
+// index, versus a recursive traversal in the database.
+func E10(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "transitive closure: one inclusion expression vs database traversal",
+		Header: []string{"depth", "fanout", "sections", "locate_ms", "dbscan_ms", "speedup", "answers"},
+		Notes: []string{
+			`closure query: sections containing, at any depth, a paragraph with "needle"`,
+			`locate_ms evaluates the inclusion expression Section > contains(Para, "needle")`,
+			"dbscan parses the whole document, loads the extents and traverses wildcard paths",
+		},
+	}
+	expr := algebra.MustParse(`Section > contains(Para, "needle")`)
+	q := mustQuery(`SELECT s FROM Sections s WHERE s.*X.Para CONTAINS "needle"`)
+	for _, shape := range [][2]int{{5, 2}, {7, 2}, {5, 4}} {
+		setup, err := NewSgmlSetup(shape[0], shape[1])
+		if err != nil {
+			return nil, err
+		}
+		ev := algebra.NewEvaluator(setup.Instance)
+		var answers int
+		locateTime, err := MedianTime(opt.Repeats, func() error {
+			s, err := ev.Eval(expr)
+			answers = s.Len()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		dbTime, err := MedianTime(opt.Repeats, func() error {
+			res, err := scan.FullScan(setup.Cat, setup.Doc, q)
+			if err != nil {
+				return err
+			}
+			if len(res.Objects) != answers {
+				return fmt.Errorf("E10: database traversal disagrees: %d vs %d", len(res.Objects), answers)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if answers != setup.Stats.TargetSections {
+			return nil, fmt.Errorf("E10: wrong answer: %d vs %d", answers, setup.Stats.TargetSections)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(shape[0]), itoa(shape[1]), itoa(setup.Stats.Sections),
+			ms(locateTime), ms(dbTime), ratio(locateTime, dbTime), itoa(answers),
+		})
+	}
+	return t, nil
+}

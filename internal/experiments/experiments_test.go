@@ -1,0 +1,57 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"qof/internal/experiments"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opt := experiments.Quick()
+	for _, e := range experiments.All() {
+		tab, err := e.Run(opt)
+		if err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+			continue
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", e.ID)
+		}
+		t.Logf("\n%s", tab)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := experiments.Lookup("e1"); !ok {
+		t.Error("e1 missing")
+	}
+	if _, ok := experiments.Lookup("nope"); ok {
+		t.Error("nope found")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &experiments.Table{
+		ID:     "T",
+		Title:  "demo",
+		Header: []string{"a", "long_column"},
+		Rows:   [][]string{{"1", "2"}, {"wider-cell", "3"}},
+		Notes:  []string{"a note"},
+	}
+	s := tab.String()
+	for _, want := range []string{"== T: demo ==", "long_column", "wider-cell", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table.String missing %q:\n%s", want, s)
+		}
+	}
+	// Columns align: every data row has the header's column offset.
+	lines := strings.Split(s, "\n")
+	col := strings.Index(lines[1], "long_column")
+	if !strings.HasPrefix(lines[3][col:], "3") {
+		t.Errorf("misaligned:\n%s", s)
+	}
+}

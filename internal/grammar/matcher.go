@@ -1,0 +1,195 @@
+package grammar
+
+// Terminal matcher compilation. Most terminal classes in structuring
+// schemas are simple concatenations of character classes with * or +
+// quantifiers (identifiers, numbers, free text up to a delimiter). Running
+// those through the regexp NFA dominates parsing time, so AddTerminal
+// compiles them to direct byte scanners and keeps the regexp only for
+// patterns the mini-compiler cannot express (groups, alternation, counted
+// repetition, Unicode classes).
+
+import (
+	"regexp"
+	"strings"
+)
+
+// matcher reports the length of the match of a terminal at the start of s,
+// or -1 when there is no match.
+type matcher func(s string) int
+
+// regexpMatcher wraps an anchored regexp.
+func regexpMatcher(re *regexp.Regexp) matcher {
+	return func(s string) int {
+		loc := re.FindStringIndex(s)
+		if loc == nil {
+			return -1
+		}
+		return loc[1]
+	}
+}
+
+// byteClass is a 256-entry membership table (ASCII byte classes; patterns
+// with non-ASCII literals fall back to regexp).
+type byteClass [256]bool
+
+// classItem is one element of a compiled simple pattern.
+type classItem struct {
+	class byteClass
+	min   int // 0 for *, 1 for single or +
+	many  bool
+}
+
+// compileSimple builds a byte scanner for patterns of the form
+// item+ where item := (class | char | escaped char) quantifier? and
+// quantifier ∈ {*, +}. It returns nil when the pattern is not of this form.
+func compileSimple(pattern string) matcher {
+	var items []classItem
+	i := 0
+	for i < len(pattern) {
+		var cls byteClass
+		switch c := pattern[i]; {
+		case c == '[':
+			end, ok := parseClass(pattern[i:], &cls)
+			if !ok {
+				return nil
+			}
+			i += end
+		case c == '\\':
+			if i+1 >= len(pattern) {
+				return nil
+			}
+			b, ok := escapedByte(pattern[i+1])
+			if !ok {
+				return nil
+			}
+			cls[b] = true
+			i += 2
+		case strings.ContainsRune("()|.^$?{}*+", rune(c)):
+			return nil // structure beyond the simple form
+		case c < 0x80:
+			cls[c] = true
+			i++
+		default:
+			return nil // non-ASCII literal
+		}
+		item := classItem{class: cls, min: 1}
+		if i < len(pattern) {
+			switch pattern[i] {
+			case '*':
+				item.min, item.many = 0, true
+				i++
+			case '+':
+				item.min, item.many = 1, true
+				i++
+			case '?', '{':
+				return nil
+			}
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	return func(s string) int {
+		pos := 0
+		for _, it := range items {
+			n := 0
+			for pos < len(s) && it.class[s[pos]] && (it.many || n < 1) {
+				pos++
+				n++
+			}
+			if n < it.min {
+				return -1
+			}
+		}
+		return pos
+	}
+}
+
+// parseClass parses a [...] class at the start of s into cls, returning the
+// number of bytes consumed. Supports negation, ranges and escapes; rejects
+// non-ASCII content.
+func parseClass(s string, cls *byteClass) (int, bool) {
+	if len(s) < 2 || s[0] != '[' {
+		return 0, false
+	}
+	i := 1
+	negate := false
+	if s[i] == '^' {
+		negate = true
+		i++
+	}
+	var member [256]bool
+	first := true
+	for i < len(s) && (s[i] != ']' || first) {
+		first = false
+		var lo byte
+		switch {
+		case s[i] == '\\' && i+1 < len(s):
+			b, ok := escapedByte(s[i+1])
+			if !ok {
+				return 0, false
+			}
+			lo = b
+			i += 2
+		case s[i] < 0x80:
+			lo = s[i]
+			i++
+		default:
+			return 0, false
+		}
+		hi := lo
+		if i+1 < len(s) && s[i] == '-' && s[i+1] != ']' {
+			i++
+			switch {
+			case s[i] == '\\' && i+1 < len(s):
+				b, ok := escapedByte(s[i+1])
+				if !ok {
+					return 0, false
+				}
+				hi = b
+				i += 2
+			case s[i] < 0x80:
+				hi = s[i]
+				i++
+			default:
+				return 0, false
+			}
+		}
+		if hi < lo {
+			return 0, false
+		}
+		for b := int(lo); b <= int(hi); b++ {
+			member[b] = true
+		}
+	}
+	if i >= len(s) || s[i] != ']' {
+		return 0, false
+	}
+	i++
+	if negate {
+		// Negated ASCII classes behave byte-wise like RE2's rune-wise
+		// [^...] over valid UTF-8: every byte of a non-excluded rune
+		// (including each byte of a multi-byte rune) is accepted, so
+		// the matched span is identical.
+		for b := 0; b < 256; b++ {
+			member[b] = !member[b]
+		}
+	}
+	*cls = member
+	return i, true
+}
+
+func escapedByte(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '\\', '.', '[', ']', '(', ')', '*', '+', '?', '^', '$', '{', '}', '|', '-', '/', '\'', '"':
+		return c, true
+	}
+	return 0, false
+}

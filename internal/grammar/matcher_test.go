@@ -1,0 +1,127 @@
+package grammar
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestCompileSimpleAgainstRegexp checks the byte-scanner compiler against
+// the regexp engine on every terminal pattern the built-in schemas use,
+// over randomized inputs.
+func TestCompileSimpleAgainstRegexp(t *testing.T) {
+	patterns := []string{
+		`[A-Za-z][A-Za-z0-9]*`,
+		`[A-Za-z][A-Za-z0-9'-]*`,
+		`[A-Za-z_][A-Za-z0-9_]*`,
+		`[a-z][a-z0-9_-]*`,
+		`[^"]*`,
+		`[^\n]+`,
+		`[^<]+`,
+		`[0-9]+`,
+		`[A-Za-z0-9][A-Za-z0-9 '-]*`,
+		`x`,
+		`\.`,
+		`abc`,
+		`a[0-9]*z`,
+	}
+	pieces := []string{
+		"", "abc", "ABC09", "_id", "x-y'z", `with "quote"`, "line\nnext",
+		"<tag>", "123", "0", " lead", "trail ", "naïve", "a.b", ".", "abcz",
+		"a99z", "az", "az9",
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, pat := range patterns {
+		m := compileSimple(pat)
+		if m == nil {
+			t.Errorf("compileSimple(%q) = nil, want a scanner", pat)
+			continue
+		}
+		re := regexp.MustCompile("^(?:" + pat + ")")
+		check := func(input string) {
+			t.Helper()
+			got := m(input)
+			want := -1
+			if loc := re.FindStringIndex(input); loc != nil {
+				want = loc[1]
+			}
+			if got != want {
+				t.Errorf("pattern %q on %q: scanner %d, regexp %d", pat, input, got, want)
+			}
+		}
+		for _, p := range pieces {
+			check(p)
+		}
+		for trial := 0; trial < 200; trial++ {
+			var sb strings.Builder
+			for k := 0; k < rng.Intn(4); k++ {
+				sb.WriteString(pieces[rng.Intn(len(pieces))])
+			}
+			check(sb.String())
+		}
+	}
+}
+
+func TestCompileSimpleRejectsComplex(t *testing.T) {
+	for _, pat := range []string{
+		`INFO|WARN`,
+		`[A-Z]\.(?: [A-Z]\.)*`,
+		`[0-9]{4}`,
+		`a?b`,
+		`(ab)+`,
+		`.`,
+		`^x`,
+		`x$`,
+		`[é]`,
+		`é`,
+		`[a-`,
+		`[]`,
+		`\q`,
+		``,
+	} {
+		if compileSimple(pat) != nil {
+			t.Errorf("compileSimple(%q) compiled, want regexp fallback", pat)
+		}
+	}
+}
+
+func TestClassEdgeCases(t *testing.T) {
+	// ']' first in a class is a literal member per RE2.
+	m := compileSimple(`[]a]+`)
+	if m == nil {
+		t.Fatal("leading-] class rejected")
+	}
+	re := regexp.MustCompile(`^(?:[]a]+)`)
+	for _, in := range []string{"]a]", "b", "a]", ""} {
+		want := -1
+		if loc := re.FindStringIndex(in); loc != nil {
+			want = loc[1]
+		}
+		if got := m(in); got != want {
+			t.Errorf("[]a]+ on %q: %d vs %d", in, got, want)
+		}
+	}
+	// Trailing '-' is a literal.
+	m2 := compileSimple(`[a-]+`)
+	if m2 == nil {
+		t.Fatal("trailing-dash class rejected")
+	}
+	if got := m2("a-b"); got != 2 {
+		t.Errorf("[a-]+ on a-b = %d", got)
+	}
+	// Negated class matches multi-byte runes byte-wise with equal spans.
+	m3 := compileSimple(`[^"]*`)
+	if got := m3(`naïve"x`); got != len(`naïve`) {
+		t.Errorf("[^\"]* on naïve\"x = %d, want %d", got, len(`naïve`))
+	}
+}
+
+func TestBuiltinSchemasStillParse(t *testing.T) {
+	// The schema packages exercise the scanners end to end; here just
+	// confirm the mini-compiler handles the mini-bibtex fixture.
+	_, _, tree := parseMini(t)
+	if len(tree.Find("Reference")) != 2 {
+		t.Fatal("references")
+	}
+}

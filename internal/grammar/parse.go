@@ -1,0 +1,206 @@
+package grammar
+
+import (
+	"fmt"
+
+	"qof/internal/text"
+)
+
+// ParseError reports a parse failure with the furthest position reached and
+// what was expected there.
+type ParseError struct {
+	Doc      string
+	Offset   int
+	Expected []string
+}
+
+func (e *ParseError) Error() string {
+	if len(e.Expected) == 0 {
+		return fmt.Sprintf("grammar: %s: parse error at offset %d", e.Doc, e.Offset)
+	}
+	return fmt.Sprintf("grammar: %s: parse error at offset %d: expected %v",
+		e.Doc, e.Offset, e.Expected)
+}
+
+// Parse parses the whole document as the root symbol, returning the parse
+// tree. Trailing whitespace is permitted; any other trailing content is an
+// error.
+func (g *Grammar) Parse(doc *text.Document) (*Node, error) {
+	return g.ParseAs(doc, g.root, 0, doc.Len())
+}
+
+// ParseAs parses the byte range [from, to) of the document as the given
+// non-terminal. It is the entry point for the partial-indexing engine,
+// which parses only candidate regions (Section 6.2). The region must be
+// fully consumed up to trailing whitespace.
+func (g *Grammar) ParseAs(doc *text.Document, sym string, from, to int) (*Node, error) {
+	if !g.validated {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if len(g.prods[sym]) == 0 {
+		return nil, fmt.Errorf("grammar: unknown non-terminal %q", sym)
+	}
+	p := &runner{g: g, src: doc.Content()[:to], memo: make(map[memoKey]memoVal)}
+	node, end, ok := p.parseNT(sym, from)
+	if ok {
+		if rest := p.skip(end); rest == to {
+			return node, nil
+		}
+		// Partial match: report the furthest progress for diagnosis.
+		if end > p.furthest {
+			p.furthest = end
+			p.expected = []string{"end of region"}
+		}
+	}
+	return nil, &ParseError{Doc: doc.Name(), Offset: p.furthest, Expected: dedupe(p.expected)}
+}
+
+type memoKey struct {
+	sym string
+	pos int
+}
+
+type memoVal struct {
+	node *Node
+	end  int
+	ok   bool
+}
+
+type runner struct {
+	g        *Grammar
+	src      string
+	memo     map[memoKey]memoVal
+	furthest int
+	expected []string
+	depth    int
+}
+
+const maxDepth = 10000
+
+// skip advances past ASCII whitespace when the grammar says so.
+func (r *runner) skip(pos int) int {
+	if !r.g.SkipSpace {
+		return pos
+	}
+	for pos < len(r.src) {
+		switch r.src[pos] {
+		case ' ', '\t', '\n', '\r':
+			pos++
+		default:
+			return pos
+		}
+	}
+	return pos
+}
+
+func (r *runner) fail(pos int, expected string) {
+	if pos > r.furthest {
+		r.furthest = pos
+		r.expected = r.expected[:0]
+	}
+	if pos == r.furthest {
+		r.expected = append(r.expected, expected)
+	}
+}
+
+// parseNT parses the non-terminal at pos, with packrat memoization.
+func (r *runner) parseNT(sym string, pos int) (*Node, int, bool) {
+	key := memoKey{sym, pos}
+	if v, ok := r.memo[key]; ok {
+		return v.node, v.end, v.ok
+	}
+	r.depth++
+	if r.depth > maxDepth {
+		panic(fmt.Sprintf("grammar: recursion depth exceeded parsing %q at offset %d (left recursion?)", sym, pos))
+	}
+	var out memoVal
+	for _, p := range r.g.prods[sym] {
+		if node, end, ok := r.parseProd(p, pos); ok {
+			out = memoVal{node: node, end: end, ok: true}
+			break
+		}
+	}
+	r.depth--
+	r.memo[key] = out
+	return out.node, out.end, out.ok
+}
+
+// parseProd matches one production at pos.
+func (r *runner) parseProd(p *Production, pos int) (*Node, int, bool) {
+	cur := r.skip(pos)
+	start := cur
+	node := &Node{Sym: p.LHS, Prod: p, Start: start}
+	for _, e := range p.RHS {
+		cur = r.skip(cur)
+		switch e.Kind {
+		case ElemLit:
+			if !hasPrefixAt(r.src, cur, e.Text) {
+				r.fail(cur, fmt.Sprintf("%q", e.Text))
+				return nil, 0, false
+			}
+			cur += len(e.Text)
+		case ElemTerm:
+			n := r.g.terms[e.Name](r.src[cur:])
+			if n <= 0 {
+				r.fail(cur, "<"+e.Name+">")
+				return nil, 0, false
+			}
+			node.Kids = append(node.Kids, &Node{
+				Sym: e.Name, Term: true, Start: cur, End: cur + n,
+			})
+			cur += n
+		case ElemNT:
+			kid, end, ok := r.parseNT(e.Name, cur)
+			if !ok {
+				return nil, 0, false
+			}
+			node.Kids = append(node.Kids, kid)
+			cur = end
+		case ElemRep:
+			kid, end, ok := r.parseNT(e.Name, cur)
+			if !ok {
+				break // zero repetitions
+			}
+			node.Kids = append(node.Kids, kid)
+			cur = end
+			for {
+				after := r.skip(cur)
+				if e.Text != "" {
+					if !hasPrefixAt(r.src, after, e.Text) {
+						break
+					}
+					after += len(e.Text)
+				}
+				kid, end, ok := r.parseNT(e.Name, after)
+				if !ok {
+					break
+				}
+				node.Kids = append(node.Kids, kid)
+				cur = end
+			}
+		}
+	}
+	node.End = cur
+	if node.End < node.Start {
+		node.End = node.Start
+	}
+	return node, cur, true
+}
+
+func hasPrefixAt(s string, pos int, prefix string) bool {
+	return pos+len(prefix) <= len(s) && s[pos:pos+len(prefix)] == prefix
+}
+
+func dedupe(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	var out []string
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

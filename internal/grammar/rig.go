@@ -1,0 +1,24 @@
+package grammar
+
+import (
+	"qof/internal/rig"
+)
+
+// DeriveRIG computes the region inclusion graph of the grammar per
+// Section 4.2: nodes are the non-terminals and there is an edge (A, B) iff
+// some production of A has B on its right-hand side (directly or as a
+// repetition). Instances extracted from parse trees of this grammar always
+// satisfy the derived graph.
+func (g *Grammar) DeriveRIG() *rig.Graph {
+	graph := rig.New(g.ntOrder...)
+	for _, lhs := range g.ntOrder {
+		for _, p := range g.prods[lhs] {
+			for _, e := range p.RHS {
+				if e.Kind == ElemNT || e.Kind == ElemRep {
+					graph.AddEdge(lhs, e.Name)
+				}
+			}
+		}
+	}
+	return graph
+}

@@ -1,0 +1,119 @@
+package grammar
+
+import (
+	"qof/internal/db"
+)
+
+// BuildValue computes the database image of a parse tree (the paper's $$
+// values). Productions with a custom Action use it; otherwise the natural
+// construction of Section 4.2 applies:
+//
+//   - a repetition child contributes a set value under the child's
+//     non-terminal name,
+//   - non-terminal children make the node a tuple whose attribute names are
+//     the non-terminal names,
+//   - a node with only terminal children becomes the string they matched.
+//
+// src must be the full document content the tree was parsed from.
+func BuildValue(n *Node, src string) db.Value {
+	if n.Term {
+		return db.String(n.Text(src))
+	}
+	if n.Prod != nil && n.Prod.Action != nil {
+		return n.Prod.Action(childValues(n, src), n.Text(src))
+	}
+	return naturalValue(n, src)
+}
+
+// childValues evaluates the non-literal children in RHS order, folding
+// repetition children into one set per the Rep element.
+func childValues(n *Node, src string) []db.Value {
+	var out []db.Value
+	k := 0
+	for _, e := range n.Prod.RHS {
+		switch e.Kind {
+		case ElemTerm, ElemNT:
+			if k < len(n.Kids) {
+				out = append(out, BuildValue(n.Kids[k], src))
+				k++
+			}
+		case ElemRep:
+			set := db.NewSet()
+			for k < len(n.Kids) && n.Kids[k].Sym == e.Name && !n.Kids[k].Term {
+				set.Add(BuildValue(n.Kids[k], src))
+				k++
+			}
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+func naturalValue(n *Node, src string) db.Value {
+	// Count non-terminal children (including repetitions).
+	hasNT := false
+	for _, k := range n.Kids {
+		if !k.Term {
+			hasNT = true
+			break
+		}
+	}
+	if !hasNT {
+		// Terminal-only production: the matched terminal text. With
+		// several terminals, concatenate their exact matches.
+		if len(n.Kids) == 1 {
+			return db.String(n.Kids[0].Text(src))
+		}
+		s := ""
+		for _, k := range n.Kids {
+			s += k.Text(src)
+		}
+		return db.String(s)
+	}
+	t := db.NewTuple()
+	for _, k := range n.Kids {
+		if k.Term {
+			continue
+		}
+		v := BuildValue(k, src)
+		if prev, ok := t.Get(k.Sym); ok {
+			// Repetition children accumulate into a set.
+			if set, isSet := prev.(*db.Set); isSet {
+				set.Add(v)
+			} else {
+				t.Put(k.Sym, db.NewSet(prev, v))
+			}
+			continue
+		}
+		if n.isRepChild(k.Sym) {
+			t.Put(k.Sym, db.NewSet(v))
+		} else {
+			t.Put(k.Sym, v)
+		}
+	}
+	// Repetitions that matched zero elements still contribute empty sets.
+	if n.Prod != nil {
+		for _, e := range n.Prod.RHS {
+			if e.Kind == ElemRep {
+				if _, ok := t.Get(e.Name); !ok {
+					t.Put(e.Name, db.NewSet())
+				}
+			}
+		}
+	}
+	return t
+}
+
+// isRepChild reports whether sym appears as a repetition element of the
+// node's production.
+func (n *Node) isRepChild(sym string) bool {
+	if n.Prod == nil {
+		return false
+	}
+	for _, e := range n.Prod.RHS {
+		if e.Kind == ElemRep && e.Name == sym {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// benchDoc builds an n-word document with a skewed vocabulary.
+func benchDoc(nWords int) *text.Document {
+	rng := rand.New(rand.NewSource(3))
+	var sb strings.Builder
+	for i := 0; i < nWords; i++ {
+		fmt.Fprintf(&sb, "w%03d ", rng.Intn(700))
+	}
+	return text.NewDocument("bench", sb.String())
+}
+
+func BenchmarkWordIndexBuild(b *testing.B) {
+	doc := benchDoc(100000)
+	b.SetBytes(int64(doc.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewWordIndex(doc)
+	}
+}
+
+func BenchmarkMatchPoints(b *testing.B) {
+	x := NewWordIndex(benchDoc(100000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.MatchPoints("w042")
+	}
+}
+
+func BenchmarkPrefixMatchPoints(b *testing.B) {
+	x := NewWordIndex(benchDoc(100000))
+	x.PrefixMatchPoints("w0") // force sistring construction outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.PrefixMatchPoints("w04")
+	}
+}
+
+func BenchmarkSistringBuild(b *testing.B) {
+	doc := benchDoc(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := NewWordIndex(doc)
+		b.StartTimer()
+		x.PrefixMatchPoints("w")
+	}
+}
+
+func BenchmarkSelectContaining(b *testing.B) {
+	doc := benchDoc(100000)
+	x := NewWordIndex(doc)
+	// 1000 disjoint regions of ~100 words each.
+	var rs []region.Region
+	step := doc.Len() / 1000
+	for i := 0; i < 1000; i++ {
+		rs = append(rs, region.Region{Start: i * step, End: i*step + step - 1})
+	}
+	set := region.FromRegions(rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.SelectContaining(set, "w042")
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	doc := benchDoc(50000)
+	in := NewInstance(doc)
+	var rs []region.Region
+	step := doc.Len() / 2000
+	for i := 0; i < 2000; i++ {
+		rs = append(rs, region.Region{Start: i * step, End: i*step + step - 1})
+	}
+	in.Define("R", region.FromRegions(rs))
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(data), doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+const sampleBib = `@INCOLLECTION{Corl82a,
+AUTHOR = "G. F. Corliss and Y. F. Chang",
+TITLE = "Solving Ordinary Differential Equations Using Taylor Series",
+YEAR = "1982",
+EDITOR = "A. Griewank and G. F. Corliss",
+}`
+
+func newTestIndex(t *testing.T) *WordIndex {
+	t.Helper()
+	return NewWordIndex(text.NewDocument("sample.bib", sampleBib))
+}
+
+func TestWordIndexCounts(t *testing.T) {
+	x := newTestIndex(t)
+	if x.TokenCount() == 0 || x.WordCount() == 0 {
+		t.Fatal("empty index")
+	}
+	if x.WordCount() > x.TokenCount() {
+		t.Error("more distinct words than tokens")
+	}
+	// "Corliss" appears twice, "Chang" once.
+	if got := len(x.Occurrences("Corliss")); got != 2 {
+		t.Errorf("Corliss occurrences = %d, want 2", got)
+	}
+	if got := len(x.Occurrences("Chang")); got != 1 {
+		t.Errorf("Chang occurrences = %d, want 1", got)
+	}
+	if got := len(x.Occurrences("nosuchword")); got != 0 {
+		t.Errorf("nosuchword occurrences = %d", got)
+	}
+}
+
+func TestMatchPoints(t *testing.T) {
+	x := newTestIndex(t)
+	mp := x.MatchPoints("Chang")
+	if mp.Len() != 1 {
+		t.Fatalf("MatchPoints = %v", mp)
+	}
+	r := mp.At(0)
+	if sampleBib[r.Start:r.End] != "Chang" {
+		t.Errorf("match point text = %q", sampleBib[r.Start:r.End])
+	}
+}
+
+func TestPrefixSearch(t *testing.T) {
+	x := newTestIndex(t)
+	// Words starting with "Cor": Corl82a, Corliss (x2).
+	mp := x.PrefixMatchPoints("Cor")
+	if mp.Len() != 3 {
+		t.Fatalf("PrefixMatchPoints(Cor) = %v, want 3 regions", mp)
+	}
+	for _, r := range mp.Regions() {
+		if !strings.HasPrefix(sampleBib[r.Start:r.End], "Cor") {
+			t.Errorf("bad prefix match %q", sampleBib[r.Start:r.End])
+		}
+	}
+	words := x.PrefixWords("Cor")
+	if len(words) != 2 || words[0] != "Corl82a" || words[1] != "Corliss" {
+		t.Errorf("PrefixWords = %v", words)
+	}
+	if x.PrefixMatchPoints("zzz").Len() != 0 {
+		t.Error("no matches expected")
+	}
+	// The full-word prefix matches the word itself.
+	if x.PrefixMatchPoints("Chang").Len() != 1 {
+		t.Error("exact word as prefix")
+	}
+}
+
+func TestPrefixMatchesExhaustive(t *testing.T) {
+	// Property: PrefixMatchPoints(p) equals the brute-force scan over
+	// tokens, for random documents and prefixes.
+	rng := rand.New(rand.NewSource(7))
+	alpha := []string{"ab", "abc", "b", "ba", "c", "ca", "cab"}
+	for trial := 0; trial < 100; trial++ {
+		var sb strings.Builder
+		for i := 0; i < 40; i++ {
+			sb.WriteString(alpha[rng.Intn(len(alpha))])
+			sb.WriteByte(' ')
+		}
+		doc := text.NewDocument("t", sb.String())
+		x := NewWordIndex(doc)
+		prefix := alpha[rng.Intn(len(alpha))]
+		got := x.PrefixMatchPoints(prefix)
+		var want []region.Region
+		for _, tok := range doc.Tokens() {
+			if strings.HasPrefix(doc.Token(tok), prefix) {
+				want = append(want, region.Region{Start: tok.Start, End: tok.End})
+			}
+		}
+		if !got.Equal(region.FromRegions(want)) {
+			t.Fatalf("trial %d: prefix %q: got %v want %v", trial, prefix, got, region.FromRegions(want))
+		}
+	}
+}
+
+func TestSelectContaining(t *testing.T) {
+	x := newTestIndex(t)
+	// Two regions: the AUTHOR line and the EDITOR line.
+	author := lineRegion(t, "AUTHOR")
+	editor := lineRegion(t, "EDITOR")
+	s := region.FromRegions([]region.Region{author, editor})
+	if got := x.SelectContaining(s, "Chang"); got.Len() != 1 || got.At(0) != author {
+		t.Errorf("SelectContaining(Chang) = %v", got)
+	}
+	if got := x.SelectContaining(s, "Corliss"); got.Len() != 2 {
+		t.Errorf("SelectContaining(Corliss) = %v", got)
+	}
+	if got := x.SelectContaining(s, "Griewank"); got.Len() != 1 || got.At(0) != editor {
+		t.Errorf("SelectContaining(Griewank) = %v", got)
+	}
+	if got := x.SelectContaining(s, "zzz"); !got.IsEmpty() {
+		t.Errorf("SelectContaining(zzz) = %v", got)
+	}
+}
+
+func TestSelectContainingWholeWordsOnly(t *testing.T) {
+	doc := text.NewDocument("t", "the Changing of Chang here")
+	x := NewWordIndex(doc)
+	whole := region.FromRegions([]region.Region{{Start: 0, End: doc.Len()}})
+	// "Chang" as a whole word occurs once (inside "Changing" must not count).
+	got := x.SelectContaining(whole, "Chang")
+	if got.Len() != 1 {
+		t.Fatalf("whole-document selection = %v", got)
+	}
+	firstHalf := region.FromRegions([]region.Region{{Start: 0, End: 12}}) // "the Changing"
+	if got := x.SelectContaining(firstHalf, "Chang"); !got.IsEmpty() {
+		t.Errorf("Chang-in-Changing selected: %v", got)
+	}
+}
+
+func TestSelectEquals(t *testing.T) {
+	x := newTestIndex(t)
+	// Equality is raw text equality: a region holding `"1982"` (with
+	// quotes) equals exactly that.
+	start := strings.Index(sampleBib, `"1982"`)
+	s := region.FromRegions([]region.Region{{Start: start, End: start + 6}})
+	if got := x.SelectEquals(s, `"1982"`); got.Len() != 1 {
+		t.Errorf("SelectEquals(quoted) = %v", got)
+	}
+	if got := x.SelectEquals(s, "1982"); !got.IsEmpty() {
+		t.Errorf("SelectEquals(bare) = %v, want empty (raw equality)", got)
+	}
+	// A bare region equals its text.
+	ystart := strings.Index(sampleBib, "1982")
+	y := region.FromRegions([]region.Region{{Start: ystart, End: ystart + 4}})
+	if got := x.SelectEquals(y, "1982"); got.Len() != 1 {
+		t.Errorf("SelectEquals(bare region) = %v", got)
+	}
+	// Multi-word equality.
+	astart := strings.Index(sampleBib, `G. F. Corliss and Y. F. Chang`)
+	a := region.FromRegions([]region.Region{{Start: astart, End: astart + 29}})
+	if got := x.SelectEquals(a, "G. F. Corliss and Y. F. Chang"); got.Len() != 1 {
+		t.Errorf("multi-word SelectEquals = %v", got)
+	}
+}
+
+// lineRegion finds the region of the line starting with the given keyword.
+func lineRegion(t *testing.T, kw string) region.Region {
+	t.Helper()
+	start := strings.Index(sampleBib, kw)
+	if start < 0 {
+		t.Fatalf("keyword %q not in sample", kw)
+	}
+	end := start + strings.IndexByte(sampleBib[start:], '\n')
+	return region.Region{Start: start, End: end}
+}
+
+func TestInstanceBasics(t *testing.T) {
+	doc := text.NewDocument("sample.bib", sampleBib)
+	in := NewInstance(doc)
+	if in.Has("Reference") {
+		t.Error("empty instance has no regions")
+	}
+	in.Define("Reference", region.FromRegions([]region.Region{{Start: 0, End: doc.Len()}}))
+	in.Define("Author", region.FromRegions([]region.Region{{Start: 23, End: 60}}))
+	if !in.Has("Reference") || !in.Has("Author") {
+		t.Error("Has")
+	}
+	if got := in.Names(); len(got) != 2 || got[0] != "Author" || got[1] != "Reference" {
+		t.Errorf("Names = %v", got)
+	}
+	if in.RegionCount() != 2 {
+		t.Errorf("RegionCount = %d", in.RegionCount())
+	}
+	if _, ok := in.Region("Nope"); ok {
+		t.Error("Region(Nope)")
+	}
+	if got := in.MustRegion("Author"); got.Len() != 1 {
+		t.Errorf("MustRegion = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRegion on unknown name must panic")
+			}
+		}()
+		in.MustRegion("Nope")
+	}()
+	u := in.Universe()
+	if u.All().Len() != 2 {
+		t.Errorf("Universe = %v", u.All())
+	}
+	// Universe cache invalidation.
+	in.Define("Editor", region.FromRegions([]region.Region{{Start: 100, End: 130}}))
+	if in.Universe().All().Len() != 3 {
+		t.Error("universe not rebuilt after Define")
+	}
+	in.Drop("Editor")
+	if in.Universe().All().Len() != 2 {
+		t.Error("universe not rebuilt after Drop")
+	}
+	if in.SizeBytes() <= 0 {
+		t.Error("SizeBytes")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	doc := text.NewDocument("d", "a b c")
+	in := NewInstance(doc)
+	in.Define("A", region.FromRegions([]region.Region{{Start: 0, End: 1}}))
+	in.Define("B", region.FromRegions([]region.Region{{Start: 2, End: 3}}))
+	r := in.Restrict("A", "Missing")
+	if !r.Has("A") || r.Has("B") || r.Has("Missing") {
+		t.Errorf("Restrict: %v", r.Names())
+	}
+	if r.Document() != doc {
+		t.Error("Restrict must share document")
+	}
+}
+
+func TestDefineScoped(t *testing.T) {
+	doc := text.NewDocument("d", "a b c d")
+	in := NewInstance(doc)
+	in.DefineScoped("Name", "Authors", region.FromRegions([]region.Region{{Start: 0, End: 1}}))
+	if in.Scope("Name") != "Authors" {
+		t.Errorf("Scope = %q", in.Scope("Name"))
+	}
+	if in.Scope("Missing") != "" {
+		t.Error("unknown scope")
+	}
+	// Redefining globally clears the scope.
+	in.Define("Name", region.FromRegions([]region.Region{{Start: 0, End: 1}}))
+	if in.Scope("Name") != "" {
+		t.Error("Define must clear scope")
+	}
+	in.DefineScoped("Name", "Editors", region.Empty)
+	in.Drop("Name")
+	if in.Scope("Name") != "" {
+		t.Error("Drop must clear scope")
+	}
+	// Restrict keeps scopes.
+	in.DefineScoped("Last", "Authors", region.Empty)
+	in.Define("Ref", region.Empty)
+	r := in.Restrict("Last", "Ref")
+	if r.Scope("Last") != "Authors" || r.Scope("Ref") != "" {
+		t.Error("Restrict scope propagation")
+	}
+}
+
+func TestSaveLoadPreservesScopes(t *testing.T) {
+	doc := text.NewDocument("d", "a b c d")
+	in := NewInstance(doc)
+	in.Define("Ref", region.FromRegions([]region.Region{{Start: 0, End: 7}}))
+	in.DefineScoped("Name", "Authors", region.FromRegions([]region.Region{{Start: 2, End: 3}}))
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scope("Name") != "Authors" || got.Scope("Ref") != "" {
+		t.Errorf("scopes after load: Name=%q Ref=%q", got.Scope("Name"), got.Scope("Ref"))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	doc := text.NewDocument("sample.bib", sampleBib)
+	in := NewInstance(doc)
+	in.Define("Reference", region.FromRegions([]region.Region{{Start: 0, End: doc.Len()}}))
+	in.Define("Author", region.FromRegions([]region.Region{{Start: 23, End: 60}, {Start: 23, End: 40}}))
+	in.Define("Empty", region.Empty)
+
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf, doc)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(got.Names()) != 3 {
+		t.Fatalf("Names = %v", got.Names())
+	}
+	for _, name := range in.Names() {
+		a, b := in.MustRegion(name), got.MustRegion(name)
+		if !a.Equal(b) {
+			t.Errorf("region %q: %v != %v", name, a, b)
+		}
+	}
+	if got.Words().TokenCount() != in.Words().TokenCount() {
+		t.Errorf("token count %d != %d", got.Words().TokenCount(), in.Words().TokenCount())
+	}
+	// Loaded index answers queries identically.
+	if got.Words().MatchPoints("Chang").Len() != 1 {
+		t.Error("loaded word index broken")
+	}
+}
+
+func TestLoadRejectsChangedDocument(t *testing.T) {
+	doc := text.NewDocument("sample.bib", sampleBib)
+	in := NewInstance(doc)
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := text.NewDocument("sample.bib", sampleBib+" tampered")
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other); err != ErrIndexMismatch {
+		t.Errorf("Load on changed doc: err = %v, want ErrIndexMismatch", err)
+	}
+	// Same length, different content.
+	mutated := []byte(sampleBib)
+	mutated[0] = '#'
+	other2 := text.NewDocument("sample.bib", string(mutated))
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other2); err != ErrIndexMismatch {
+		t.Errorf("Load on mutated doc: err = %v, want ErrIndexMismatch", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	doc := text.NewDocument("d", "x")
+	if _, err := Load(bytes.NewReader([]byte("not an index")), doc); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil), doc); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSaveLoadLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("w")
+		sb.WriteString(strings.Repeat("x", rng.Intn(5)))
+		sb.WriteByte(' ')
+	}
+	doc := text.NewDocument("big", sb.String())
+	in := NewInstance(doc)
+	var rs []region.Region
+	for i := 0; i < 500; i++ {
+		a := rng.Intn(doc.Len())
+		b := a + rng.Intn(doc.Len()-a)
+		rs = append(rs, region.Region{Start: a, End: b + 1})
+	}
+	in.Define("R", region.FromRegions(rs))
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MustRegion("R").Equal(in.MustRegion("R")) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestSubstringMatchPoints(t *testing.T) {
+	x := newTestIndex(t)
+	// "114--144" spans words; substring search finds it.
+	got := x.SubstringMatchPoints("ing Taylor")
+	if got.Len() != 1 {
+		t.Fatalf("substring = %v", got)
+	}
+	r := got.At(0)
+	if sampleBib[r.Start:r.End] != "ing Taylor" {
+		t.Errorf("text = %q", sampleBib[r.Start:r.End])
+	}
+	// Multiple occurrences.
+	if got := x.SubstringMatchPoints("Corliss"); got.Len() != 2 {
+		t.Errorf("Corliss = %v", got)
+	}
+	if got := x.SubstringMatchPoints("zzz"); !got.IsEmpty() {
+		t.Errorf("absent = %v", got)
+	}
+	if got := x.SubstringMatchPoints(""); !got.IsEmpty() {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestLoadFuzzedBytesNeverPanics(t *testing.T) {
+	// Corrupting a valid index file must produce errors, not panics or
+	// bogus instances that violate the document bounds.
+	doc := text.NewDocument("f", strings.Repeat("word ", 40))
+	in := NewInstance(doc)
+	in.Define("R", region.FromRegions([]region.Region{{Start: 0, End: 10}, {Start: 20, End: 30}}))
+	var buf bytes.Buffer
+	if err := in.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			got, err := Load(bytes.NewReader(data), doc)
+			if err != nil {
+				return
+			}
+			for _, name := range got.Names() {
+				for _, r := range got.MustRegion(name).Regions() {
+					if r.Start < 0 || r.End > doc.Len() || r.Start > r.End {
+						t.Fatalf("trial %d: out-of-bounds region %v accepted", trial, r)
+					}
+				}
+			}
+		}()
+	}
+	// Truncations too.
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := Load(bytes.NewReader(valid[:cut]), doc); err == nil && cut < len(valid) {
+			t.Fatalf("truncated index (%d bytes) accepted", cut)
+		}
+	}
+}
+
+// TestSpliceMatchesFresh is the splice correctness property: for random
+// documents and random edits, the spliced word index is indistinguishable
+// from one built from scratch over the edited document.
+func TestSpliceMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	words := []string{"alpha", "beta", "gamma", "x1", "", "-", "  "}
+	randText := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			if rng.Intn(3) > 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 400; trial++ {
+		oldContent := randText(30)
+		oldDoc := text.NewDocument("old", oldContent)
+		old := NewWordIndex(oldDoc)
+
+		// Random edit: replace [a, b) by replacement text.
+		a := rng.Intn(len(oldContent) + 1)
+		b := a + rng.Intn(len(oldContent)-a+1)
+		repl := randText(rng.Intn(6))
+		newContent := oldContent[:a] + repl + oldContent[b:]
+		newDoc := text.NewDocument("new", newContent)
+
+		got := old.Splice(newDoc, a, b, a+len(repl))
+		want := NewWordIndex(newDoc)
+
+		if got.TokenCount() != want.TokenCount() || got.WordCount() != want.WordCount() {
+			t.Fatalf("trial %d: edit [%d,%d)->%q on %q:\n tokens %d vs %d, words %d vs %d",
+				trial, a, b, repl, oldContent,
+				got.TokenCount(), want.TokenCount(), got.WordCount(), want.WordCount())
+		}
+		for k, tok := range want.Tokens() {
+			if got.Tokens()[k] != tok {
+				t.Fatalf("trial %d: token %d: %v vs %v", trial, k, got.Tokens()[k], tok)
+			}
+		}
+		for _, w := range want.PrefixWords("") {
+			a := got.MatchPoints(w)
+			b := want.MatchPoints(w)
+			if !a.Equal(b) {
+				t.Fatalf("trial %d: word %q: %v vs %v", trial, w, a, b)
+			}
+		}
+		// Prefix search works on the spliced index (lazy sistrings).
+		if !got.PrefixMatchPoints("al").Equal(want.PrefixMatchPoints("al")) {
+			t.Fatalf("trial %d: prefix search differs", trial)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// Instance is an instance of a region index in the paper's sense: a mapping
+// from region names to sets of regions over one indexed document, together
+// with the document's word index. It is the store the region algebra
+// evaluates against.
+type Instance struct {
+	words    *WordIndex
+	regions  map[string]region.Set
+	scopes   map[string]string // name -> surrounding region name for selective indexes
+	universe *region.Universe  // lazily built; nil when stale
+}
+
+// NewInstance creates an empty instance over the document.
+func NewInstance(doc *text.Document) *Instance {
+	return &Instance{
+		words:   NewWordIndex(doc),
+		regions: make(map[string]region.Set),
+		scopes:  make(map[string]string),
+	}
+}
+
+// Document returns the indexed document.
+func (in *Instance) Document() *text.Document { return in.words.Document() }
+
+// Words returns the word index of the document.
+func (in *Instance) Words() *WordIndex { return in.words }
+
+// Define installs (or replaces) the instance of the region name as a global
+// (unscoped) index.
+func (in *Instance) Define(name string, s region.Set) {
+	in.regions[name] = s
+	delete(in.scopes, name)
+	in.universe = nil
+}
+
+// DefineScoped installs a selectively indexed region name whose instance
+// covers only occurrences inside `within` regions (Section 7 of the paper:
+// "index only those that reside in some Authors region"). Query compilation
+// uses the name only on paths passing through the scope.
+func (in *Instance) DefineScoped(name, within string, s region.Set) {
+	in.regions[name] = s
+	in.scopes[name] = within
+	in.universe = nil
+}
+
+// Scope returns the scope of a selectively indexed name ("" for global or
+// unindexed names).
+func (in *Instance) Scope(name string) string { return in.scopes[name] }
+
+// Drop removes a region name from the instance, e.g. to simulate a more
+// partial indexing choice.
+func (in *Instance) Drop(name string) {
+	delete(in.regions, name)
+	delete(in.scopes, name)
+	in.universe = nil
+}
+
+// Has reports whether the region name is indexed.
+func (in *Instance) Has(name string) bool {
+	_, ok := in.regions[name]
+	return ok
+}
+
+// Region returns the instance of the region name and whether it is indexed.
+func (in *Instance) Region(name string) (region.Set, bool) {
+	s, ok := in.regions[name]
+	return s, ok
+}
+
+// MustRegion returns the instance of the region name, panicking if the name
+// is not indexed.
+func (in *Instance) MustRegion(name string) region.Set {
+	s, ok := in.regions[name]
+	if !ok {
+		panic(fmt.Sprintf("index: region %q is not indexed", name))
+	}
+	return s
+}
+
+// Names returns the indexed region names in sorted order.
+func (in *Instance) Names() []string {
+	names := make([]string, 0, len(in.regions))
+	for n := range in.regions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Universe returns the universe of all indexed regions, used by the direct
+// inclusion operators. It is cached until the instance changes.
+func (in *Instance) Universe() *region.Universe {
+	if in.universe == nil {
+		sets := make([]region.Set, 0, len(in.regions))
+		for _, s := range in.regions {
+			sets = append(sets, s)
+		}
+		in.universe = region.NewUniverse(sets...)
+	}
+	return in.universe
+}
+
+// RegionCount reports the total number of indexed regions across all names.
+func (in *Instance) RegionCount() int {
+	n := 0
+	for _, s := range in.regions {
+		n += s.Len()
+	}
+	return n
+}
+
+// SizeBytes estimates the in-memory footprint of the index structures
+// (region endpoints plus word-index postings), used by the indexing-tradeoff
+// experiments. It deliberately excludes the document text itself.
+func (in *Instance) SizeBytes() int {
+	const regionBytes = 16 // two int64 endpoints
+	size := in.RegionCount() * regionBytes
+	size += in.words.TokenCount() * 24 // token (start,end) + sistring entry
+	return size
+}
+
+// Restrict returns a new instance over the same document keeping only the
+// given region names (names that are not indexed are ignored). It models the
+// paper's partial indexing: same document, fewer region indices.
+func (in *Instance) Restrict(names ...string) *Instance {
+	out := &Instance{
+		words:   in.words,
+		regions: make(map[string]region.Set, len(names)),
+		scopes:  make(map[string]string),
+	}
+	for _, n := range names {
+		if s, ok := in.regions[n]; ok {
+			out.regions[n] = s
+			if w, ok := in.scopes[n]; ok {
+				out.scopes[n] = w
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"sort"
+
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// Splice derives the word index of an edited document from this one
+// without re-scanning the unchanged text: the bytes [editStart, oldEnd) of
+// the old document were replaced by newDoc[editStart:newEnd). Tokens
+// strictly before and after the edit are reused (the latter shifted), and
+// only a small window around the edit is re-tokenized. Posting lists are
+// adjusted index-wise, so no strings outside the window are re-hashed —
+// the dominant cost of word-index construction.
+//
+// Tokens are maximal word runs, so a token ending before editStart is
+// followed by an unchanged non-word byte and cannot merge with the new
+// text; symmetrically for tokens starting after oldEnd. Tokens touching
+// the edit boundaries fall inside the re-tokenized window.
+func (x *WordIndex) Splice(newDoc *text.Document, editStart, oldEnd, newEnd int) *WordIndex {
+	delta := newEnd - oldEnd
+
+	// i: first old token not entirely before the edit window.
+	i := sort.Search(len(x.tokens), func(k int) bool { return x.tokens[k].End >= editStart })
+	// j: first old token entirely after the edit window.
+	j := sort.Search(len(x.tokens), func(k int) bool { return x.tokens[k].Start > oldEnd })
+	if j < i {
+		j = i
+	}
+
+	// Re-tokenize the window [lo, hi) of the new document.
+	lo := 0
+	if i > 0 {
+		lo = x.tokens[i-1].End
+	}
+	hi := newDoc.Len()
+	if j < len(x.tokens) {
+		hi = x.tokens[j].Start + delta
+	}
+	content := newDoc.Content()
+	windowToks := text.Tokenize(content[lo:hi])
+	for k := range windowToks {
+		windowToks[k].Start += lo
+		windowToks[k].End += lo
+	}
+
+	// New token slice: left + window + shifted right.
+	tokens := make([]text.Token, 0, i+len(windowToks)+len(x.tokens)-j)
+	tokens = append(tokens, x.tokens[:i]...)
+	tokens = append(tokens, windowToks...)
+	for _, t := range x.tokens[j:] {
+		tokens = append(tokens, text.Token{Start: t.Start + delta, End: t.End + delta})
+	}
+
+	// Posting lists: keep left indexes, insert window indexes, shift
+	// right indexes. Each per-word list stays sorted because the three
+	// parts occupy disjoint, increasing index ranges.
+	deltaTok := len(windowToks) - (j - i)
+	out := &WordIndex{doc: newDoc, tokens: tokens, byWord: make(map[string][]int, len(x.byWord))}
+	for w, list := range x.byWord {
+		var nl []int
+		for _, ti := range list {
+			if ti < i {
+				nl = append(nl, ti)
+			}
+		}
+		if len(nl) > 0 {
+			out.byWord[w] = nl
+		}
+	}
+	for k, tok := range windowToks {
+		w := newDoc.Token(tok)
+		out.byWord[w] = append(out.byWord[w], i+k)
+	}
+	for w, list := range x.byWord {
+		for _, ti := range list {
+			if ti >= j {
+				out.byWord[w] = append(out.byWord[w], ti+deltaTok)
+			}
+		}
+	}
+	out.words = make([]string, 0, len(out.byWord))
+	for w := range out.byWord {
+		out.words = append(out.words, w)
+	}
+	sort.Strings(out.words)
+	// sistring and suffix arrays are lazy and depend on the whole text;
+	// they rebuild on first use.
+	return out
+}
+
+// SpliceInstance derives a new, empty-region instance over the edited
+// document with a spliced word index; callers install the spliced region
+// sets themselves.
+func SpliceInstance(old *Instance, newDoc *text.Document, editStart, oldEnd, newEnd int) *Instance {
+	in := NewInstanceFromWords(old.words.Splice(newDoc, editStart, oldEnd, newEnd))
+	return in
+}
+
+// NewInstanceFromWords creates an empty instance reusing an existing word
+// index.
+func NewInstanceFromWords(w *WordIndex) *Instance {
+	return &Instance{
+		words:   w,
+		regions: make(map[string]region.Set),
+		scopes:  make(map[string]string),
+	}
+}

@@ -1,0 +1,198 @@
+// Package index implements the text-indexing engine underneath the region
+// algebra: a word index recording the location of every word occurrence in a
+// document (the PAT system's sistring index), named region indices, and a
+// persistent on-disk format for both.
+//
+// The paper assumes "that this is a service given by the underlying text
+// indexing system" — this package is that service, reimplemented from the
+// published PAT semantics: match points are word-start positions, regions
+// are position pairs, and selection combines the two.
+package index
+
+import (
+	"index/suffixarray"
+	"sort"
+	"strings"
+
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// WordIndex records the position of every word occurrence in a document.
+// It supports exact-word lookup through an inverted map and PAT-style
+// sistring (semi-infinite string) prefix search through an array of word
+// starts sorted by the text that follows them.
+type WordIndex struct {
+	doc      *text.Document
+	tokens   []text.Token       // all word occurrences, sorted by Start
+	byWord   map[string][]int   // word -> indexes into tokens
+	words    []string           // distinct words, sorted
+	sistring []int              // token indexes sorted by doc[token.Start:]; built lazily
+	suffixes *suffixarray.Index // byte-level suffix array; built lazily
+}
+
+// NewWordIndex tokenizes the document and builds the word index.
+func NewWordIndex(doc *text.Document) *WordIndex {
+	return newWordIndex(doc, doc.Tokens())
+}
+
+func newWordIndex(doc *text.Document, tokens []text.Token) *WordIndex {
+	idx := &WordIndex{
+		doc:    doc,
+		tokens: tokens,
+		byWord: make(map[string][]int),
+	}
+	for i, tok := range tokens {
+		w := doc.Token(tok)
+		idx.byWord[w] = append(idx.byWord[w], i)
+	}
+	idx.words = make([]string, 0, len(idx.byWord))
+	for w := range idx.byWord {
+		idx.words = append(idx.words, w)
+	}
+	sort.Strings(idx.words)
+	return idx
+}
+
+// sistringArray returns the token indexes in lexicographic order of the
+// text following each token (PAT's sistring order). It is built on first
+// use: sorting semi-infinite strings is the most expensive part of word
+// indexing and only prefix search needs it.
+func (x *WordIndex) sistringArray() []int {
+	if x.sistring != nil || len(x.tokens) == 0 {
+		return x.sistring
+	}
+	content := x.doc.Content()
+	arr := make([]int, len(x.tokens))
+	for i := range arr {
+		arr[i] = i
+	}
+	sort.Slice(arr, func(a, b int) bool {
+		return content[x.tokens[arr[a]].Start:] < content[x.tokens[arr[b]].Start:]
+	})
+	x.sistring = arr
+	return arr
+}
+
+// Document returns the indexed document.
+func (x *WordIndex) Document() *text.Document { return x.doc }
+
+// TokenCount reports the number of word occurrences in the document.
+func (x *WordIndex) TokenCount() int { return len(x.tokens) }
+
+// WordCount reports the number of distinct words in the document.
+func (x *WordIndex) WordCount() int { return len(x.words) }
+
+// Tokens returns all word occurrences sorted by start position. Callers must
+// not modify the returned slice.
+func (x *WordIndex) Tokens() []text.Token { return x.tokens }
+
+// Occurrences returns the tokens of every occurrence of the exact word w,
+// sorted by start position.
+func (x *WordIndex) Occurrences(w string) []text.Token {
+	idxs := x.byWord[w]
+	out := make([]text.Token, len(idxs))
+	for i, ti := range idxs {
+		out[i] = x.tokens[ti]
+	}
+	return out
+}
+
+// MatchPoints returns the match points (start positions) of the exact word
+// w, the paper's "sets of match points ... position in the text of indexed
+// strings". Regions of width equal to the word are returned so that match
+// points compose with the region operators.
+func (x *WordIndex) MatchPoints(w string) region.Set {
+	occ := x.Occurrences(w)
+	rs := make([]region.Region, len(occ))
+	for i, tok := range occ {
+		rs[i] = region.Region{Start: tok.Start, End: tok.End}
+	}
+	return region.FromRegions(rs)
+}
+
+// PrefixMatchPoints returns match points of every word beginning with the
+// given prefix, found by binary search over the sistring array exactly as in
+// PAT's lexicographical search.
+func (x *WordIndex) PrefixMatchPoints(prefix string) region.Set {
+	content := x.doc.Content()
+	sistring := x.sistringArray()
+	lo := sort.Search(len(sistring), func(i int) bool {
+		return content[x.tokens[sistring[i]].Start:] >= prefix
+	})
+	var rs []region.Region
+	for i := lo; i < len(sistring); i++ {
+		tok := x.tokens[sistring[i]]
+		if !strings.HasPrefix(content[tok.Start:], prefix) {
+			break
+		}
+		if tok.Len() >= len(prefix) {
+			rs = append(rs, region.Region{Start: tok.Start, End: tok.End})
+		}
+	}
+	return region.FromRegions(rs)
+}
+
+// SubstringMatchPoints returns a region for every occurrence of the
+// substring s anywhere in the document (not only at word boundaries),
+// using a byte-level suffix array built on first use — the lexical search
+// PAT performs on arbitrary sistrings.
+func (x *WordIndex) SubstringMatchPoints(s string) region.Set {
+	if s == "" {
+		return region.Empty
+	}
+	if x.suffixes == nil {
+		x.suffixes = suffixarray.New([]byte(x.doc.Content()))
+	}
+	offsets := x.suffixes.Lookup([]byte(s), -1)
+	rs := make([]region.Region, len(offsets))
+	for i, off := range offsets {
+		rs[i] = region.Region{Start: off, End: off + len(s)}
+	}
+	return region.FromRegions(rs)
+}
+
+// PrefixWords returns the distinct words beginning with the given prefix.
+func (x *WordIndex) PrefixWords(prefix string) []string {
+	lo := sort.SearchStrings(x.words, prefix)
+	var out []string
+	for i := lo; i < len(x.words) && strings.HasPrefix(x.words[i], prefix); i++ {
+		out = append(out, x.words[i])
+	}
+	return out
+}
+
+// SelectContaining implements the σ_w selection of the region algebra: the
+// regions of s that contain (at least one occurrence of) exactly the word w,
+// where containment means the whole word lies within the region. It runs in
+// O(|s| log occ(w)).
+func (x *WordIndex) SelectContaining(s region.Set, w string) region.Set {
+	occ := x.Occurrences(w)
+	if len(occ) == 0 {
+		return region.Empty
+	}
+	return s.Filter(func(r region.Region) bool {
+		i := sort.Search(len(occ), func(i int) bool { return occ[i].Start >= r.Start })
+		return i < len(occ) && occ[i].End <= r.End
+	})
+}
+
+// SelectPrefix returns the regions of s whose text starts with p. As with
+// SelectEquals, the compiler emits it only for faithful leaf regions.
+func (x *WordIndex) SelectPrefix(s region.Set, p string) region.Set {
+	content := x.doc.Content()
+	return s.Filter(func(r region.Region) bool {
+		return strings.HasPrefix(content[r.Start:r.End], p)
+	})
+}
+
+// SelectEquals returns the regions of s whose text is exactly w. The query
+// compiler only emits it for leaf regions whose text equals their database
+// value (bare-terminal productions); for other regions it falls back to
+// word containment plus filtering.
+func (x *WordIndex) SelectEquals(s region.Set, w string) region.Set {
+	content := x.doc.Content()
+	return s.Filter(func(r region.Region) bool {
+		return content[r.Start:r.End] == w
+	})
+}

@@ -1,0 +1,138 @@
+// Package logs provides a second domain from the paper's motivation list
+// ("electronic documents, programs, log files, …"): a structuring schema
+// for structured server log files and a deterministic generator. One entry
+// looks like
+//
+//	[1994-05-24 12:00:01] ERROR nginx(233): connection refused from host42
+//
+// and is viewed in the database as a tuple with Timestamp, Level, Proc
+// (Program + Pid) and Message attributes.
+package logs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qof/internal/compile"
+	"qof/internal/grammar"
+)
+
+// Non-terminal names of the schema.
+const (
+	NTLog       = "Log"
+	NTEntry     = "Entry"
+	NTTimestamp = "Timestamp"
+	NTLevel     = "Level"
+	NTProc      = "Proc"
+	NTProgram   = "Program"
+	NTPid       = "Pid"
+	NTMessage   = "Message"
+)
+
+// ClassEntries is the XSQL class bound to Entry regions.
+const ClassEntries = "Entries"
+
+// Grammar builds the log-file structuring schema.
+func Grammar() *grammar.Grammar {
+	g := grammar.NewGrammar(NTLog)
+	g.MustAddTerminal("DateTime", `[0-9]{4}-[0-9]{2}-[0-9]{2} [0-9]{2}:[0-9]{2}:[0-9]{2}`)
+	g.MustAddTerminal("LevelWord", `INFO|WARN|ERROR|DEBUG`)
+	g.MustAddTerminal("Ident", `[a-z][a-z0-9_-]*`)
+	g.MustAddTerminal("Num", `[0-9]+`)
+	g.MustAddTerminal("Line", `[^\n]+`)
+
+	g.AddProduction(NTLog, grammar.Rep(NTEntry, ""))
+	g.AddProduction(NTEntry,
+		grammar.Lit("["), grammar.NT(NTTimestamp), grammar.Lit("]"),
+		grammar.NT(NTLevel), grammar.NT(NTProc), grammar.Lit(":"),
+		grammar.NT(NTMessage))
+	g.AddProduction(NTTimestamp, grammar.Term("DateTime"))
+	g.AddProduction(NTLevel, grammar.Term("LevelWord"))
+	g.AddProduction(NTProc, grammar.NT(NTProgram), grammar.Lit("("), grammar.NT(NTPid), grammar.Lit(")"))
+	g.AddProduction(NTProgram, grammar.Term("Ident"))
+	g.AddProduction(NTPid, grammar.Term("Num"))
+	g.AddProduction(NTMessage, grammar.Term("Line"))
+	if err := g.Validate(); err != nil {
+		panic("logs: invalid grammar: " + err.Error())
+	}
+	return g
+}
+
+// Catalog builds the compile catalog with the standard class binding.
+func Catalog() *compile.Catalog {
+	cat := compile.NewCatalog(Grammar())
+	cat.Bind(ClassEntries, NTEntry)
+	return cat
+}
+
+// Config controls the log generator.
+type Config struct {
+	NumEntries int
+	Seed       int64
+	// ErrorShare is the fraction of ERROR entries; the rest spread over
+	// INFO/WARN/DEBUG.
+	ErrorShare float64
+	// TargetProgram appears in TargetShare of the entries.
+	TargetProgram string
+	TargetShare   float64
+}
+
+// DefaultConfig generates a workload with 5% errors and the target program
+// "nginx" on 10% of entries.
+func DefaultConfig(n int) Config {
+	return Config{
+		NumEntries:    n,
+		Seed:          1994,
+		ErrorShare:    0.05,
+		TargetProgram: "nginx",
+		TargetShare:   0.10,
+	}
+}
+
+// Stats is the generator's ground truth.
+type Stats struct {
+	NumEntries    int
+	Errors        int
+	TargetEntries int // entries of TargetProgram
+	TargetErrors  int // ERROR entries of TargetProgram
+}
+
+// Generate produces a deterministic synthetic log and its ground truth.
+func Generate(cfg Config) (string, Stats) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sb strings.Builder
+	st := Stats{NumEntries: cfg.NumEntries}
+	programs := []string{"cron", "sshd", "postfix", "kernel", "app-server", "db-worker"}
+	others := []string{"INFO", "WARN", "DEBUG"}
+	for i := 0; i < cfg.NumEntries; i++ {
+		level := others[rng.Intn(len(others))]
+		if rng.Float64() < cfg.ErrorShare {
+			level = "ERROR"
+		}
+		prog := programs[rng.Intn(len(programs))]
+		if cfg.TargetProgram != "" && rng.Float64() < cfg.TargetShare {
+			prog = cfg.TargetProgram
+		}
+		if level == "ERROR" {
+			st.Errors++
+		}
+		if prog == cfg.TargetProgram {
+			st.TargetEntries++
+			if level == "ERROR" {
+				st.TargetErrors++
+			}
+		}
+		fmt.Fprintf(&sb, "[1994-%02d-%02d %02d:%02d:%02d] %s %s(%d): %s\n",
+			1+rng.Intn(12), 1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			level, prog, 100+rng.Intn(900), message(rng))
+	}
+	return sb.String(), st
+}
+
+func message(rng *rand.Rand) string {
+	verbs := []string{"connection refused", "request served", "timeout waiting",
+		"retry scheduled", "cache miss", "handshake complete", "queue drained"}
+	return fmt.Sprintf("%s from host%02d code=%d",
+		verbs[rng.Intn(len(verbs))], rng.Intn(50), rng.Intn(16))
+}

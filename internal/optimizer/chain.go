@@ -1,0 +1,266 @@
+// Package optimizer implements the paper's central contribution: the
+// polynomial-time optimization of inclusion expressions with respect to a
+// region inclusion graph (Section 3.2).
+//
+// An inclusion expression is a right-grouped chain of region names combined
+// with ⊃/⊃d (selection chains, Section 5.1) or with ⊂/⊂d (projection
+// chains, Section 5.2), optionally ending in a word selection on the
+// deepest name. The optimizer applies exactly the paper's two rewrite
+// rules:
+//
+//   - Proposition 3.5(a): replace Ri ⊃d Rj by Ri ⊃ Rj when the edge
+//     (Ri, Rj) is the only RIG path from Ri to Rj, or when Rj is the
+//     rightmost region of the expression and every path from Ri to Rj
+//     starts with that edge (for projection chains the travel direction is
+//     reversed, so the mirrored condition requires every path to end with
+//     the edge).
+//   - Proposition 3.5(b): shorten Ri ⊃ Rj ⊃ Rk to Ri ⊃ Rk when every RIG
+//     path from Ri to Rk passes through Rj.
+//
+// By Theorem 3.6 the rewrite system is finite Church–Rosser, so the result
+// is the unique most efficient version of the input; the property tests
+// validate confluence by applying rules in random order.
+//
+// One deviation from the paper is deliberate: the rightmost case of rule
+// (a) is suppressed when the rightmost name carries an equality selection
+// (equals(...), which this system uses for leaf-attribute constants).
+// Equality is not monotone under region growth, so the paper's argument —
+// which only considers the word-containment σ — does not carry over.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"qof/internal/algebra"
+)
+
+// Selection is an optional word selection applied to the deepest name of a
+// chain.
+type Selection struct {
+	Mode algebra.SelMode
+	Word string
+}
+
+// Chain is an inclusion expression in normalized, container-first form:
+// Names[0] is the outermost region, Names[len-1] the deepest. Direct[i]
+// records whether the operator between Names[i] and Names[i+1] is direct
+// (⊃d/⊂d). Asc distinguishes the written form: false for selection chains
+// (A1 ⊃ A2 ⊃ … σ(An)), true for projection chains written deepest-first
+// (An ⊂ … ⊂ A1).
+type Chain struct {
+	Names  []string
+	Direct []bool
+	Sel    *Selection
+	Asc    bool
+}
+
+// NewChain builds a container-first chain, validating the shape.
+func NewChain(names []string, direct []bool, sel *Selection, asc bool) (*Chain, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("optimizer: chain needs at least one name")
+	}
+	if len(direct) != len(names)-1 {
+		return nil, fmt.Errorf("optimizer: chain with %d names needs %d operators, got %d",
+			len(names), len(names)-1, len(direct))
+	}
+	return &Chain{Names: names, Direct: direct, Sel: sel, Asc: asc}, nil
+}
+
+// Clone returns a deep copy of the chain.
+func (c *Chain) Clone() *Chain {
+	return &Chain{
+		Names:  append([]string(nil), c.Names...),
+		Direct: append([]bool(nil), c.Direct...),
+		Sel:    c.Sel,
+		Asc:    c.Asc,
+	}
+}
+
+// Equal reports whether two chains are identical.
+func (c *Chain) Equal(d *Chain) bool {
+	if len(c.Names) != len(d.Names) || c.Asc != d.Asc {
+		return false
+	}
+	for i := range c.Names {
+		if c.Names[i] != d.Names[i] {
+			return false
+		}
+	}
+	for i := range c.Direct {
+		if c.Direct[i] != d.Direct[i] {
+			return false
+		}
+	}
+	if (c.Sel == nil) != (d.Sel == nil) {
+		return false
+	}
+	return c.Sel == nil || *c.Sel == *d.Sel
+}
+
+// Deepest returns the innermost region name (where a selection applies).
+func (c *Chain) Deepest() string { return c.Names[len(c.Names)-1] }
+
+// Expr converts the chain back to a region-algebra expression in its
+// written direction.
+func (c *Chain) Expr() algebra.Expr {
+	deep := algebra.Expr(algebra.Name{Ident: c.Deepest()})
+	if c.Sel != nil {
+		deep = algebra.Select{Mode: c.Sel.Mode, W: c.Sel.Word, Arg: deep}
+	}
+	if !c.Asc {
+		// A1 op (A2 op (… σ(An))).
+		e := deep
+		for i := len(c.Names) - 2; i >= 0; i-- {
+			op := algebra.OpIncluding
+			if c.Direct[i] {
+				op = algebra.OpDirIncluding
+			}
+			e = algebra.Binary{Op: op, L: algebra.Name{Ident: c.Names[i]}, R: e}
+		}
+		return e
+	}
+	// σ(An) op (An-1 op (… A1)): written deepest-first with ⊂ operators.
+	e := algebra.Expr(algebra.Name{Ident: c.Names[0]})
+	for i := 1; i < len(c.Names); i++ {
+		op := algebra.OpIncluded
+		if c.Direct[i-1] {
+			op = algebra.OpDirIncluded
+		}
+		var l algebra.Expr = algebra.Name{Ident: c.Names[i]}
+		if i == len(c.Names)-1 {
+			l = deep
+		}
+		e = algebra.Binary{Op: op, L: l, R: e}
+	}
+	return e
+}
+
+// String renders the chain in its written direction using ASCII operators.
+func (c *Chain) String() string { return c.Expr().String() }
+
+// Pretty renders the chain with the paper's symbols.
+func (c *Chain) Pretty() string { return algebra.Pretty(c.Expr()) }
+
+// FromExpr recognizes an inclusion expression and returns it in normalized
+// chain form. The second result is false when e is not an inclusion chain
+// (it may still contain chains as subexpressions; see OptimizeExpr).
+func FromExpr(e algebra.Expr) (*Chain, bool) {
+	// Try the selection-chain shape first: Name op (Name op (… σ(Name))).
+	if c, ok := descChain(e); ok {
+		return c, true
+	}
+	if c, ok := ascChain(e); ok {
+		return c, true
+	}
+	return nil, false
+}
+
+// descChain matches A1 {⊃|⊃d} (A2 … σ(An)).
+func descChain(e algebra.Expr) (*Chain, bool) {
+	var names []string
+	var direct []bool
+	for {
+		b, ok := e.(algebra.Binary)
+		if !ok {
+			break
+		}
+		if b.Op != algebra.OpIncluding && b.Op != algebra.OpDirIncluding {
+			return nil, false
+		}
+		n, ok := b.L.(algebra.Name)
+		if !ok {
+			return nil, false
+		}
+		names = append(names, n.Ident)
+		direct = append(direct, b.Op == algebra.OpDirIncluding)
+		e = b.R
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	last, sel, ok := leafName(e)
+	if !ok {
+		return nil, false
+	}
+	names = append(names, last)
+	return &Chain{Names: names, Direct: direct, Sel: sel}, true
+}
+
+// ascChain matches σ(An) {⊂|⊂d} (An-1 … A1) and normalizes to
+// container-first order.
+func ascChain(e algebra.Expr) (*Chain, bool) {
+	b, ok := e.(algebra.Binary)
+	if !ok || (b.Op != algebra.OpIncluded && b.Op != algebra.OpDirIncluded) {
+		return nil, false
+	}
+	deepName, sel, ok := leafName(b.L)
+	if !ok {
+		return nil, false
+	}
+	var names []string // deepest-first while collecting
+	var direct []bool
+	names = append(names, deepName)
+	e = algebra.Expr(b)
+	for {
+		b, ok := e.(algebra.Binary)
+		if !ok {
+			break
+		}
+		if b.Op != algebra.OpIncluded && b.Op != algebra.OpDirIncluded {
+			return nil, false
+		}
+		if len(direct) > 0 {
+			// Interior left operands must be bare names.
+			n, ok := b.L.(algebra.Name)
+			if !ok {
+				return nil, false
+			}
+			names = append(names, n.Ident)
+		}
+		direct = append(direct, b.Op == algebra.OpDirIncluded)
+		e = b.R
+	}
+	n, ok := e.(algebra.Name)
+	if !ok {
+		return nil, false
+	}
+	names = append(names, n.Ident)
+	// Reverse into container-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	for i, j := 0, len(direct)-1; i < j; i, j = i+1, j-1 {
+		direct[i], direct[j] = direct[j], direct[i]
+	}
+	return &Chain{Names: names, Direct: direct, Sel: sel, Asc: true}, true
+}
+
+// leafName matches Name or σ(Name).
+func leafName(e algebra.Expr) (string, *Selection, bool) {
+	switch e := e.(type) {
+	case algebra.Name:
+		return e.Ident, nil, true
+	case algebra.Select:
+		n, ok := e.Arg.(algebra.Name)
+		if !ok {
+			return "", nil, false
+		}
+		return n.Ident, &Selection{Mode: e.Mode, Word: e.W}, true
+	}
+	return "", nil, false
+}
+
+// opString renders the written operator between Names[i] and Names[i+1].
+func (c *Chain) opString(i int) string {
+	var sb strings.Builder
+	if c.Asc {
+		sb.WriteByte('<')
+	} else {
+		sb.WriteByte('>')
+	}
+	if c.Direct[i] {
+		sb.WriteByte('d')
+	}
+	return sb.String()
+}

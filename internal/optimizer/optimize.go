@@ -1,0 +1,256 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"qof/internal/algebra"
+	"qof/internal/rig"
+)
+
+// RuleKind identifies which of the paper's rewrite rules fired.
+type RuleKind int
+
+// The rewrite rules of Proposition 3.5 and the triviality test of
+// Proposition 3.3.
+const (
+	RuleDirectToPlain RuleKind = iota // 3.5(a): ⊃d → ⊃
+	RuleShorten                       // 3.5(b): Ri ⊃ Rj ⊃ Rk → Ri ⊃ Rk
+)
+
+// Rewrite records one applied rule, for EXPLAIN output and tests.
+type Rewrite struct {
+	Kind   RuleKind
+	Names  [2]string // the pair (a) or the (outer, inner) endpoints (b)
+	Via    string    // for RuleShorten: the removed middle name
+	Reason string
+}
+
+func (r Rewrite) String() string {
+	switch r.Kind {
+	case RuleDirectToPlain:
+		return fmt.Sprintf("3.5(a): %s >d %s => %s > %s (%s)",
+			r.Names[0], r.Names[1], r.Names[0], r.Names[1], r.Reason)
+	default:
+		return fmt.Sprintf("3.5(b): %s > %s > %s => %s > %s (%s)",
+			r.Names[0], r.Via, r.Names[1], r.Names[0], r.Names[1], r.Reason)
+	}
+}
+
+// TrivialReason explains why an expression is trivially empty
+// (Proposition 3.3), or is empty if it is not.
+type TrivialReason struct {
+	Direct   bool
+	From, To string
+}
+
+func (t TrivialReason) String() string {
+	if t.From == "" {
+		return "not trivial"
+	}
+	if t.Direct {
+		return fmt.Sprintf("3.3(i): no RIG edge (%s, %s): %s can never directly include %s",
+			t.From, t.To, t.From, t.To)
+	}
+	return fmt.Sprintf("3.3(ii): no RIG path from %s to %s: %s can never include %s",
+		t.From, t.To, t.From, t.To)
+}
+
+// Trivial implements Proposition 3.3: it reports whether the chain's result
+// is empty on every instance satisfying g, with the reason.
+func Trivial(c *Chain, g *rig.Graph) (bool, TrivialReason) {
+	for i := 0; i+1 < len(c.Names); i++ {
+		from, to := c.Names[i], c.Names[i+1]
+		if c.Direct[i] {
+			if !g.HasEdge(from, to) {
+				return true, TrivialReason{Direct: true, From: from, To: to}
+			}
+		} else if !g.HasPath(from, to) {
+			return true, TrivialReason{From: from, To: to}
+		}
+	}
+	return false, TrivialReason{}
+}
+
+// Optimize computes the unique most efficient version of the chain with
+// respect to g (Theorem 3.6), returning the optimized chain and the list of
+// rewrites applied. The input chain is not modified. Optimize assumes the
+// chain is non-trivial (check with Trivial first); on a trivial chain the
+// rewrites are still sound but the caller should simply return the empty
+// set instead of evaluating.
+func Optimize(c *Chain, g *rig.Graph) (*Chain, []Rewrite) {
+	out := c.Clone()
+	var log []Rewrite
+
+	// Step 1: replace ⊃d by ⊃ wherever Proposition 3.5(a) allows.
+	for i := range out.Direct {
+		if !out.Direct[i] {
+			continue
+		}
+		if rw, ok := directToPlain(out, i, g); ok {
+			out.Direct[i] = false
+			log = append(log, rw)
+		}
+	}
+
+	// Step 2: repeatedly shorten Ri ⊃ Rj ⊃ Rk per Proposition 3.5(b)
+	// until no rule applies. The system is finite Church–Rosser
+	// (Theorem 3.6 via Sethi's theorem), so scan order does not affect
+	// the result.
+	for {
+		applied := false
+		for i := 0; i+2 < len(out.Names); i++ {
+			if rw, ok := shortenAt(out, i, g); ok {
+				removeAt(out, i+1)
+				log = append(log, rw)
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return out, log
+		}
+	}
+}
+
+// directToPlain checks Proposition 3.5(a) for the pair at position i.
+func directToPlain(c *Chain, i int, g *rig.Graph) (Rewrite, bool) {
+	from, to := c.Names[i], c.Names[i+1]
+	if g.OnlyPathIsEdge(from, to) {
+		return Rewrite{
+			Kind:   RuleDirectToPlain,
+			Names:  [2]string{from, to},
+			Reason: fmt.Sprintf("the edge (%s, %s) is the only RIG path", from, to),
+		}, true
+	}
+	if !c.rightmostPair(i) {
+		return Rewrite{}, false
+	}
+	if !c.Asc {
+		// Selection chain: the rightmost (deepest) name must not carry
+		// an equality selection — equality is not preserved when the
+		// witness region grows to the direct child (see package doc).
+		if c.Sel != nil && c.Sel.Mode == algebra.SelEquals {
+			return Rewrite{}, false
+		}
+		if g.AllPathsStartWithEdge(from, to) {
+			return Rewrite{
+				Kind:   RuleDirectToPlain,
+				Names:  [2]string{from, to},
+				Reason: fmt.Sprintf("%s is rightmost and every RIG path %s→%s starts with the edge", to, from, to),
+			}, true
+		}
+		return Rewrite{}, false
+	}
+	// Projection chain: evaluation travels upward, so the mirrored
+	// condition requires every path to end with the edge, and the special
+	// pair is the one whose container is the written-rightmost name.
+	if g.AllPathsEndWithEdge(from, to) {
+		return Rewrite{
+			Kind:   RuleDirectToPlain,
+			Names:  [2]string{from, to},
+			Reason: fmt.Sprintf("%s is rightmost and every RIG path %s→%s ends with the edge", from, from, to),
+		}, true
+	}
+	return Rewrite{}, false
+}
+
+// rightmostPair reports whether pair i is the pair adjacent to the
+// written-rightmost region of the chain: the deepest pair for selection
+// chains, the outermost pair for projection chains (which are written
+// deepest-first).
+func (c *Chain) rightmostPair(i int) bool {
+	if c.Asc {
+		return i == 0
+	}
+	return i == len(c.Names)-2
+}
+
+// shortenAt checks Proposition 3.5(b) for the triple starting at i.
+func shortenAt(c *Chain, i int, g *rig.Graph) (Rewrite, bool) {
+	if c.Direct[i] || c.Direct[i+1] {
+		return Rewrite{}, false // the rule requires plain inclusions
+	}
+	from, via, to := c.Names[i], c.Names[i+1], c.Names[i+2]
+	if !g.AllPathsThrough(from, via, to) {
+		return Rewrite{}, false
+	}
+	return Rewrite{
+		Kind:   RuleShorten,
+		Names:  [2]string{from, to},
+		Via:    via,
+		Reason: fmt.Sprintf("every RIG path %s→%s passes through %s", from, to, via),
+	}, true
+}
+
+// removeAt deletes the middle name Names[j] (j ≥ 1) and merges the two
+// adjacent operators into one plain inclusion.
+func removeAt(c *Chain, j int) {
+	c.Names = append(c.Names[:j], c.Names[j+1:]...)
+	c.Direct = append(c.Direct[:j-1], c.Direct[j:]...)
+	c.Direct[j-1] = false
+}
+
+// OptimizeExpr optimizes every maximal inclusion-chain subexpression of e
+// with respect to g, leaving other operators (union, intersection,
+// difference, ι, ω) in place. This is how composite queries — boolean
+// selection criteria compose chains with set operators (Section 5.2) — are
+// optimized. It returns the rewritten expression and all rewrites applied.
+func OptimizeExpr(e algebra.Expr, g *rig.Graph) (algebra.Expr, []Rewrite) {
+	if c, ok := FromExpr(e); ok {
+		oc, log := Optimize(c, g)
+		return oc.Expr(), log
+	}
+	switch e := e.(type) {
+	case algebra.Binary:
+		l, log1 := OptimizeExpr(e.L, g)
+		r, log2 := OptimizeExpr(e.R, g)
+		return algebra.Binary{Op: e.Op, L: l, R: r}, append(log1, log2...)
+	case algebra.Unary:
+		a, log := OptimizeExpr(e.Arg, g)
+		return algebra.Unary{Op: e.Op, Arg: a}, log
+	case algebra.Select:
+		a, log := OptimizeExpr(e.Arg, g)
+		return algebra.Select{Mode: e.Mode, W: e.W, Arg: a}, log
+	default:
+		return e, nil
+	}
+}
+
+// TrivialExpr reports whether e contains a trivially-empty chain whose
+// emptiness forces the whole expression to be empty. It is conservative:
+// it only propagates emptiness through operators that preserve it
+// (everything except union and difference right-hand sides).
+func TrivialExpr(e algebra.Expr, g *rig.Graph) (bool, TrivialReason) {
+	if c, ok := FromExpr(e); ok {
+		return Trivial(c, g)
+	}
+	switch e := e.(type) {
+	case algebra.Binary:
+		switch e.Op {
+		case algebra.OpUnion:
+			lt, lr := TrivialExpr(e.L, g)
+			if !lt {
+				return false, TrivialReason{}
+			}
+			rt, _ := TrivialExpr(e.R, g)
+			if rt {
+				return true, lr
+			}
+			return false, TrivialReason{}
+		case algebra.OpDiff:
+			return TrivialExpr(e.L, g)
+		default:
+			// Intersection and inclusions are empty when either
+			// side is.
+			if t, r := TrivialExpr(e.L, g); t {
+				return t, r
+			}
+			return TrivialExpr(e.R, g)
+		}
+	case algebra.Unary:
+		return TrivialExpr(e.Arg, g)
+	case algebra.Select:
+		return TrivialExpr(e.Arg, g)
+	}
+	return false, TrivialReason{}
+}

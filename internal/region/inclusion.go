@@ -1,0 +1,361 @@
+package region
+
+// This file implements the inclusion operators of the region algebra:
+//
+//	R ⊃ S  = {r ∈ R : ∃s ∈ S, r ⊋ s}          (Including)
+//	R ⊂ S  = {r ∈ R : ∃s ∈ S, s ⊋ r}          (Included)
+//	R ⊃d S = {r ∈ R : ∃s ∈ S, r ⊋ s and no    (DirectlyIncluding)
+//	          other indexed region lies strictly between r and s}
+//	R ⊂d S = the dual of ⊃d                    (DirectlyIncluded)
+//
+// Since a region is identified by its pair of positions, inclusion between
+// *distinct* regions is strict inclusion of position pairs. The strict
+// reading is forced by the paper's surrounding definitions: Definition 3.1
+// constrains only direct inclusions between distinct regions, ι and ω
+// explicitly require r' ≠ r, and Proposition 3.3(ii) ("no RIG path from Ri
+// to Rj ⇒ Ri ⊃ Rj is empty") would be false for Ri ⊃ Ri under a reflexive
+// reading.
+//
+// The direct operators need the universe of indexed regions (the union of
+// all instance sets) to rule out regions lying in between; see Universe.
+// Per the paper, ⊃d and ⊂d are significantly more expensive than ⊃ and ⊂.
+
+import "math/bits"
+
+// Including returns R ⊃ S: the regions of R that strictly include at least
+// one region of S. It runs in O((|R|+|S|) log |S|) using a sparse-table
+// range-minimum structure over the end positions of S, except when a region
+// of R also occurs in S, where ruling out the self-match may scan the
+// candidate range.
+func (s Set) Including(t Set) Set {
+	R, S := s, t
+	if R.IsEmpty() || S.IsEmpty() {
+		return Empty
+	}
+	rmq := newMinTable(S.regions)
+	var out []Region
+	for _, r := range R.regions {
+		// Candidates s have s.Start in [r.Start, r.End]; since the set
+		// is sorted primarily by Start this is a contiguous index
+		// range, and r includes one of them iff the minimum end in the
+		// range is ≤ r.End. The only non-strict inclusion is s == r.
+		lo := lowerBoundStart(S.regions, r.Start)
+		hi := upperBoundStart(S.regions, r.End)
+		if lo >= hi {
+			continue
+		}
+		ok := rmq.min(lo, hi) <= r.End
+		if ok && S.Contains(r) {
+			ok = strictBesides(S.regions[lo:hi], r)
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return fromSorted(out)
+}
+
+// strictBesides reports whether some region in cands other than r is
+// included in r. cands all have Start within [r.Start, r.End].
+func strictBesides(cands []Region, r Region) bool {
+	for _, s := range cands {
+		if s != r && r.Includes(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Included returns R ⊂ S: the regions of R strictly included in at least
+// one region of S. It runs in O((|R|+|S|) log |S|) using a prefix-maximum
+// over the end positions of S, with the same self-match caveat as
+// Including.
+func (s Set) Included(t Set) Set {
+	R, S := s, t
+	if R.IsEmpty() || S.IsEmpty() {
+		return Empty
+	}
+	// prefMax[i] = max end among S.regions[0:i] (those starts are ≤ any
+	// later start).
+	prefMax := make([]int, len(S.regions)+1)
+	prefMax[0] = -1
+	for i, sr := range S.regions {
+		prefMax[i+1] = max(prefMax[i], sr.End)
+	}
+	var out []Region
+	for _, r := range R.regions {
+		// Containers s have s.Start ≤ r.Start, a prefix of S; one of
+		// them contains r iff the maximum end in the prefix is ≥ r.End.
+		hi := upperBoundStart(S.regions, r.Start)
+		if hi == 0 || prefMax[hi] < r.End {
+			continue
+		}
+		// Some container exists; it is strict unless the only
+		// container is r itself.
+		if prefMax[hi] > r.End || !S.Contains(r) || containerBesides(S.regions[:hi], r) {
+			out = append(out, r)
+		}
+	}
+	return fromSorted(out)
+}
+
+// containerBesides reports whether some region in cands other than r
+// includes r. cands all have Start ≤ r.Start.
+func containerBesides(cands []Region, r Region) bool {
+	for _, s := range cands {
+		if s != r && s.Includes(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerBoundStart returns the first index i with regions[i].Start >= v.
+func lowerBoundStart(rs []Region, v int) int {
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].Start < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBoundStart returns the first index i with regions[i].Start > v.
+func upperBoundStart(rs []Region, v int) int {
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].Start <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// minTable is a sparse table answering range-minimum queries over the end
+// positions of a sorted region slice in O(1) after O(n log n) setup.
+type minTable struct {
+	rows [][]int
+}
+
+func newMinTable(rs []Region) *minTable {
+	n := len(rs)
+	row := make([]int, n)
+	for i, r := range rs {
+		row[i] = r.End
+	}
+	t := &minTable{rows: [][]int{row}}
+	for width := 2; width <= n; width *= 2 {
+		prev := t.rows[len(t.rows)-1]
+		next := make([]int, n-width+1)
+		for i := range next {
+			next[i] = min(prev[i], prev[i+width/2])
+		}
+		t.rows = append(t.rows, next)
+	}
+	return t
+}
+
+// min returns the minimum end in the half-open index range [lo, hi).
+func (t *minTable) min(lo, hi int) int {
+	k := bits.Len(uint(hi-lo)) - 1
+	return min(t.rows[k][lo], t.rows[k][hi-(1<<k)])
+}
+
+// Universe is the set of all indexed regions, used by the direct-inclusion
+// operators to decide whether some region lies between two others. Building
+// it detects proper nesting once, enabling the fast parent-based evaluation
+// of ⊃d and ⊂d for parse-tree-shaped instances.
+type Universe struct {
+	all    Set
+	nested bool
+	parent []int // forest parent indexes into all.regions, -1 for roots (nested only)
+}
+
+// NewUniverse builds the universe from the union of all instance sets.
+func NewUniverse(instances ...Set) *Universe {
+	all := Empty
+	for _, s := range instances {
+		all = all.Union(s)
+	}
+	u := &Universe{all: all, nested: all.ProperlyNested()}
+	if u.nested {
+		u.parent = buildForest(all.regions)
+	}
+	return u
+}
+
+// All returns the union of every instance set in the universe.
+func (u *Universe) All() Set { return u.all }
+
+// ProperlyNested reports whether the universe regions form a forest
+// (no partial overlaps).
+func (u *Universe) ProperlyNested() bool { return u.nested }
+
+// buildForest computes, for regions sorted by (Start asc, End desc) with no
+// partial overlaps, the index of each region's tightest strict container
+// (-1 for roots) with a single stack sweep.
+func buildForest(rs []Region) []int {
+	parent := make([]int, len(rs))
+	var stack []int
+	for i, r := range rs {
+		for len(stack) > 0 && !rs[stack[len(stack)-1]].StrictlyIncludes(r) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			parent[i] = stack[len(stack)-1]
+		} else {
+			parent[i] = -1
+		}
+		stack = append(stack, i)
+	}
+	return parent
+}
+
+// Parent returns the tightest strict container of r in the universe and
+// whether one exists. It requires a properly nested universe.
+func (u *Universe) Parent(r Region) (Region, bool) {
+	if !u.nested {
+		panic("region: Parent requires a properly nested universe")
+	}
+	i := u.indexOf(r)
+	if i < 0 || u.parent[i] < 0 {
+		return Region{}, false
+	}
+	return u.all.regions[u.parent[i]], true
+}
+
+func (u *Universe) indexOf(r Region) int {
+	lo := lowerBoundStart(u.all.regions, r.Start)
+	for i := lo; i < len(u.all.regions) && u.all.regions[i].Start == r.Start; i++ {
+		if u.all.regions[i] == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// Between reports whether some universe region t ∉ {r, s} satisfies
+// r ⊇ t ⊇ s. This is the paper's "other indexed region between r and s".
+func (u *Universe) Between(r, s Region) bool {
+	if !r.Includes(s) {
+		return false
+	}
+	if u.nested {
+		// Walk up from s: the containers of s are exactly its
+		// ancestors (plus s itself).
+		cur := s
+		for {
+			p, ok := u.Parent(cur)
+			if !ok || !r.Includes(p) {
+				return false
+			}
+			if p != r && p != s {
+				return true
+			}
+			if p == r {
+				return false
+			}
+			cur = p
+		}
+	}
+	for _, t := range u.containers(s) {
+		if t != r && t != s && r.Includes(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// containers returns all universe regions that include s (including s itself
+// if present). Used only on non-nested universes.
+func (u *Universe) containers(s Region) []Region {
+	var out []Region
+	hi := upperBoundStart(u.all.regions, s.Start)
+	for i := 0; i < hi; i++ {
+		if t := u.all.regions[i]; t.Includes(s) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// directContainers returns the universe regions that directly include s:
+// the minimal elements (under inclusion) of the strict containers of s.
+func (u *Universe) directContainers(s Region) []Region {
+	if u.nested {
+		if p, ok := u.Parent(s); ok {
+			return []Region{p}
+		}
+		if u.indexOf(s) >= 0 {
+			return nil
+		}
+		// s is not itself indexed: its direct containers are the
+		// tightest universe regions including it.
+		var best []Region
+		for _, t := range u.containers(s) {
+			if t == s {
+				continue
+			}
+			if len(best) == 0 || best[0].StrictlyIncludes(t) {
+				best = []Region{t}
+			}
+		}
+		return best
+	}
+	var minimal []Region
+	for _, t := range u.containers(s) {
+		if t == s {
+			continue
+		}
+		dominated := false
+		for _, t2 := range u.containers(s) {
+			if t2 != s && t2 != t && t.StrictlyIncludes(t2) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			minimal = append(minimal, t)
+		}
+	}
+	return minimal
+}
+
+// DirectlyIncluding returns R ⊃d S: the regions of R strictly including some
+// region of S with no other universe region strictly between them — i.e. R's
+// regions that are direct containers of an S region.
+func (u *Universe) DirectlyIncluding(R, S Set) Set {
+	if R.IsEmpty() || S.IsEmpty() {
+		return Empty
+	}
+	var cand []Region
+	for _, s := range S.regions {
+		cand = append(cand, u.directContainers(s)...)
+	}
+	return FromRegions(cand).Intersect(R)
+}
+
+// DirectlyIncluded returns R ⊂d S: the regions of R whose direct container
+// is a region of S.
+func (u *Universe) DirectlyIncluded(R, S Set) Set {
+	if R.IsEmpty() || S.IsEmpty() {
+		return Empty
+	}
+	var out []Region
+	for _, r := range R.regions {
+		for _, t := range u.directContainers(r) {
+			if S.Contains(t) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return fromSorted(out)
+}

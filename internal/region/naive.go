@@ -1,0 +1,127 @@
+package region
+
+// Naive reference implementations of the inclusion operators, used by the
+// property-based tests as ground truth and by the benchmarks as the
+// unoptimized baseline. They follow the set-builder definitions directly
+// (with the strict position-pair reading of inclusion; see inclusion.go)
+// and run in quadratic (cubic for the direct operators) time.
+
+// NaiveIncluding computes R ⊃ S by definition: {r ∈ R : ∃s ∈ S, r ⊋ s}.
+func NaiveIncluding(R, S Set) Set {
+	var out []Region
+	for _, r := range R.regions {
+		for _, s := range S.regions {
+			if r.StrictlyIncludes(s) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return fromSorted(out)
+}
+
+// NaiveIncluded computes R ⊂ S by definition: {r ∈ R : ∃s ∈ S, s ⊋ r}.
+func NaiveIncluded(R, S Set) Set {
+	var out []Region
+	for _, r := range R.regions {
+		for _, s := range S.regions {
+			if s.StrictlyIncludes(r) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return fromSorted(out)
+}
+
+// NaiveDirectlyIncluding computes R ⊃d S by definition: {r ∈ R : ∃s ∈ S,
+// r ⊋ s, and no universe region t satisfies r ⊋ t ⊋ s}.
+func NaiveDirectlyIncluding(R, S Set, universe Set) Set {
+	var out []Region
+	for _, r := range R.regions {
+		if naiveDirectPair(r, S, universe) {
+			out = append(out, r)
+		}
+	}
+	return fromSorted(out)
+}
+
+func naiveDirectPair(r Region, S Set, universe Set) bool {
+	for _, s := range S.regions {
+		if !r.StrictlyIncludes(s) {
+			continue
+		}
+		between := false
+		for _, t := range universe.regions {
+			if r.StrictlyIncludes(t) && t.StrictlyIncludes(s) {
+				between = true
+				break
+			}
+		}
+		if !between {
+			return true
+		}
+	}
+	return false
+}
+
+// NaiveDirectlyIncluded computes R ⊂d S by definition: {r ∈ R : ∃s ∈ S,
+// s ⊋ r, and no universe region t satisfies s ⊋ t ⊋ r}.
+func NaiveDirectlyIncluded(R, S Set, universe Set) Set {
+	var out []Region
+	for _, r := range R.regions {
+		for _, s := range S.regions {
+			if !s.StrictlyIncludes(r) {
+				continue
+			}
+			between := false
+			for _, t := range universe.regions {
+				if s.StrictlyIncludes(t) && t.StrictlyIncludes(r) {
+					between = true
+					break
+				}
+			}
+			if !between {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return fromSorted(out)
+}
+
+// NaiveInnermost computes ι(R) by definition.
+func NaiveInnermost(R Set) Set {
+	var out []Region
+	for _, r := range R.regions {
+		minimal := true
+		for _, r2 := range R.regions {
+			if r2 != r && r.Includes(r2) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, r)
+		}
+	}
+	return fromSorted(out)
+}
+
+// NaiveOutermost computes ω(R) by definition.
+func NaiveOutermost(R Set) Set {
+	var out []Region
+	for _, r := range R.regions {
+		maximal := true
+		for _, r2 := range R.regions {
+			if r2 != r && r2.Includes(r) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, r)
+		}
+	}
+	return fromSorted(out)
+}

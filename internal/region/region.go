@@ -1,0 +1,274 @@
+// Package region implements the data structures underlying the PAT region
+// algebra of Salminen & Tompa as used by Consens & Milo (SIGMOD'94):
+// regions of text, sorted region sets, and the inclusion machinery (⊃, ⊂,
+// ⊃d, ⊂d, innermost, outermost) together with efficient sweep-based
+// implementations and naive reference implementations for testing.
+//
+// A region is a half-open byte range [Start, End) of the indexed text and is
+// identified by its pair of positions, exactly as in the paper ("each region
+// ... is defined by a pair of positions in the text"). A Set is a
+// duplicate-free slice of regions sorted by (Start ascending, End
+// descending), so that under proper nesting outer regions precede the
+// regions they include.
+package region
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is a half-open byte range [Start, End) of the indexed text.
+type Region struct {
+	Start int
+	End   int
+}
+
+// Len reports the byte length of the region.
+func (r Region) Len() int { return r.End - r.Start }
+
+// Includes reports whether r includes s: the endpoints of s are within those
+// of r (r ⊇ s, inclusive of equality), per the paper's definition of ⊃.
+func (r Region) Includes(s Region) bool {
+	return r.Start <= s.Start && s.End <= r.End
+}
+
+// StrictlyIncludes reports whether r includes s and r ≠ s.
+func (r Region) StrictlyIncludes(s Region) bool {
+	return r.Includes(s) && r != s
+}
+
+// Overlaps reports whether r and s share at least one position without one
+// including the other ("partial overlap").
+func (r Region) Overlaps(s Region) bool {
+	if r.Includes(s) || s.Includes(r) {
+		return false
+	}
+	return r.Start < s.End && s.Start < r.End
+}
+
+// Before orders regions by (Start ascending, End descending). Under proper
+// nesting this places every region before the regions it includes.
+func (r Region) Before(s Region) bool {
+	if r.Start != s.Start {
+		return r.Start < s.Start
+	}
+	return r.End > s.End
+}
+
+func (r Region) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// Set is a set of regions: duplicate-free and sorted by (Start asc, End
+// desc). The zero value is the empty set. Sets are treated as immutable;
+// operations return new sets.
+type Set struct {
+	regions []Region
+}
+
+// Empty is the empty region set.
+var Empty = Set{}
+
+// FromRegions builds a set from arbitrary regions, sorting and removing
+// duplicates. The input slice is not retained.
+func FromRegions(rs []Region) Set {
+	if len(rs) == 0 {
+		return Set{}
+	}
+	out := make([]Region, len(rs))
+	copy(out, rs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return Set{regions: out[:w]}
+}
+
+// fromSorted wraps a slice that is already sorted and duplicate-free.
+// Callers must not modify the slice afterwards.
+func fromSorted(rs []Region) Set { return Set{regions: rs} }
+
+// Len reports the number of regions in the set.
+func (s Set) Len() int { return len(s.regions) }
+
+// IsEmpty reports whether the set has no regions.
+func (s Set) IsEmpty() bool { return len(s.regions) == 0 }
+
+// Regions exposes the sorted backing slice. Callers must not modify it.
+func (s Set) Regions() []Region { return s.regions }
+
+// At returns the i-th region in (Start asc, End desc) order.
+func (s Set) At(i int) Region { return s.regions[i] }
+
+// Contains reports whether the set contains exactly the region r.
+func (s Set) Contains(r Region) bool {
+	i := sort.Search(len(s.regions), func(i int) bool { return !s.regions[i].Before(r) })
+	return i < len(s.regions) && s.regions[i] == r
+}
+
+// Equal reports whether two sets hold exactly the same regions.
+func (s Set) Equal(t Set) bool {
+	if len(s.regions) != len(t.regions) {
+		return false
+	}
+	for i := range s.regions {
+		if s.regions[i] != t.regions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) String() string {
+	out := "{"
+	for i, r := range s.regions {
+		if i > 0 {
+			out += " "
+		}
+		out += r.String()
+	}
+	return out + "}"
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	if s.IsEmpty() {
+		return t
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	out := make([]Region, 0, len(s.regions)+len(t.regions))
+	i, j := 0, 0
+	for i < len(s.regions) && j < len(t.regions) {
+		a, b := s.regions[i], t.regions[j]
+		switch {
+		case a == b:
+			out = append(out, a)
+			i++
+			j++
+		case a.Before(b):
+			out = append(out, a)
+			i++
+		default:
+			out = append(out, b)
+			j++
+		}
+	}
+	out = append(out, s.regions[i:]...)
+	out = append(out, t.regions[j:]...)
+	return fromSorted(out)
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	var out []Region
+	i, j := 0, 0
+	for i < len(s.regions) && j < len(t.regions) {
+		a, b := s.regions[i], t.regions[j]
+		switch {
+		case a == b:
+			out = append(out, a)
+			i++
+			j++
+		case a.Before(b):
+			i++
+		default:
+			j++
+		}
+	}
+	return fromSorted(out)
+}
+
+// Diff returns s − t.
+func (s Set) Diff(t Set) Set {
+	var out []Region
+	i, j := 0, 0
+	for i < len(s.regions) {
+		if j >= len(t.regions) {
+			out = append(out, s.regions[i:]...)
+			break
+		}
+		a, b := s.regions[i], t.regions[j]
+		switch {
+		case a == b:
+			i++
+			j++
+		case a.Before(b):
+			out = append(out, a)
+			i++
+		default:
+			j++
+		}
+	}
+	return fromSorted(out)
+}
+
+// Filter returns the subset of s whose regions satisfy keep.
+func (s Set) Filter(keep func(Region) bool) Set {
+	var out []Region
+	for _, r := range s.regions {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return fromSorted(out)
+}
+
+// Outermost implements the ω operation: the regions of s not included in any
+// other region of s (the maximal elements of s under inclusion).
+func (s Set) Outermost() Set {
+	var out []Region
+	maxEnd := -1
+	for _, r := range s.regions {
+		// Everything earlier in (Start asc, End desc) order has
+		// start ≤ r.Start; such a region includes r iff its end ≥ r.End.
+		if r.End > maxEnd {
+			out = append(out, r)
+			maxEnd = r.End
+		}
+	}
+	return fromSorted(out)
+}
+
+// Innermost implements the ι operation: the regions of s that include no
+// other region of s (the minimal elements of s under inclusion).
+func (s Set) Innermost() Set {
+	out := make([]Region, 0, len(s.regions))
+	minEnd := int(^uint(0) >> 1) // max int
+	for i := len(s.regions) - 1; i >= 0; i-- {
+		// Everything later in order has start ≥ r.Start (same-start
+		// regions later have smaller end); such a region is included
+		// in r iff its end ≤ r.End.
+		r := s.regions[i]
+		if r.End < minEnd {
+			out = append(out, r)
+			minEnd = r.End
+		}
+	}
+	// Reverse back into sorted order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return fromSorted(out)
+}
+
+// ProperlyNested reports whether no two regions of the set partially
+// overlap, i.e. any two regions are either disjoint or nested. Region
+// instances extracted from parse trees are always properly nested.
+func (s Set) ProperlyNested() bool {
+	// Sweep in (Start asc, End desc) order with a stack of open regions.
+	var stack []int // open region end positions
+	for _, r := range s.regions {
+		for len(stack) > 0 && stack[len(stack)-1] <= r.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && stack[len(stack)-1] < r.End {
+			return false // r starts inside the top but ends outside it
+		}
+		stack = append(stack, r.End)
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSets builds a realistic nested workload: nOuter disjoint containers
+// each holding nInner disjoint children.
+func benchSets(nOuter, nInner int) (outer, inner Set) {
+	span := 10 * (nInner + 1)
+	var os, is []Region
+	for i := 0; i < nOuter; i++ {
+		base := i * (span + 5)
+		os = append(os, Region{Start: base, End: base + span})
+		for j := 0; j < nInner; j++ {
+			s := base + 2 + j*10
+			is = append(is, Region{Start: s, End: s + 6})
+		}
+	}
+	return FromRegions(os), FromRegions(is)
+}
+
+func BenchmarkIncluding(b *testing.B) {
+	outer, inner := benchSets(2000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outer.Including(inner)
+	}
+}
+
+func BenchmarkIncluded(b *testing.B) {
+	outer, inner := benchSets(2000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inner.Included(outer)
+	}
+}
+
+func BenchmarkNaiveIncluding(b *testing.B) {
+	outer, inner := benchSets(200, 5) // quadratic: keep small
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveIncluding(outer, inner)
+	}
+}
+
+func BenchmarkDirectlyIncludingNested(b *testing.B) {
+	outer, inner := benchSets(2000, 5)
+	u := NewUniverse(outer, inner)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.DirectlyIncluding(outer, inner)
+	}
+}
+
+func BenchmarkUniverseBuild(b *testing.B) {
+	outer, inner := benchSets(2000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewUniverse(outer, inner)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	a, c := benchSets(5000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Union(c)
+	}
+}
+
+func BenchmarkInnermost(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var rs []Region
+	for i := 0; i < 10000; i++ {
+		s := rng.Intn(100000)
+		rs = append(rs, Region{Start: s, End: s + 1 + rng.Intn(500)})
+	}
+	set := FromRegions(rs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Innermost()
+	}
+}
+
+func BenchmarkFromRegions(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rs := make([]Region, 10000)
+	for i := range rs {
+		s := rng.Intn(100000)
+		rs[i] = Region{Start: s, End: s + 1 + rng.Intn(100)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromRegions(rs)
+	}
+}

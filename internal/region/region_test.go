@@ -1,0 +1,456 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mk(pairs ...int) Set {
+	if len(pairs)%2 != 0 {
+		panic("mk: odd number of endpoints")
+	}
+	rs := make([]Region, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		rs = append(rs, Region{Start: pairs[i], End: pairs[i+1]})
+	}
+	return FromRegions(rs)
+}
+
+func TestRegionPredicates(t *testing.T) {
+	a := Region{0, 10}
+	b := Region{2, 5}
+	c := Region{4, 12}
+	if !a.Includes(b) || b.Includes(a) {
+		t.Error("Includes")
+	}
+	if !a.Includes(a) {
+		t.Error("Includes must be reflexive")
+	}
+	if a.StrictlyIncludes(a) {
+		t.Error("StrictlyIncludes must be irreflexive")
+	}
+	if !a.StrictlyIncludes(b) {
+		t.Error("StrictlyIncludes")
+	}
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Error("Overlaps")
+	}
+	if a.Overlaps(b) {
+		t.Error("nested regions do not Overlap")
+	}
+	if (Region{0, 2}).Overlaps(Region{2, 4}) {
+		t.Error("touching regions do not Overlap")
+	}
+	if a.Len() != 10 {
+		t.Error("Len")
+	}
+	if a.String() != "[0,10)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestBeforeOrder(t *testing.T) {
+	// Outer regions sort before the regions they include.
+	outer := Region{0, 10}
+	inner := Region{0, 5}
+	if !outer.Before(inner) || inner.Before(outer) {
+		t.Error("same-start order must put larger region first")
+	}
+	if !(Region{1, 2}).Before(Region{3, 4}) {
+		t.Error("start order")
+	}
+}
+
+func TestFromRegionsSortsAndDedupes(t *testing.T) {
+	s := mk(5, 9, 0, 10, 5, 9, 0, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	want := []Region{{0, 10}, {0, 3}, {5, 9}}
+	for i, r := range want {
+		if s.At(i) != r {
+			t.Errorf("At(%d) = %v, want %v", i, s.At(i), r)
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := mk(0, 10, 5, 9)
+	if s.IsEmpty() || !Empty.IsEmpty() {
+		t.Error("IsEmpty")
+	}
+	if !s.Contains(Region{5, 9}) || s.Contains(Region{5, 8}) {
+		t.Error("Contains")
+	}
+	if !s.Equal(mk(5, 9, 0, 10)) || s.Equal(mk(0, 10)) {
+		t.Error("Equal")
+	}
+	if s.String() != "{[0,10) [5,9)}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := mk(0, 10, 5, 9, 20, 30)
+	b := mk(5, 9, 40, 50)
+	if got := a.Union(b); !got.Equal(mk(0, 10, 5, 9, 20, 30, 40, 50)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(mk(5, 9)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(mk(0, 10, 20, 30)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := Empty.Union(a); !got.Equal(a) {
+		t.Errorf("Empty.Union = %v", got)
+	}
+	if got := a.Diff(Empty); !got.Equal(a) {
+		t.Errorf("Diff Empty = %v", got)
+	}
+	if got := a.Intersect(Empty); !got.IsEmpty() {
+		t.Errorf("Intersect Empty = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	a := mk(0, 10, 5, 9, 20, 30)
+	got := a.Filter(func(r Region) bool { return r.Len() > 4 })
+	if !got.Equal(mk(0, 10, 20, 30)) {
+		t.Errorf("Filter = %v", got)
+	}
+}
+
+func TestInnermostOutermost(t *testing.T) {
+	// Nested: [0,100) ⊃ [10,40) ⊃ [20,30); plus disjoint [50,60).
+	s := mk(0, 100, 10, 40, 20, 30, 50, 60)
+	if got := s.Outermost(); !got.Equal(mk(0, 100)) {
+		t.Errorf("Outermost = %v", got)
+	}
+	if got := s.Innermost(); !got.Equal(mk(20, 30, 50, 60)) {
+		t.Errorf("Innermost = %v", got)
+	}
+	if !Empty.Innermost().IsEmpty() || !Empty.Outermost().IsEmpty() {
+		t.Error("empty set")
+	}
+}
+
+func TestInnermostOutermostOverlapping(t *testing.T) {
+	// Partially overlapping regions are both minimal and maximal.
+	s := mk(0, 10, 5, 15)
+	if got := s.Outermost(); !got.Equal(s) {
+		t.Errorf("Outermost = %v", got)
+	}
+	if got := s.Innermost(); !got.Equal(s) {
+		t.Errorf("Innermost = %v", got)
+	}
+}
+
+func TestProperlyNested(t *testing.T) {
+	if !mk(0, 100, 10, 40, 20, 30, 50, 60).ProperlyNested() {
+		t.Error("nested set misreported")
+	}
+	if mk(0, 10, 5, 15).ProperlyNested() {
+		t.Error("overlapping set misreported")
+	}
+	if !Empty.ProperlyNested() {
+		t.Error("empty set is nested")
+	}
+	if !mk(0, 5, 5, 10).ProperlyNested() {
+		t.Error("touching regions are nested")
+	}
+	// Same-start regions nest.
+	if !mk(0, 10, 0, 5).ProperlyNested() {
+		t.Error("same-start nesting misreported")
+	}
+}
+
+func TestIncludingBasic(t *testing.T) {
+	refs := mk(0, 100, 200, 300)
+	names := mk(10, 20, 350, 360)
+	if got := refs.Including(names); !got.Equal(mk(0, 100)) {
+		t.Errorf("Including = %v", got)
+	}
+	if got := names.Included(refs); !got.Equal(mk(10, 20)) {
+		t.Errorf("Included = %v", got)
+	}
+	if !Empty.Including(names).IsEmpty() || !refs.Including(Empty).IsEmpty() {
+		t.Error("empty cases")
+	}
+	// Inclusion is strict: a set never includes itself region-by-region.
+	if got := refs.Including(refs); !got.IsEmpty() {
+		t.Errorf("self Including = %v, want empty (strict)", got)
+	}
+	if got := refs.Included(refs); !got.IsEmpty() {
+		t.Errorf("self Included = %v, want empty (strict)", got)
+	}
+	// Nested same-set regions do relate.
+	nested := mk(0, 10, 2, 8)
+	if got := nested.Including(nested); !got.Equal(mk(0, 10)) {
+		t.Errorf("nested self Including = %v", got)
+	}
+	if got := nested.Included(nested); !got.Equal(mk(2, 8)) {
+		t.Errorf("nested self Included = %v", got)
+	}
+}
+
+func TestDirectInclusionPaperExample(t *testing.T) {
+	// Mimics the BIBTEX structure: Reference ⊃ Authors ⊃ Name ⊃ Last_Name.
+	ref := mk(0, 100)
+	authors := mk(10, 60)
+	name := mk(20, 50)
+	last := mk(35, 45)
+	u := NewUniverse(ref, authors, name, last)
+	if !u.ProperlyNested() {
+		t.Fatal("universe should be properly nested")
+	}
+	// Direct inclusion holds only along parent edges.
+	if got := u.DirectlyIncluding(authors, name); !got.Equal(authors) {
+		t.Errorf("Authors ⊃d Name = %v", got)
+	}
+	if got := u.DirectlyIncluding(ref, name); !got.IsEmpty() {
+		t.Errorf("Reference ⊃d Name = %v, want empty (Authors is between)", got)
+	}
+	if got := u.DirectlyIncluding(ref, authors); !got.Equal(ref) {
+		t.Errorf("Reference ⊃d Authors = %v", got)
+	}
+	// Plain inclusion holds transitively.
+	if got := ref.Including(last); !got.Equal(ref) {
+		t.Errorf("Reference ⊃ Last_Name = %v", got)
+	}
+	// Dual.
+	if got := u.DirectlyIncluded(name, authors); !got.Equal(name) {
+		t.Errorf("Name ⊂d Authors = %v", got)
+	}
+	if got := u.DirectlyIncluded(name, ref); !got.IsEmpty() {
+		t.Errorf("Name ⊂d Reference = %v, want empty", got)
+	}
+}
+
+func TestUniverseParent(t *testing.T) {
+	u := NewUniverse(mk(0, 100, 10, 40, 20, 30, 50, 60))
+	p, ok := u.Parent(Region{20, 30})
+	if !ok || p != (Region{10, 40}) {
+		t.Errorf("Parent([20,30)) = %v,%v", p, ok)
+	}
+	if _, ok := u.Parent(Region{0, 100}); ok {
+		t.Error("root has no parent")
+	}
+	if _, ok := u.Parent(Region{999, 1000}); ok {
+		t.Error("unknown region has no parent")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	u := NewUniverse(mk(0, 100, 10, 40, 20, 30))
+	if !u.Between(Region{0, 100}, Region{20, 30}) {
+		t.Error("Between should see [10,40)")
+	}
+	if u.Between(Region{10, 40}, Region{20, 30}) {
+		t.Error("nothing between parent and child")
+	}
+	if u.Between(Region{20, 30}, Region{0, 100}) {
+		t.Error("Between requires inclusion")
+	}
+}
+
+// randomSets generates n random regions split across k instance sets over
+// positions [0, span). It intentionally produces overlapping regions.
+func randomSets(rng *rand.Rand, n, k, span int) []Set {
+	groups := make([][]Region, k)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(span)
+		b := rng.Intn(span)
+		if a > b {
+			a, b = b, a
+		}
+		g := rng.Intn(k)
+		groups[g] = append(groups[g], Region{a, b + 1})
+	}
+	sets := make([]Set, k)
+	for i := range sets {
+		sets[i] = FromRegions(groups[i])
+	}
+	return sets
+}
+
+// randomNestedSets generates properly nested instance sets by recursively
+// subdividing [0, span).
+func randomNestedSets(rng *rand.Rand, k, span int) []Set {
+	groups := make([][]Region, k)
+	var subdivide func(lo, hi, depth int)
+	subdivide = func(lo, hi, depth int) {
+		if hi-lo < 2 || depth > 6 {
+			return
+		}
+		g := rng.Intn(k)
+		groups[g] = append(groups[g], Region{lo, hi})
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		if rng.Intn(3) > 0 {
+			subdivide(lo, mid, depth+1)
+		}
+		if rng.Intn(3) > 0 {
+			subdivide(mid, hi, depth+1)
+		}
+	}
+	subdivide(0, span, 0)
+	sets := make([]Set, k)
+	for i := range sets {
+		sets[i] = FromRegions(groups[i])
+	}
+	return sets
+}
+
+func TestIncludingMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(30), 2, 40)
+		R, S := sets[0], sets[1]
+		if got, want := R.Including(S), NaiveIncluding(R, S); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v S=%v: Including=%v want %v", trial, R, S, got, want)
+		}
+		if got, want := R.Included(S), NaiveIncluded(R, S); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v S=%v: Included=%v want %v", trial, R, S, got, want)
+		}
+		// Sets sharing regions stress the strictness corner cases.
+		U := R.Union(S)
+		if got, want := U.Including(U), NaiveIncluding(U, U); !got.Equal(want) {
+			t.Fatalf("trial %d self: U=%v: Including=%v want %v", trial, U, got, want)
+		}
+		if got, want := U.Included(U), NaiveIncluded(U, U); !got.Equal(want) {
+			t.Fatalf("trial %d self: U=%v: Included=%v want %v", trial, U, got, want)
+		}
+	}
+}
+
+func TestInnermostOutermostMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(30), 1, 40)
+		R := sets[0]
+		if got, want := R.Innermost(), NaiveInnermost(R); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v: Innermost=%v want %v", trial, R, got, want)
+		}
+		if got, want := R.Outermost(), NaiveOutermost(R); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v: Outermost=%v want %v", trial, R, got, want)
+		}
+	}
+}
+
+func TestDirectInclusionMatchesNaiveOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		sets := randomSets(rng, 3+rng.Intn(25), 3, 30)
+		R, S := sets[0], sets[1]
+		u := NewUniverse(sets...)
+		all := u.All()
+		if got, want := u.DirectlyIncluding(R, S), NaiveDirectlyIncluding(R, S, all); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v S=%v U=%v: ⊃d=%v want %v", trial, R, S, all, got, want)
+		}
+		if got, want := u.DirectlyIncluded(R, S), NaiveDirectlyIncluded(R, S, all); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v S=%v U=%v: ⊂d=%v want %v", trial, R, S, all, got, want)
+		}
+	}
+}
+
+func TestDirectInclusionMatchesNaiveNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		sets := randomNestedSets(rng, 3, 64)
+		R, S := sets[0], sets[1]
+		u := NewUniverse(sets...)
+		if !u.ProperlyNested() {
+			t.Fatalf("trial %d: generator produced overlap", trial)
+		}
+		all := u.All()
+		if got, want := u.DirectlyIncluding(R, S), NaiveDirectlyIncluding(R, S, all); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v S=%v U=%v: ⊃d=%v want %v", trial, R, S, all, got, want)
+		}
+		if got, want := u.DirectlyIncluded(R, S), NaiveDirectlyIncluded(R, S, all); !got.Equal(want) {
+			t.Fatalf("trial %d: R=%v S=%v U=%v: ⊂d=%v want %v", trial, R, S, all, got, want)
+		}
+	}
+}
+
+func TestSetAlgebraLaws(t *testing.T) {
+	// Property-based checks of the boolean-algebra laws over region sets.
+	gen := func(vals []int) Set {
+		rs := make([]Region, 0, len(vals)/2)
+		for i := 0; i+1 < len(vals); i += 2 {
+			a := abs(vals[i]) % 50
+			b := abs(vals[i+1]) % 50
+			if a > b {
+				a, b = b, a
+			}
+			rs = append(rs, Region{a, b + 1})
+		}
+		return FromRegions(rs)
+	}
+	f := func(xs, ys, zs []int) bool {
+		a, b, c := gen(xs), gen(ys), gen(zs)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		if !a.Intersect(b.Intersect(c)).Equal(a.Intersect(b).Intersect(c)) {
+			return false
+		}
+		// De Morgan relative to a: a − (b ∪ c) = (a − b) ∩ (a − c).
+		if !a.Diff(b.Union(c)).Equal(a.Diff(b).Intersect(a.Diff(c))) {
+			return false
+		}
+		if !a.Diff(b.Intersect(c)).Equal(a.Diff(b).Union(a.Diff(c))) {
+			return false
+		}
+		// Idempotence and identity.
+		if !a.Union(a).Equal(a) || !a.Intersect(a).Equal(a) || !a.Diff(a).IsEmpty() {
+			return false
+		}
+		// Distribution of ⊃ over ∪ in the left argument.
+		if !a.Union(b).Including(c).Equal(a.Including(c).Union(b.Including(c))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMinTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		rs := make([]Region, n)
+		for i := range rs {
+			rs[i] = Region{i, i + 1 + rng.Intn(100)}
+		}
+		tab := newMinTable(rs)
+		for q := 0; q < 50; q++ {
+			lo := rng.Intn(n)
+			hi := lo + 1 + rng.Intn(n-lo)
+			want := rs[lo].End
+			for i := lo; i < hi; i++ {
+				if rs[i].End < want {
+					want = rs[i].End
+				}
+			}
+			if got := tab.min(lo, hi); got != want {
+				t.Fatalf("min(%d,%d) = %d, want %d", lo, hi, got, want)
+			}
+		}
+	}
+}

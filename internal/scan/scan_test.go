@@ -1,0 +1,75 @@
+package scan_test
+
+import (
+	"testing"
+
+	"qof/internal/bibtex"
+	"qof/internal/scan"
+	"qof/internal/text"
+	"qof/internal/xsql"
+)
+
+func TestFullScanGroundTruth(t *testing.T) {
+	cfg := bibtex.DefaultConfig(50)
+	cfg.TargetAuthorShare = 0.2
+	cfg.TargetEditorShare = 0.2
+	content, st := bibtex.Generate(cfg)
+	cat := bibtex.Catalog()
+	doc := text.NewDocument("c.bib", content)
+
+	res, err := scan.FullScan(cat, doc, xsql.MustParse(
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != st.TargetAsAuthor {
+		t.Fatalf("objects = %d, want %d", len(res.Objects), st.TargetAsAuthor)
+	}
+	if res.ObjectsSeen != st.NumRefs {
+		t.Errorf("ObjectsSeen = %d, want %d (full scan builds everything)", res.ObjectsSeen, st.NumRefs)
+	}
+	if res.BytesParsed != doc.Len() {
+		t.Errorf("BytesParsed = %d, want %d", res.BytesParsed, doc.Len())
+	}
+	if res.Projected {
+		t.Error("whole-object select misflagged")
+	}
+}
+
+func TestFullScanProjection(t *testing.T) {
+	content, _ := bibtex.Generate(bibtex.DefaultConfig(10))
+	cat := bibtex.Catalog()
+	doc := text.NewDocument("c.bib", content)
+	res, err := scan.FullScan(cat, doc, xsql.MustParse(
+		`SELECT r.Key FROM References r`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Projected || len(res.Strings) != 10 {
+		t.Fatalf("projection: %v", res.Strings)
+	}
+}
+
+func TestFullScanErrors(t *testing.T) {
+	cat := bibtex.Catalog()
+	doc := text.NewDocument("c.bib", "not a bibliography")
+	if _, err := scan.FullScan(cat, doc, xsql.MustParse(`SELECT r FROM References r`)); err == nil {
+		t.Error("unparseable input accepted")
+	}
+	ok, _ := bibtex.Generate(bibtex.DefaultConfig(1))
+	doc2 := text.NewDocument("c.bib", ok)
+	if _, err := scan.FullScan(cat, doc2, xsql.MustParse(`SELECT x FROM Unknown x`)); err == nil {
+		t.Error("unbound class accepted")
+	}
+}
+
+func TestGrepWholeWords(t *testing.T) {
+	doc := text.NewDocument("t", "Chang the Changing Chang changling")
+	res := scan.Grep(doc, "Chang")
+	if res.Occurrences != 2 {
+		t.Fatalf("occurrences = %d, want 2", res.Occurrences)
+	}
+	if res.BytesScanned != doc.Len() {
+		t.Error("BytesScanned")
+	}
+}

@@ -1,0 +1,190 @@
+// Package srccode provides the fourth domain from the paper's motivation
+// list ("electronic documents, programs, log files…"): a structuring schema
+// for source files in a small imperative language, with function and
+// struct declarations — the software-engineering-data scenario the paper
+// reports for the Hy+ system. Declarations are disjunctive (a Decl is a
+// function or a struct), exercising grammars with alternatives.
+//
+// A file looks like:
+//
+//	func compute(alpha int, beta str) {
+//	  do helper(alpha);
+//	  # computes the thing quickly
+//	  do log(beta, alpha);
+//	}
+//	struct Point {
+//	  x int; y int
+//	}
+package srccode
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qof/internal/compile"
+	"qof/internal/grammar"
+)
+
+// Non-terminal names of the schema.
+const (
+	NTSrcFile   = "SrcFile"
+	NTDecl      = "Decl"
+	NTFuncName  = "FuncName"
+	NTParam     = "Param"
+	NTParamName = "ParamName"
+	NTParamType = "ParamType"
+	NTStmt      = "Stmt"
+	NTCallee    = "Callee"
+	NTArg       = "Arg"
+	NTComment   = "Comment"
+	NTTypeName  = "TypeName"
+	NTField     = "Field"
+	NTFieldName = "FieldName"
+	NTFieldType = "FieldType"
+)
+
+// ClassDecls is the XSQL class bound to Decl regions (functions and
+// structs alike; the attributes present distinguish them).
+const ClassDecls = "Decls"
+
+// Grammar builds the source-code structuring schema.
+func Grammar() *grammar.Grammar {
+	g := grammar.NewGrammar(NTSrcFile)
+	g.MustAddTerminal("Ident", `[A-Za-z_][A-Za-z0-9_]*`)
+	g.MustAddTerminal("Line", `[^\n]+`)
+
+	g.AddProduction(NTSrcFile, grammar.Rep(NTDecl, ""))
+	// Alternative 1: function declarations.
+	g.AddProduction(NTDecl,
+		grammar.Lit("func "), grammar.NT(NTFuncName),
+		grammar.Lit("("), grammar.Rep(NTParam, ","), grammar.Lit(")"),
+		grammar.Lit("{"), grammar.Rep(NTStmt, ""), grammar.Lit("}"))
+	// Alternative 2: struct declarations.
+	g.AddProduction(NTDecl,
+		grammar.Lit("struct "), grammar.NT(NTTypeName),
+		grammar.Lit("{"), grammar.Rep(NTField, ";"), grammar.Lit("}"))
+
+	g.AddProduction(NTFuncName, grammar.Term("Ident"))
+	g.AddProduction(NTTypeName, grammar.Term("Ident"))
+	g.AddProduction(NTParam, grammar.NT(NTParamName), grammar.NT(NTParamType))
+	g.AddProduction(NTParamName, grammar.Term("Ident"))
+	g.AddProduction(NTParamType, grammar.Term("Ident"))
+	g.AddProduction(NTField, grammar.NT(NTFieldName), grammar.NT(NTFieldType))
+	g.AddProduction(NTFieldName, grammar.Term("Ident"))
+	g.AddProduction(NTFieldType, grammar.Term("Ident"))
+	// Statements: calls or comments.
+	g.AddProduction(NTStmt,
+		grammar.Lit("do "), grammar.NT(NTCallee),
+		grammar.Lit("("), grammar.Rep(NTArg, ","), grammar.Lit(")"), grammar.Lit(";"))
+	g.AddProduction(NTStmt, grammar.Lit("#"), grammar.NT(NTComment))
+	g.AddProduction(NTCallee, grammar.Term("Ident"))
+	g.AddProduction(NTArg, grammar.Term("Ident"))
+	g.AddProduction(NTComment, grammar.Term("Line"))
+	if err := g.Validate(); err != nil {
+		panic("srccode: invalid grammar: " + err.Error())
+	}
+	return g
+}
+
+// Catalog builds the compile catalog with the standard class binding.
+func Catalog() *compile.Catalog {
+	cat := compile.NewCatalog(Grammar())
+	cat.Bind(ClassDecls, NTDecl)
+	return cat
+}
+
+// Config controls the source generator.
+type Config struct {
+	NumFuncs   int
+	NumStructs int
+	Seed       int64
+	// TargetCallee is called by TargetShare of the functions.
+	TargetCallee string
+	TargetShare  float64
+}
+
+// DefaultConfig generates n functions and n/4 structs; 10% of functions
+// call "parse".
+func DefaultConfig(n int) Config {
+	return Config{
+		NumFuncs:     n,
+		NumStructs:   n / 4,
+		Seed:         1994,
+		TargetCallee: "parse",
+		TargetShare:  0.10,
+	}
+}
+
+// Stats is the generator's ground truth.
+type Stats struct {
+	Decls         int
+	FuncsCalling  int // functions calling TargetCallee
+	StructsWithID int // structs having a field of type "id"
+}
+
+// Generate produces a deterministic synthetic source file.
+func Generate(cfg Config) (string, Stats) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var sb strings.Builder
+	var st Stats
+	types := []string{"int", "str", "vector", "matrix", "id"}
+	callees := []string{"helper", "log", "emit", "reduce", "walk", "hash"}
+	words := []string{"computes", "fast", "slow", "caches", "recursive", "helper", "lookup"}
+
+	ident := func(prefix string, i int) string { return fmt.Sprintf("%s%03d", prefix, i) }
+	for i := 0; i < cfg.NumFuncs; i++ {
+		fmt.Fprintf(&sb, "func %s(", ident("fn", i))
+		params := 1 + rng.Intn(3)
+		for p := 0; p < params; p++ {
+			if p > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %s", ident("arg", p), types[rng.Intn(len(types))])
+		}
+		sb.WriteString(") {\n")
+		calls := cfg.TargetShare > 0 && rng.Float64() < cfg.TargetShare
+		if calls {
+			st.FuncsCalling++
+		}
+		stmts := 1 + rng.Intn(4)
+		targetAt := -1
+		if calls {
+			targetAt = rng.Intn(stmts)
+		}
+		for s := 0; s < stmts; s++ {
+			if rng.Intn(4) == 0 {
+				fmt.Fprintf(&sb, "  # %s %s %s\n",
+					words[rng.Intn(len(words))], words[rng.Intn(len(words))], words[rng.Intn(len(words))])
+			}
+			callee := callees[rng.Intn(len(callees))]
+			if s == targetAt {
+				callee = cfg.TargetCallee
+			}
+			fmt.Fprintf(&sb, "  do %s(%s);\n", callee, ident("arg", rng.Intn(2)))
+		}
+		sb.WriteString("}\n")
+		st.Decls++
+	}
+	for i := 0; i < cfg.NumStructs; i++ {
+		fmt.Fprintf(&sb, "struct %s {\n", ident("Type", i))
+		fields := 1 + rng.Intn(4)
+		hasID := false
+		for f := 0; f < fields; f++ {
+			if f > 0 {
+				sb.WriteString(";\n")
+			}
+			ft := types[rng.Intn(len(types))]
+			if ft == "id" {
+				hasID = true
+			}
+			fmt.Fprintf(&sb, "  %s %s", ident("field", f), ft)
+		}
+		sb.WriteString("\n}\n")
+		if hasID {
+			st.StructsWithID++
+		}
+		st.Decls++
+	}
+	return sb.String(), st
+}

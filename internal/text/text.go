@@ -1,0 +1,148 @@
+// Package text provides the document and tokenization layer underneath the
+// indexing engine. A document is an immutable byte string; words are maximal
+// runs of letters and digits, identified by byte offsets. All higher layers
+// (word index, region algebra, structuring schemas) address text exclusively
+// through byte offsets into a document, mirroring how the PAT system
+// addresses its indexed text through positions.
+package text
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is one word occurrence in a document: the half-open byte range
+// [Start, End) holding the word.
+type Token struct {
+	Start int
+	End   int
+}
+
+// Len reports the byte length of the token.
+func (t Token) Len() int { return t.End - t.Start }
+
+// Document is an immutable piece of indexed text. The zero value is an empty
+// document.
+type Document struct {
+	name    string
+	content string
+}
+
+// NewDocument creates a document with the given name (typically a file path)
+// and content.
+func NewDocument(name, content string) *Document {
+	return &Document{name: name, content: content}
+}
+
+// Name returns the document's name.
+func (d *Document) Name() string { return d.name }
+
+// Content returns the full text of the document.
+func (d *Document) Content() string { return d.content }
+
+// Len returns the length of the document in bytes.
+func (d *Document) Len() int { return len(d.content) }
+
+// Slice returns the text in the half-open byte range [start, end).
+// It panics if the range is out of bounds or inverted.
+func (d *Document) Slice(start, end int) string {
+	if start < 0 || end > len(d.content) || start > end {
+		panic(fmt.Sprintf("text: slice [%d,%d) out of range (doc %q, len %d)", start, end, d.name, len(d.content)))
+	}
+	return d.content[start:end]
+}
+
+// Token reports the token text for the given token.
+func (d *Document) Token(t Token) string { return d.Slice(t.Start, t.End) }
+
+// IsWordRune reports whether r is part of a word. Words are maximal runs of
+// letters and digits; everything else (punctuation, whitespace, markup)
+// separates words.
+func IsWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Tokenize splits s into word tokens. Offsets are byte offsets into s.
+func Tokenize(s string) []Token {
+	var toks []Token
+	start := -1
+	for i := 0; i < len(s); {
+		r, size := rune(s[i]), 1
+		if r >= utf8.RuneSelf {
+			r, size = utf8.DecodeRuneInString(s[i:])
+		}
+		if IsWordRune(r) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			toks = append(toks, Token{Start: start, End: i})
+			start = -1
+		}
+		i += size
+	}
+	if start >= 0 {
+		toks = append(toks, Token{Start: start, End: len(s)})
+	}
+	return toks
+}
+
+// Tokens tokenizes the whole document.
+func (d *Document) Tokens() []Token { return Tokenize(d.content) }
+
+// ContainsWholeWord reports whether w occurs in s delimited by word
+// boundaries on both sides. w may be a phrase (internal separators are
+// matched literally); only its ends must fall on word boundaries.
+func ContainsWholeWord(s, w string) bool {
+	if w == "" {
+		return false
+	}
+	for i := 0; i+len(w) <= len(s); i++ {
+		if s[i:i+len(w)] != w {
+			continue
+		}
+		if r, _ := utf8.DecodeLastRuneInString(s[:i]); i > 0 && IsWordRune(r) && startsWithWordRune(w) {
+			continue
+		}
+		end := i + len(w)
+		if r, _ := utf8.DecodeRuneInString(s[end:]); end < len(s) && IsWordRune(r) && endsWithWordRune(w) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func startsWithWordRune(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return IsWordRune(r)
+}
+
+func endsWithWordRune(s string) bool {
+	r, _ := utf8.DecodeLastRuneInString(s)
+	return IsWordRune(r)
+}
+
+// IsWord reports whether the byte range [start, end) of s holds a whole word:
+// the content is a run of word runes and the range is not extendable on
+// either side. It is the primitive behind whole-word selection.
+func IsWord(s string, start, end int) bool {
+	if start < 0 || end > len(s) || start >= end {
+		return false
+	}
+	for i := start; i < end; {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if !IsWordRune(r) {
+			return false
+		}
+		i += size
+	}
+	if r, _ := utf8.DecodeLastRuneInString(s[:start]); start > 0 && IsWordRune(r) {
+		return false
+	}
+	if r, _ := utf8.DecodeRuneInString(s[end:]); end < len(s) && IsWordRune(r) {
+		return false
+	}
+	return true
+}

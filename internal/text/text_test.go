@@ -1,0 +1,188 @@
+package text
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeSimple(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"hello", []string{"hello"}},
+		{"hello world", []string{"hello", "world"}},
+		{"G. F. Corliss and Y. F. Chang", []string{"G", "F", "Corliss", "and", "Y", "F", "Chang"}},
+		{"114--144", []string{"114", "144"}},
+		{"@INCOLLECTION{Corl82a,", []string{"INCOLLECTION", "Corl82a"}},
+		{"point algorithm; Taylor series;", []string{"point", "algorithm", "Taylor", "series"}},
+		{"naïve café", []string{"naïve", "café"}},
+		{"a", []string{"a"}},
+		{"a b", []string{"a", "b"}},
+		{"...!!!", nil},
+		{"x1y2", []string{"x1y2"}},
+	}
+	for _, tc := range tests {
+		toks := Tokenize(tc.in)
+		var got []string
+		for _, tok := range toks {
+			got = append(got, tc.in[tok.Start:tok.End])
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	s := "  Chang, and Corliss "
+	toks := Tokenize(s)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3", len(toks))
+	}
+	if toks[0].Start != 2 || toks[0].End != 7 {
+		t.Errorf("token 0 = [%d,%d), want [2,7)", toks[0].Start, toks[0].End)
+	}
+	if s[toks[2].Start:toks[2].End] != "Corliss" {
+		t.Errorf("token 2 text = %q", s[toks[2].Start:toks[2].End])
+	}
+}
+
+func TestTokenizeTrailingWord(t *testing.T) {
+	toks := Tokenize("end")
+	if len(toks) != 1 || toks[0].Start != 0 || toks[0].End != 3 {
+		t.Fatalf("Tokenize(\"end\") = %v", toks)
+	}
+}
+
+func TestTokensAreWords(t *testing.T) {
+	// Property: every token produced by Tokenize satisfies IsWord, and
+	// tokens are non-overlapping and in order.
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		prev := -1
+		for _, tok := range toks {
+			if tok.Start <= prev {
+				return false
+			}
+			if !IsWord(s, tok.Start, tok.End) {
+				return false
+			}
+			prev = tok.End - 1
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsWord(t *testing.T) {
+	s := "the Changing of Chang"
+	chang := strings.LastIndex(s, "Chang")
+	if !IsWord(s, chang, chang+5) {
+		t.Errorf("IsWord final Chang = false, want true")
+	}
+	// "Chang" inside "Changing" is not a whole word.
+	first := strings.Index(s, "Chang")
+	if IsWord(s, first, first+5) {
+		t.Errorf("IsWord Chang-in-Changing = true, want false")
+	}
+	if IsWord(s, 0, 0) {
+		t.Errorf("empty range is not a word")
+	}
+	if IsWord(s, 3, 5) { // "e C": contains a separator
+		t.Errorf("range with separator is not a word")
+	}
+	if IsWord(s, -1, 2) || IsWord(s, 0, len(s)+1) {
+		t.Errorf("out-of-range must be false")
+	}
+}
+
+func TestContainsWholeWord(t *testing.T) {
+	cases := []struct {
+		s, w string
+		want bool
+	}{
+		{"the Changing of Chang", "Chang", true},
+		{"the Changing of others", "Chang", false}, // substring only
+		{"Chang", "Chang", true},
+		{"", "Chang", false},
+		{"Chang", "", false},
+		{"a b c", "b", true},
+		{"ab c", "b", false},
+		{"uses automatic differentiation to", "automatic differentiation", true}, // phrase
+		{"semiautomatic differentiation", "automatic differentiation", false},
+		{"automatic differentiations", "automatic differentiation", false},
+		{"G. F. Corliss", "G. F.", true}, // phrase ending in punctuation
+		{"e.g. G. F. problem", "G. F.", true},
+		{"e.g. FG. F. problem", "G. F.", false}, // G is not word-initial there
+		{"[1982]", "1982", true},
+		{"x1982y", "1982", false},
+		{"naïve café", "café", true},
+		{"naïvecafé", "café", false}, // unicode word boundary
+	}
+	for _, tc := range cases {
+		if got := ContainsWholeWord(tc.s, tc.w); got != tc.want {
+			t.Errorf("ContainsWholeWord(%q, %q) = %v, want %v", tc.s, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestContainsWholeWordMatchesTokenization(t *testing.T) {
+	// Property: for single clean words, ContainsWholeWord agrees with
+	// token equality.
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if !ContainsWholeWord(s, s[tok.Start:tok.End]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDocument(t *testing.T) {
+	d := NewDocument("bib.bib", "AUTHOR = \"Chang\"")
+	if d.Name() != "bib.bib" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if d.Len() != 16 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if got := d.Slice(10, 15); got != "Chang" {
+		t.Errorf("Slice = %q", got)
+	}
+	toks := d.Tokens()
+	if len(toks) != 2 || d.Token(toks[1]) != "Chang" {
+		t.Errorf("Tokens = %v", toks)
+	}
+}
+
+func TestDocumentSlicePanics(t *testing.T) {
+	d := NewDocument("x", "abc")
+	for _, rng := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d,%d) did not panic", rng[0], rng[1])
+				}
+			}()
+			d.Slice(rng[0], rng[1])
+		}()
+	}
+}
+
+func TestTokenLen(t *testing.T) {
+	if (Token{Start: 3, End: 10}).Len() != 7 {
+		t.Error("Token.Len")
+	}
+}

@@ -1,0 +1,111 @@
+package xsql
+
+import (
+	"fmt"
+	"strings"
+
+	"qof/internal/db"
+	"qof/internal/text"
+)
+
+// Env binds range variables to the database values they currently range
+// over during evaluation.
+type Env map[string]db.Value
+
+// Steps converts the path's segments into database navigation steps.
+func (p Path) Steps() []db.Step {
+	steps := make([]db.Step, len(p.Segs))
+	for i, s := range p.Segs {
+		switch {
+		case s.Star:
+			steps[i] = db.Step{Star: true}
+		case s.Any:
+			steps[i] = db.Step{Any: true}
+		default:
+			steps[i] = db.Step{Attr: s.Attr}
+		}
+	}
+	return steps
+}
+
+// EvalCond decides a WHERE condition for the given variable bindings, with
+// the usual existential path semantics: a comparison holds when some value
+// reached by the path(s) satisfies it.
+func EvalCond(env Env, c Cond) (bool, error) {
+	switch c := c.(type) {
+	case nil:
+		return true, nil
+	case CmpConst:
+		v, ok := env[c.Path.Var]
+		if !ok {
+			return false, fmt.Errorf("xsql: unbound variable %q", c.Path.Var)
+		}
+		return db.HasLeaf(v, c.Path.Steps(), c.Word), nil
+	case CmpContains:
+		v, ok := env[c.Path.Var]
+		if !ok {
+			return false, fmt.Errorf("xsql: unbound variable %q", c.Path.Var)
+		}
+		for _, s := range db.NavigateStrings(v, c.Path.Steps()) {
+			if text.ContainsWholeWord(s, c.Word) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case CmpStarts:
+		v, ok := env[c.Path.Var]
+		if !ok {
+			return false, fmt.Errorf("xsql: unbound variable %q", c.Path.Var)
+		}
+		for _, s := range db.NavigateStrings(v, c.Path.Steps()) {
+			if strings.HasPrefix(s, c.Prefix) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case CmpPaths:
+		lv, ok := env[c.L.Var]
+		if !ok {
+			return false, fmt.Errorf("xsql: unbound variable %q", c.L.Var)
+		}
+		rv, ok := env[c.R.Var]
+		if !ok {
+			return false, fmt.Errorf("xsql: unbound variable %q", c.R.Var)
+		}
+		ls := db.NavigateStrings(lv, c.L.Steps())
+		if len(ls) == 0 {
+			return false, nil
+		}
+		rs := db.NavigateStrings(rv, c.R.Steps())
+		if len(rs) == 0 {
+			return false, nil
+		}
+		seen := make(map[string]bool, len(ls))
+		for _, s := range ls {
+			seen[s] = true
+		}
+		for _, s := range rs {
+			if seen[s] {
+				return true, nil
+			}
+		}
+		return false, nil
+	case And:
+		l, err := EvalCond(env, c.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalCond(env, c.R)
+	case Or:
+		l, err := EvalCond(env, c.L)
+		if err != nil || l {
+			return l, err
+		}
+		return EvalCond(env, c.R)
+	case Not:
+		v, err := EvalCond(env, c.C)
+		return !v, err
+	default:
+		return false, fmt.Errorf("xsql: unknown condition %T", c)
+	}
+}
