@@ -312,6 +312,32 @@ func BenchmarkX1FullRebuild(b *testing.B) {
 	}
 }
 
+// --- X2: concurrent query serving ---
+
+// BenchmarkConcurrentExecute drives N client goroutines of mixed queries
+// against one shared engine and reports queries/sec; the sweep over worker
+// counts shows throughput scaling (compare the queries/s metric of
+// workers1 vs workers4 — scaling requires GOMAXPROCS > 1).
+func BenchmarkConcurrentExecute(b *testing.B) {
+	s := bibtexSetup(b, grammar.IndexSpec{})
+	queries := make([]*xsql.Query, len(experiments.ConcurrencyQueries))
+	for i, src := range experiments.ConcurrencyQueries {
+		queries[i] = xsql.MustParse(src)
+	}
+	for _, workers := range experiments.ConcurrencyWorkers {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			elapsed, err := experiments.ServeConcurrent(s.Engine, queries, workers, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sec := elapsed.Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "queries/s")
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkMicroIndexBuildFull(b *testing.B) {

@@ -50,20 +50,44 @@ func SourceCode() *Schema { return &Schema{cat: srccode.Catalog()} }
 // possible direct inclusion.
 func (s *Schema) RIG() string { return s.cat.RIG.String() }
 
-// IndexOption configures Index.
-type IndexOption func(*grammar.IndexSpec)
+// indexConfig collects the effects of IndexOptions: the indexing choice
+// plus execution configuration for the resulting File or Corpus.
+type indexConfig struct {
+	spec        grammar.IndexSpec
+	parallelism int
+}
+
+// IndexOption configures Index, Load and NewCorpus.
+type IndexOption func(*indexConfig)
+
+func applyOptions(opts []IndexOption) indexConfig {
+	var cfg indexConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
 
 // WithRegions restricts indexing to the given region names (partial
 // indexing); the default indexes every non-terminal.
 func WithRegions(names ...string) IndexOption {
-	return func(spec *grammar.IndexSpec) { spec.Names = append(spec.Names, names...) }
+	return func(c *indexConfig) { c.spec.Names = append(c.spec.Names, names...) }
 }
 
 // WithScopedRegion selectively indexes name only inside within regions.
 func WithScopedRegion(name, within string) IndexOption {
-	return func(spec *grammar.IndexSpec) {
-		spec.Scoped = append(spec.Scoped, grammar.ScopedName{Name: name, Within: within})
+	return func(c *indexConfig) {
+		c.spec.Scoped = append(c.spec.Scoped, grammar.ScopedName{Name: name, Within: within})
 	}
+}
+
+// WithParallelism sets the degree of parallelism for query execution:
+// on a File, up to n worker goroutines parse and filter candidate regions
+// within one query; on a Corpus, up to n files are queried concurrently.
+// Values below 2 evaluate sequentially (the default). Results are identical
+// either way — parallel execution preserves document order and statistics.
+func WithParallelism(n int) IndexOption {
+	return func(c *indexConfig) { c.parallelism = n }
 }
 
 // File is an indexed document ready for querying.
@@ -72,28 +96,34 @@ type File struct {
 	eng    *engine.Engine
 }
 
-// Index parses and indexes a document held in memory.
+// Index parses and indexes a document held in memory. The returned File is
+// safe for concurrent queries.
 func (s *Schema) Index(name, content string, opts ...IndexOption) (*File, error) {
-	var spec grammar.IndexSpec
-	for _, o := range opts {
-		o(&spec)
-	}
+	cfg := applyOptions(opts)
 	doc := text.NewDocument(name, content)
-	in, _, err := s.cat.Grammar.BuildInstance(doc, spec)
+	in, _, err := s.cat.Grammar.BuildInstance(doc, cfg.spec)
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: s, eng: engine.New(s.cat, in)}, nil
+	return &File{schema: s, eng: newEngine(s.cat, in, cfg.parallelism)}, nil
 }
 
 // Load re-attaches a persisted index (written by Save) to the document
-// content, verifying it has not changed.
-func (s *Schema) Load(r io.Reader, name, content string) (*File, error) {
+// content, verifying it has not changed. Indexing-choice options are
+// ignored (the persisted index fixes them); WithParallelism applies.
+func (s *Schema) Load(r io.Reader, name, content string, opts ...IndexOption) (*File, error) {
+	cfg := applyOptions(opts)
 	in, err := index.Load(r, text.NewDocument(name, content))
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: s, eng: engine.New(s.cat, in)}, nil
+	return &File{schema: s, eng: newEngine(s.cat, in, cfg.parallelism)}, nil
+}
+
+func newEngine(cat *compile.Catalog, in *index.Instance, parallelism int) *engine.Engine {
+	eng := engine.New(cat, in)
+	eng.Parallelism = parallelism
+	return eng
 }
 
 // Save persists the file's indexes.
@@ -120,6 +150,9 @@ type Stats struct {
 	Exact bool
 	// FullScan reports that the index offered no narrowing.
 	FullScan bool
+	// PlanCached reports that the compiled plan came from the plan cache
+	// (a repeat query skipped parse, compile and optimize).
+	PlanCached bool
 }
 
 // Results is a query outcome: whole-object selects fill Spans, projections
@@ -165,6 +198,7 @@ func convertResults(doc *text.Document, res *engine.Result) *Results {
 		ParsedBytes: res.Stats.ParsedBytes,
 		Exact:       res.Stats.Exact,
 		FullScan:    res.Stats.FullScan,
+		PlanCached:  res.Stats.PlanCached,
 	}
 	if res.Projected {
 		out.Values = append([]string(nil), res.Strings...)
@@ -204,7 +238,7 @@ func (f *File) Replace(regionName string, span Span, newText string) (*File, err
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: f.schema, eng: engine.New(f.schema.cat, in)}, nil
+	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, f.eng.Parallelism)}, nil
 }
 
 // InsertAfter inserts newText (a complete occurrence of regionName's
@@ -215,7 +249,7 @@ func (f *File) InsertAfter(regionName string, span Span, newText string) (*File,
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: f.schema, eng: engine.New(f.schema.cat, in)}, nil
+	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, f.eng.Parallelism)}, nil
 }
 
 // Delete removes the span (an indexed region of regionName) without any
@@ -225,7 +259,7 @@ func (f *File) Delete(regionName string, span Span) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: f.schema, eng: engine.New(f.schema.cat, in)}, nil
+	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, f.eng.Parallelism)}, nil
 }
 
 // Content returns the file's current text.
@@ -237,18 +271,20 @@ type Corpus struct {
 	c      *engine.Corpus
 }
 
-// NewCorpus creates an empty corpus.
-func (s *Schema) NewCorpus() *Corpus {
-	return &Corpus{schema: s, c: engine.NewCorpus(s.cat)}
+// NewCorpus creates an empty corpus. With WithParallelism(n), queries run
+// against up to n files concurrently. The Corpus is safe for concurrent
+// queries once every file is added.
+func (s *Schema) NewCorpus(opts ...IndexOption) *Corpus {
+	cfg := applyOptions(opts)
+	ec := engine.NewCorpus(s.cat)
+	ec.Parallelism = cfg.parallelism
+	return &Corpus{schema: s, c: ec}
 }
 
 // Add indexes a document and adds it to the corpus.
 func (c *Corpus) Add(name, content string, opts ...IndexOption) error {
-	var spec grammar.IndexSpec
-	for _, o := range opts {
-		o(&spec)
-	}
-	return c.c.Add(text.NewDocument(name, content), spec)
+	cfg := applyOptions(opts)
+	return c.c.Add(text.NewDocument(name, content), cfg.spec)
 }
 
 // CorpusHit is one file's results.

@@ -2,7 +2,9 @@ package qof_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"qof"
@@ -256,5 +258,90 @@ func TestFacadeInsertDelete(t *testing.T) {
 	}
 	if left.Len() != 1 || left.Values[0] != "Added01" {
 		t.Fatalf("after delete: %v", left.Values)
+	}
+}
+
+// TestFacadeConcurrentQueries shares one File and one Corpus among many
+// goroutines (with WithParallelism engaged on both) and checks every
+// result against a sequential baseline. Run under -race it proves the
+// public API is safe for concurrent readers.
+func TestFacadeConcurrentQueries(t *testing.T) {
+	content, _ := bibtex.Generate(bibtex.DefaultConfig(50))
+	file, err := qof.BibTeX().Index("c.bib", content, qof.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := qof.BibTeX().NewCorpus(qof.WithParallelism(4))
+	if err := corpus.Add("a.bib", bibtex.SampleEntry); err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.Add("c.bib", content); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`,
+		`SELECT r.Key FROM References r WHERE r.Editors.Name.Last_Name = "Chang"`,
+		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`,
+		`SELECT r.Key FROM References r`,
+	}
+	fileWant := make([]string, len(queries))
+	corpusWant := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := file.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fileWant[i] = fmt.Sprintf("%v|%v", res.Spans, res.Values)
+		hits, err := corpus.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpusWant[i] = fmt.Sprintf("%v", hits)
+	}
+	// Repeat queries must now be served from the plan cache.
+	res, err := file.Query(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.PlanCached {
+		t.Error("repeat query should report Stats.PlanCached")
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				for off := range queries {
+					i := (w + r + off) % len(queries)
+					res, err := file.Query(queries[i])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := fmt.Sprintf("%v|%v", res.Spans, res.Values); got != fileWant[i] {
+						errc <- fmt.Errorf("file result diverged for %s", queries[i])
+						return
+					}
+					hits, err := corpus.Query(queries[i])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got := fmt.Sprintf("%v", hits); got != corpusWant[i] {
+						errc <- fmt.Errorf("corpus result diverged for %s", queries[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }

@@ -24,6 +24,13 @@ type Stats struct {
 
 // Evaluator evaluates region-algebra expressions against one index instance.
 // The zero value is not usable; construct with NewEvaluator.
+//
+// An Evaluator holds no per-query state: the CSE memo and the statistics of
+// one evaluation live in a per-call context, so a single Evaluator serves
+// any number of concurrent Eval/EvalStats calls with no locking, provided
+// the configuration fields (UseLayeredDirect, Stats) are not mutated while
+// calls are in flight. Concurrent callers that want statistics should pass
+// a per-call *Stats to EvalStats rather than sharing the Stats field.
 type Evaluator struct {
 	in *index.Instance
 
@@ -33,14 +40,10 @@ type Evaluator struct {
 	// properly nested instances.
 	UseLayeredDirect bool
 
-	// Stats, when non-nil, accumulates statistics across Eval calls.
+	// Stats, when non-nil, accumulates statistics across Eval calls. It is
+	// read at the start of each Eval call; concurrent Eval calls sharing
+	// one Stats would race, so concurrent callers use EvalStats instead.
 	Stats *Stats
-
-	// memo caches subexpression results within one Eval call, so common
-	// subexpressions of composite queries are evaluated once (the goal
-	// Section 5.2 states for boolean selection criteria). Expressions
-	// are pure, so caching never changes results.
-	memo map[string]region.Set
 }
 
 // NewEvaluator creates an evaluator over the instance.
@@ -51,34 +54,53 @@ func NewEvaluator(in *index.Instance) *Evaluator {
 // Instance returns the instance the evaluator runs against.
 func (ev *Evaluator) Instance() *index.Instance { return ev.in }
 
-// Eval evaluates e and returns the resulting region set. Within one call,
-// identical subexpressions are computed once.
-func (ev *Evaluator) Eval(e Expr) (region.Set, error) {
-	ev.memo = make(map[string]region.Set)
-	defer func() { ev.memo = nil }()
-	return ev.eval(e)
+// evalCtx is the state of one evaluation call: the CSE memo and the stats
+// sink. Keeping it out of the Evaluator is what makes overlapping calls
+// safe without locks.
+type evalCtx struct {
+	// memo caches subexpression results within one Eval call, so common
+	// subexpressions of composite queries are evaluated once (the goal
+	// Section 5.2 states for boolean selection criteria). Expressions
+	// are pure, so caching never changes results.
+	memo  map[string]region.Set
+	stats *Stats
 }
 
-func (ev *Evaluator) eval(e Expr) (region.Set, error) {
+// Eval evaluates e and returns the resulting region set. Within one call,
+// identical subexpressions are computed once. Statistics accumulate into
+// the Stats field when set.
+func (ev *Evaluator) Eval(e Expr) (region.Set, error) {
+	return ev.EvalStats(e, ev.Stats)
+}
+
+// EvalStats evaluates e, accumulating statistics into st when non-nil.
+// This is the entry point for concurrent callers: each call gets its own
+// memo and stats sink, so overlapping calls on one Evaluator never contend.
+func (ev *Evaluator) EvalStats(e Expr, st *Stats) (region.Set, error) {
+	ctx := &evalCtx{memo: make(map[string]region.Set), stats: st}
+	return ev.eval(ctx, e)
+}
+
+func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 	var key string
 	switch e.(type) {
 	case Binary, Select, Unary, Near, Freq:
 		key = e.String()
-		if cached, ok := ev.memo[key]; ok {
-			if ev.Stats != nil {
-				ev.Stats.CacheHits++
+		if cached, ok := ctx.memo[key]; ok {
+			if ctx.stats != nil {
+				ctx.stats.CacheHits++
 			}
 			return cached, nil
 		}
 	}
-	out, err := ev.evalUncached(e)
+	out, err := ev.evalUncached(ctx, e)
 	if err == nil && key != "" {
-		ev.memo[key] = out
+		ctx.memo[key] = out
 	}
 	return out, err
 }
 
-func (ev *Evaluator) evalUncached(e Expr) (region.Set, error) {
+func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 	switch e := e.(type) {
 	case Name:
 		s, ok := ev.in.Region(e.Ident)
@@ -93,7 +115,7 @@ func (ev *Evaluator) evalUncached(e Expr) (region.Set, error) {
 	case Match:
 		return ev.in.Words().SubstringMatchPoints(e.S), nil
 	case Select:
-		arg, err := ev.eval(e.Arg)
+		arg, err := ev.eval(ctx, e.Arg)
 		if err != nil {
 			return region.Empty, err
 		}
@@ -106,10 +128,10 @@ func (ev *Evaluator) evalUncached(e Expr) (region.Set, error) {
 		default:
 			out = ev.in.Words().SelectPrefix(arg, e.W)
 		}
-		ev.count(out, false)
+		ctx.count(out, false)
 		return out, nil
 	case Unary:
-		arg, err := ev.eval(e.Arg)
+		arg, err := ev.eval(ctx, e.Arg)
 		if err != nil {
 			return region.Empty, err
 		}
@@ -119,34 +141,34 @@ func (ev *Evaluator) evalUncached(e Expr) (region.Set, error) {
 		} else {
 			out = arg.Outermost()
 		}
-		ev.count(out, false)
+		ctx.count(out, false)
 		return out, nil
 	case Near:
-		l, err := ev.eval(e.E)
+		l, err := ev.eval(ctx, e.E)
 		if err != nil {
 			return region.Empty, err
 		}
-		to, err := ev.eval(e.To)
+		to, err := ev.eval(ctx, e.To)
 		if err != nil {
 			return region.Empty, err
 		}
 		out := evalNear(l, to, e.K)
-		ev.count(out, false)
+		ctx.count(out, false)
 		return out, nil
 	case Freq:
-		arg, err := ev.eval(e.Arg)
+		arg, err := ev.eval(ctx, e.Arg)
 		if err != nil {
 			return region.Empty, err
 		}
 		out := ev.evalFreq(arg, e.W, e.N)
-		ev.count(out, false)
+		ctx.count(out, false)
 		return out, nil
 	case Binary:
-		l, err := ev.eval(e.L)
+		l, err := ev.eval(ctx, e.L)
 		if err != nil {
 			return region.Empty, err
 		}
-		r, err := ev.eval(e.R)
+		r, err := ev.eval(ctx, e.R)
 		if err != nil {
 			return region.Empty, err
 		}
@@ -154,7 +176,7 @@ func (ev *Evaluator) evalUncached(e Expr) (region.Set, error) {
 		if err != nil {
 			return region.Empty, err
 		}
-		ev.count(out, e.Op.IsDirect())
+		ctx.count(out, e.Op.IsDirect())
 		return out, nil
 	default:
 		return region.Empty, fmt.Errorf("algebra: unknown expression %T", e)
@@ -185,15 +207,15 @@ func (ev *Evaluator) apply(op BinOp, l, r region.Set) (region.Set, error) {
 	}
 }
 
-func (ev *Evaluator) count(out region.Set, direct bool) {
-	if ev.Stats == nil {
+func (ctx *evalCtx) count(out region.Set, direct bool) {
+	if ctx.stats == nil {
 		return
 	}
-	ev.Stats.Ops++
+	ctx.stats.Ops++
 	if direct {
-		ev.Stats.DirectOps++
+		ctx.stats.DirectOps++
 	}
-	ev.Stats.RegionsTouched += out.Len()
+	ctx.stats.RegionsTouched += out.Len()
 }
 
 // layeredDirectlyIncluding computes R ⊃d S with the paper's Section 3.1

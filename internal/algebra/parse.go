@@ -3,7 +3,6 @@ package algebra
 import (
 	"fmt"
 	"strconv"
-	"strings"
 	"unicode"
 )
 
@@ -101,23 +100,25 @@ func (l *lexer) lex() (token, error) {
 		}
 		return token{kind: tokOp, text: string(c), pos: start}, nil
 	case c == '"':
-		l.pos++
-		var sb strings.Builder
-		for l.pos < len(l.src) {
-			ch := l.src[l.pos]
-			if ch == '\\' && l.pos+1 < len(l.src) {
-				sb.WriteByte(l.src[l.pos+1])
-				l.pos += 2
-				continue
+		// Find the closing quote honoring escapes, then decode with the
+		// Go string-literal rules — the inverse of the strconv.Quote used
+		// by String(), so rendering round-trips.
+		j := l.pos + 1
+		for j < len(l.src) && l.src[j] != '"' {
+			if l.src[j] == '\\' && j+1 < len(l.src) {
+				j++
 			}
-			if ch == '"' {
-				l.pos++
-				return token{kind: tokString, text: sb.String(), pos: start}, nil
-			}
-			sb.WriteByte(ch)
-			l.pos++
+			j++
 		}
-		return token{}, fmt.Errorf("algebra: unterminated string at offset %d", start)
+		if j >= len(l.src) {
+			return token{}, fmt.Errorf("algebra: unterminated string at offset %d", start)
+		}
+		text, err := strconv.Unquote(l.src[l.pos : j+1])
+		if err != nil {
+			return token{}, fmt.Errorf("algebra: bad string at offset %d: %v", start, err)
+		}
+		l.pos = j + 1
+		return token{kind: tokString, text: text, pos: start}, nil
 	case isIdentStart(c) || isDigit(c):
 		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
 			l.pos++

@@ -1,0 +1,85 @@
+package compile
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PlanCache is a bounded LRU cache of compiled plans keyed by normalized
+// query text (Query.String()). Compilation — parse resolution against the
+// RIG, optimization, exactness classification — is pure with respect to one
+// instance's indexing choice, so a cached plan is valid for as long as the
+// instance's set of indexed names is unchanged; the engine keys one cache
+// per instance and discards it on reindexing.
+//
+// Plans are immutable after compilation, so a cached *Plan may be shared by
+// any number of concurrent executions. The cache itself is safe for
+// concurrent use.
+type PlanCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	hits, misses int
+}
+
+type planEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewPlanCache creates a cache holding at most capacity plans; capacity < 1
+// is treated as 1.
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached plan for the key, marking it most recently used.
+func (pc *PlanCache) Get(key string) (*Plan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.m[key]
+	if !ok {
+		pc.misses++
+		return nil, false
+	}
+	pc.hits++
+	pc.ll.MoveToFront(el)
+	return el.Value.(*planEntry).plan, true
+}
+
+// Put inserts (or refreshes) the plan under the key, evicting the least
+// recently used entry when the cache is full.
+func (pc *PlanCache) Put(key string, p *Plan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.m[key]; ok {
+		el.Value.(*planEntry).plan = p
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.m[key] = pc.ll.PushFront(&planEntry{key: key, plan: p})
+	for pc.ll.Len() > pc.cap {
+		oldest := pc.ll.Back()
+		pc.ll.Remove(oldest)
+		delete(pc.m, oldest.Value.(*planEntry).key)
+	}
+}
+
+// Len reports the number of cached plans.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ll.Len()
+}
+
+// Counters reports cumulative hit and miss counts, for throughput reports.
+func (pc *PlanCache) Counters() (hits, misses int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}

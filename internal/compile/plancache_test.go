@@ -1,0 +1,80 @@
+package compile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPlanCacheLRU(t *testing.T) {
+	pc := NewPlanCache(2)
+	a, b, c := &Plan{}, &Plan{}, &Plan{}
+	pc.Put("a", a)
+	pc.Put("b", b)
+	if got, ok := pc.Get("a"); !ok || got != a {
+		t.Fatal("a missing after insert")
+	}
+	pc.Put("c", c) // evicts b, the least recently used
+	if _, ok := pc.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, ok := pc.Get("a"); !ok || got != a {
+		t.Error("a should survive: it was used after b")
+	}
+	if got, ok := pc.Get("c"); !ok || got != c {
+		t.Error("c missing")
+	}
+	if pc.Len() != 2 {
+		t.Errorf("len = %d, want 2", pc.Len())
+	}
+	hits, misses := pc.Counters()
+	if hits != 3 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+func TestPlanCacheRefresh(t *testing.T) {
+	pc := NewPlanCache(1)
+	p1, p2 := &Plan{}, &Plan{}
+	pc.Put("k", p1)
+	pc.Put("k", p2)
+	if got, _ := pc.Get("k"); got != p2 {
+		t.Error("refresh did not replace the plan")
+	}
+	if pc.Len() != 1 {
+		t.Errorf("len = %d, want 1", pc.Len())
+	}
+}
+
+func TestPlanCacheTinyCapacity(t *testing.T) {
+	pc := NewPlanCache(0) // clamped to 1
+	pc.Put("a", &Plan{})
+	pc.Put("b", &Plan{})
+	if pc.Len() != 1 {
+		t.Errorf("len = %d, want 1", pc.Len())
+	}
+}
+
+// TestPlanCacheConcurrent hammers the cache from many goroutines; run under
+// -race it proves Get/Put/Len/Counters are safe to share.
+func TestPlanCacheConcurrent(t *testing.T) {
+	pc := NewPlanCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("q%d", (g+i)%16)
+				if _, ok := pc.Get(key); !ok {
+					pc.Put(key, &Plan{})
+				}
+				pc.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pc.Len() > 8 {
+		t.Errorf("len = %d exceeds capacity", pc.Len())
+	}
+}

@@ -21,9 +21,11 @@ type Corpus struct {
 	cat     *compile.Catalog
 	engines []*Engine
 
-	// Parallelism bounds the number of files queried concurrently;
-	// values < 2 evaluate sequentially. Engines are independent per
-	// file, so parallel execution needs no locking.
+	// Parallelism bounds the number of files queried concurrently: 0 and
+	// 1 evaluate sequentially, N > 1 runs at most N files at a time.
+	// Engines are independent per file, so parallel execution needs no
+	// locking. Set it before the corpus starts serving; Execute itself is
+	// safe to call from many goroutines at once.
 	Parallelism int
 }
 
@@ -81,13 +83,16 @@ func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
 	results := make([]*Result, len(c.engines))
 	errs := make([]error, len(c.engines))
 	if c.Parallelism > 1 {
+		// Acquire the semaphore before spawning, so at most Parallelism
+		// goroutines exist at any moment — launching one goroutine per
+		// file would defeat the bound on large corpora.
 		sem := make(chan struct{}, c.Parallelism)
 		var wg sync.WaitGroup
 		for i, eng := range c.engines {
+			sem <- struct{}{}
 			wg.Add(1)
 			go func(i int, eng *Engine) {
 				defer wg.Done()
-				sem <- struct{}{}
 				defer func() { <-sem }()
 				results[i], errs[i] = eng.Execute(q)
 			}(i, eng)
@@ -112,6 +117,7 @@ func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
 		out.Stats.Results += st.Results
 		out.Stats.Exact = out.Stats.Exact || st.Exact
 		out.Stats.FullScan = out.Stats.FullScan || st.FullScan
+		out.Stats.PlanCached = out.Stats.PlanCached || st.PlanCached
 		if st.Results == 0 {
 			continue
 		}

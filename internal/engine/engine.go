@@ -16,6 +16,8 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"qof/internal/algebra"
@@ -27,16 +29,39 @@ import (
 	"qof/internal/xsql"
 )
 
+// planCacheCap bounds the per-engine compiled-plan cache. Query texts are
+// short and plans small, so a few dozen entries cover any realistic
+// interactive or serving workload while keeping eviction cheap.
+const planCacheCap = 64
+
 // Engine evaluates queries over one indexed document.
+//
+// An Engine is safe for concurrent use: Execute may be called from any
+// number of goroutines. The catalog, instance and evaluator are read-only
+// during execution, per-query state lives in the Result, and the plan cache
+// synchronizes internally. The Parallelism field is configuration — set it
+// before the engine starts serving.
 type Engine struct {
-	cat *compile.Catalog
-	in  *index.Instance
-	ev  *algebra.Evaluator
+	cat   *compile.Catalog
+	in    *index.Instance
+	ev    *algebra.Evaluator
+	plans *compile.PlanCache
+
+	// Parallelism bounds the number of worker goroutines parsing and
+	// filtering phase-2 candidate regions within one Execute call; values
+	// < 2 parse sequentially. Results and statistics are identical either
+	// way: candidates are merged back in document order.
+	Parallelism int
 }
 
 // New creates an engine over the catalog and instance.
 func New(cat *compile.Catalog, in *index.Instance) *Engine {
-	return &Engine{cat: cat, in: in, ev: algebra.NewEvaluator(in)}
+	return &Engine{
+		cat:   cat,
+		in:    in,
+		ev:    algebra.NewEvaluator(in),
+		plans: compile.NewPlanCache(planCacheCap),
+	}
 }
 
 // Instance returns the engine's index instance.
@@ -55,6 +80,7 @@ type Stats struct {
 	IndexOnly   bool // answered without parsing anything
 	FullScan    bool // the index offered no narrowing
 	JoinFast    bool // the Section 5.2 region-level join was used
+	PlanCached  bool // the compiled plan came from the plan cache
 
 	// Wall-clock breakdown: query compilation + optimization, index
 	// evaluation (phase 1), and candidate parsing + filtering +
@@ -79,14 +105,28 @@ type Result struct {
 	Stats     Stats
 }
 
-// Execute compiles and runs the query.
+// Execute compiles and runs the query. Plans are cached by normalized query
+// text, so repeat queries skip parsing, compilation and optimization; the
+// cached plan is immutable and shared by concurrent executions.
 func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
 	start := time.Now()
-	plan, err := e.cat.Compile(q, e.in)
-	if err != nil {
-		return nil, err
+	key := q.String()
+	plan, cached := e.plans.Get(key)
+	if cached {
+		// Execute against the query the plan was compiled from: same
+		// normalized text means the same parse tree, and keeping the
+		// pair together makes the plan/query state all-immutable.
+		q = plan.Query
+	} else {
+		var err error
+		plan, err = e.cat.Compile(q, e.in)
+		if err != nil {
+			return nil, err
+		}
+		e.plans.Put(key, plan)
 	}
 	res := &Result{Plan: plan, Projected: len(q.Select.Segs) > 0}
+	res.Stats.PlanCached = cached
 	res.Stats.CompileTime = time.Since(start)
 	if plan.Trivial {
 		return res, nil
@@ -173,26 +213,94 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	}
 
 	// Phase 2: parse candidates, filter unless exact, project.
-	var kept []region.Region
-	for _, r := range candidates.Regions() {
-		obj, err := e.parseRegion(vp.NT, r, &res.Stats)
+	return e.phase2(q, plan, vp, candidates, res)
+}
+
+// phase2 parses every candidate region, filters non-exact plans through the
+// WHERE clause, and projects, optionally fanning the per-candidate work out
+// to Parallelism worker goroutines. Parsing and filtering are independent
+// per candidate, so the fan-out needs no locks: worker i writes only slot i.
+// The merge runs in document order afterwards, so results and statistics
+// are identical to the sequential evaluation.
+func (e *Engine) phase2(q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, candidates region.Set, res *Result) error {
+	cands := candidates.Regions()
+	type candOut struct {
+		obj  db.Value
+		keep bool
+	}
+	outs := make([]candOut, len(cands))
+	doc := e.in.Document()
+	process := func(i int) error {
+		r := cands[i]
+		node, err := e.cat.Grammar.ParseAs(doc, vp.NT, r.Start, r.End)
 		if err != nil {
-			return err
+			return fmt.Errorf("engine: parsing candidate %v as %s: %w", r, vp.NT, err)
 		}
+		obj := grammar.BuildValue(node, doc.Content())
 		if !vp.Exact {
 			ok, err := xsql.EvalCond(xsql.Env{vp.Var: obj}, q.Where)
 			if err != nil {
 				return fmt.Errorf("engine: filtering: %w", err)
 			}
 			if !ok {
-				continue
+				return nil
 			}
 		}
-		kept = append(kept, r)
+		outs[i] = candOut{obj: obj, keep: true}
+		return nil
+	}
+
+	workers := e.Parallelism
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) {
+						return
+					}
+					if err := process(i); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		for i := range cands {
+			if err := process(i); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Deterministic merge in document order.
+	var kept []region.Region
+	for i, out := range outs {
+		res.Stats.Parsed++
+		res.Stats.ParsedBytes += cands[i].Len()
+		if !out.keep {
+			continue
+		}
+		kept = append(kept, cands[i])
 		if res.Projected {
-			res.Strings = append(res.Strings, db.NavigateStrings(obj, plan.Projection.Steps)...)
+			res.Strings = append(res.Strings, db.NavigateStrings(out.obj, plan.Projection.Steps)...)
 		} else {
-			res.Objects = append(res.Objects, obj)
+			res.Objects = append(res.Objects, out.obj)
 		}
 	}
 	res.Regions = region.FromRegions(kept)

@@ -110,6 +110,7 @@ func All() []Experiment {
 		{ID: "e9", Name: "selective (region-scoped) indexing", Run: E9},
 		{ID: "e10", Name: "transitive closure via one inclusion expression", Run: E10},
 		{ID: "x1", Name: "extension: incremental index maintenance vs rebuild", Run: X1},
+		{ID: "x2", Name: "extension: concurrent query serving and parallel phase-2", Run: X2},
 	}
 }
 

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"qof/internal/region"
 	"qof/internal/text"
@@ -12,11 +13,20 @@ import (
 // from region names to sets of regions over one indexed document, together
 // with the document's word index. It is the store the region algebra
 // evaluates against.
+//
+// An Instance is safe for concurrent readers once indexing is finished:
+// Define/DefineScoped/Drop are build-time operations and must not overlap
+// with queries, but every read path (Region, Words, Universe, ...) may be
+// called from any number of goroutines. The only mutable state after
+// building — the lazily computed universe here and the lazy sistring and
+// suffix arrays in WordIndex — is guarded internally.
 type Instance struct {
-	words    *WordIndex
-	regions  map[string]region.Set
-	scopes   map[string]string // name -> surrounding region name for selective indexes
-	universe *region.Universe  // lazily built; nil when stale
+	words   *WordIndex
+	regions map[string]region.Set
+	scopes  map[string]string // name -> surrounding region name for selective indexes
+
+	uniMu    sync.Mutex
+	universe *region.Universe // lazily built under uniMu; nil when stale
 }
 
 // NewInstance creates an empty instance over the document.
@@ -39,7 +49,7 @@ func (in *Instance) Words() *WordIndex { return in.words }
 func (in *Instance) Define(name string, s region.Set) {
 	in.regions[name] = s
 	delete(in.scopes, name)
-	in.universe = nil
+	in.invalidateUniverse()
 }
 
 // DefineScoped installs a selectively indexed region name whose instance
@@ -49,7 +59,7 @@ func (in *Instance) Define(name string, s region.Set) {
 func (in *Instance) DefineScoped(name, within string, s region.Set) {
 	in.regions[name] = s
 	in.scopes[name] = within
-	in.universe = nil
+	in.invalidateUniverse()
 }
 
 // Scope returns the scope of a selectively indexed name ("" for global or
@@ -61,7 +71,13 @@ func (in *Instance) Scope(name string) string { return in.scopes[name] }
 func (in *Instance) Drop(name string) {
 	delete(in.regions, name)
 	delete(in.scopes, name)
+	in.invalidateUniverse()
+}
+
+func (in *Instance) invalidateUniverse() {
+	in.uniMu.Lock()
 	in.universe = nil
+	in.uniMu.Unlock()
 }
 
 // Has reports whether the region name is indexed.
@@ -97,8 +113,11 @@ func (in *Instance) Names() []string {
 }
 
 // Universe returns the universe of all indexed regions, used by the direct
-// inclusion operators. It is cached until the instance changes.
+// inclusion operators. It is cached until the instance changes; the cache
+// fill is guarded so concurrent queries may trigger it safely.
 func (in *Instance) Universe() *region.Universe {
+	in.uniMu.Lock()
+	defer in.uniMu.Unlock()
 	if in.universe == nil {
 		sets := make([]region.Set, 0, len(in.regions))
 		for _, s := range in.regions {

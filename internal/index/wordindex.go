@@ -13,6 +13,7 @@ import (
 	"index/suffixarray"
 	"sort"
 	"strings"
+	"sync"
 
 	"qof/internal/region"
 	"qof/internal/text"
@@ -22,12 +23,18 @@ import (
 // It supports exact-word lookup through an inverted map and PAT-style
 // sistring (semi-infinite string) prefix search through an array of word
 // starts sorted by the text that follows them.
+//
+// A WordIndex is immutable after construction except for the lazily built
+// sistring and suffix arrays, whose one-time construction is synchronized —
+// concurrent queries may share one WordIndex freely.
 type WordIndex struct {
 	doc      *text.Document
-	tokens   []text.Token       // all word occurrences, sorted by Start
-	byWord   map[string][]int   // word -> indexes into tokens
-	words    []string           // distinct words, sorted
-	sistring []int              // token indexes sorted by doc[token.Start:]; built lazily
+	tokens   []text.Token     // all word occurrences, sorted by Start
+	byWord   map[string][]int // word -> indexes into tokens
+	words    []string         // distinct words, sorted
+	sisOnce  sync.Once
+	sistring []int // token indexes sorted by doc[token.Start:]; built lazily
+	sufOnce  sync.Once
 	suffixes *suffixarray.Index // byte-level suffix array; built lazily
 }
 
@@ -59,19 +66,21 @@ func newWordIndex(doc *text.Document, tokens []text.Token) *WordIndex {
 // use: sorting semi-infinite strings is the most expensive part of word
 // indexing and only prefix search needs it.
 func (x *WordIndex) sistringArray() []int {
-	if x.sistring != nil || len(x.tokens) == 0 {
-		return x.sistring
-	}
-	content := x.doc.Content()
-	arr := make([]int, len(x.tokens))
-	for i := range arr {
-		arr[i] = i
-	}
-	sort.Slice(arr, func(a, b int) bool {
-		return content[x.tokens[arr[a]].Start:] < content[x.tokens[arr[b]].Start:]
+	x.sisOnce.Do(func() {
+		if len(x.tokens) == 0 {
+			return
+		}
+		content := x.doc.Content()
+		arr := make([]int, len(x.tokens))
+		for i := range arr {
+			arr[i] = i
+		}
+		sort.Slice(arr, func(a, b int) bool {
+			return content[x.tokens[arr[a]].Start:] < content[x.tokens[arr[b]].Start:]
+		})
+		x.sistring = arr
 	})
-	x.sistring = arr
-	return arr
+	return x.sistring
 }
 
 // Document returns the indexed document.
@@ -141,9 +150,9 @@ func (x *WordIndex) SubstringMatchPoints(s string) region.Set {
 	if s == "" {
 		return region.Empty
 	}
-	if x.suffixes == nil {
+	x.sufOnce.Do(func() {
 		x.suffixes = suffixarray.New([]byte(x.doc.Content()))
-	}
+	})
 	offsets := x.suffixes.Lookup([]byte(s), -1)
 	rs := make([]region.Region, len(offsets))
 	for i, off := range offsets {

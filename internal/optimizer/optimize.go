@@ -112,6 +112,51 @@ func Optimize(c *Chain, g *rig.Graph) (*Chain, []Rewrite) {
 	}
 }
 
+// RewriteSite is one applicable rewrite at a concrete position in a chain:
+// for RuleDirectToPlain, Pos is the index of the ⊃d pair; for RuleShorten,
+// Pos is the index of the first name of the Ri ⊃ Rj ⊃ Rk triple. Sites are
+// the unit of the confluence property (Theorem 3.6): applying applicable
+// sites in any order until none remain reaches the same normal form that
+// Optimize computes.
+type RewriteSite struct {
+	Kind RuleKind
+	Pos  int
+	Rw   Rewrite
+}
+
+// ApplicableRewrites enumerates every rewrite Propositions 3.5(a)/(b)
+// allow on c with respect to g. The chain is not modified.
+func ApplicableRewrites(c *Chain, g *rig.Graph) []RewriteSite {
+	var sites []RewriteSite
+	for i := range c.Direct {
+		if !c.Direct[i] {
+			continue
+		}
+		if rw, ok := directToPlain(c, i, g); ok {
+			sites = append(sites, RewriteSite{Kind: RuleDirectToPlain, Pos: i, Rw: rw})
+		}
+	}
+	for i := 0; i+2 < len(c.Names); i++ {
+		if rw, ok := shortenAt(c, i, g); ok {
+			sites = append(sites, RewriteSite{Kind: RuleShorten, Pos: i, Rw: rw})
+		}
+	}
+	return sites
+}
+
+// ApplyRewrite returns a copy of c with the site applied. The site must
+// come from ApplicableRewrites on this chain.
+func ApplyRewrite(c *Chain, s RewriteSite) *Chain {
+	out := c.Clone()
+	switch s.Kind {
+	case RuleDirectToPlain:
+		out.Direct[s.Pos] = false
+	default:
+		removeAt(out, s.Pos+1)
+	}
+	return out
+}
+
 // directToPlain checks Proposition 3.5(a) for the pair at position i.
 func directToPlain(c *Chain, i int, g *rig.Graph) (Rewrite, bool) {
 	from, to := c.Names[i], c.Names[i+1]

@@ -1,0 +1,199 @@
+package optimizer_test
+
+// Property tests for Theorem 3.6: the rewrite system of Propositions
+// 3.5(a)/(b) is finite Church–Rosser, so (1) applying applicable rewrites
+// in any order terminates in the same normal form — the one Optimize
+// computes — and (2) rewriting preserves query results on every instance
+// satisfying the RIG. Both properties are checked on random chains over
+// the real BibTeX and SGML region inclusion graphs.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qof/internal/algebra"
+	"qof/internal/bibtex"
+	"qof/internal/grammar"
+	"qof/internal/index"
+	"qof/internal/optimizer"
+	"qof/internal/rig"
+	"qof/internal/sgml"
+	"qof/internal/text"
+)
+
+// randomChain builds a random inclusion/projection chain over g, drawing
+// names from nodes (a subset of g's nodes). Most chains follow a random
+// RIG walk (so they are satisfiable); some splice in an unrelated node to
+// cover trivial chains too.
+func randomChain(rng *rand.Rand, g *rig.Graph, nodes, words []string) *optimizer.Chain {
+	allowed := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		allowed[n] = true
+	}
+	names := []string{nodes[rng.Intn(len(nodes))]}
+	depth := 2 + rng.Intn(4)
+	for len(names) < depth {
+		if rng.Intn(8) == 0 {
+			names = append(names, nodes[rng.Intn(len(nodes))])
+			continue
+		}
+		var succ []string
+		for _, s := range g.Successors(names[len(names)-1]) {
+			if allowed[s] {
+				succ = append(succ, s)
+			}
+		}
+		if len(succ) == 0 {
+			break
+		}
+		names = append(names, succ[rng.Intn(len(succ))])
+	}
+	if len(names) < 2 {
+		names = append(names, nodes[rng.Intn(len(nodes))])
+	}
+	direct := make([]bool, len(names)-1)
+	for i := range direct {
+		direct[i] = rng.Intn(2) == 0
+	}
+	var sel *optimizer.Selection
+	switch rng.Intn(3) {
+	case 0:
+		sel = &optimizer.Selection{Mode: algebra.SelContains, Word: words[rng.Intn(len(words))]}
+	case 1:
+		sel = &optimizer.Selection{Mode: algebra.SelEquals, Word: words[rng.Intn(len(words))]}
+	}
+	asc := rng.Intn(2) == 0
+	c, err := optimizer.NewChain(names, direct, sel, asc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// rewriteRandomly applies applicable rewrites in random order until none
+// remain. Every rewrite strictly shrinks names+direct-flags, so the loop
+// terminates; the cap is pure paranoia.
+func rewriteRandomly(t *testing.T, rng *rand.Rand, c *optimizer.Chain, g *rig.Graph) *optimizer.Chain {
+	t.Helper()
+	cur := c.Clone()
+	for steps := 0; ; steps++ {
+		if steps > 100 {
+			t.Fatalf("rewriting of %s did not terminate", c)
+		}
+		sites := optimizer.ApplicableRewrites(cur, g)
+		if len(sites) == 0 {
+			return cur
+		}
+		cur = optimizer.ApplyRewrite(cur, sites[rng.Intn(len(sites))])
+	}
+}
+
+func graphsUnderTest(t *testing.T) map[string]struct {
+	g     *rig.Graph
+	words []string
+} {
+	t.Helper()
+	return map[string]struct {
+		g     *rig.Graph
+		words []string
+	}{
+		"bibtex": {bibtex.Catalog().RIG, []string{"Chang", "Corliss", "the", "algorithm"}},
+		"sgml":   {sgml.Catalog().RIG, []string{"needle", "the", "section"}},
+	}
+}
+
+// TestTheorem36Confluence: every random application order reaches the
+// normal form Optimize computes, and that normal form admits no further
+// rewrites.
+func TestTheorem36Confluence(t *testing.T) {
+	for name, tc := range graphsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(36))
+			for trial := 0; trial < 300; trial++ {
+				c := randomChain(rng, tc.g, tc.g.Nodes(), tc.words)
+				normal, _ := optimizer.Optimize(c, tc.g)
+				if sites := optimizer.ApplicableRewrites(normal, tc.g); len(sites) != 0 {
+					t.Fatalf("trial %d: Optimize(%s) = %s still admits %d rewrites (first: %s)",
+						trial, c, normal, len(sites), sites[0].Rw)
+				}
+				for order := 0; order < 5; order++ {
+					got := rewriteRandomly(t, rng, c, tc.g)
+					if !got.Equal(normal) {
+						t.Fatalf("trial %d order %d: random order reached %s, Optimize reached %s (input %s)",
+							trial, order, got, normal, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTheorem36PreservesResults: on concrete instances, the optimized
+// chain evaluates to exactly the same region set as the original — the
+// "most efficient version is equivalent" half of the theorem.
+func TestTheorem36PreservesResults(t *testing.T) {
+	bibContent, _ := bibtex.Generate(bibtex.DefaultConfig(40))
+	sgmlContent, _ := sgml.Generate(sgml.DefaultConfig(4, 2))
+
+	type setup struct {
+		g     *rig.Graph
+		in    *index.Instance
+		words []string
+	}
+	setups := map[string]setup{}
+	{
+		cat := bibtex.Catalog()
+		doc := text.NewDocument("prop.bib", bibContent)
+		in, _, err := cat.Grammar.BuildInstance(doc, grammar.IndexSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setups["bibtex"] = setup{cat.RIG, in, []string{"Chang", "Corliss", "the", "algorithm"}}
+	}
+	{
+		cat := sgml.Catalog()
+		doc := text.NewDocument("prop.sgml", sgmlContent)
+		in, _, err := cat.Grammar.BuildInstance(doc, grammar.IndexSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setups["sgml"] = setup{cat.RIG, in, []string{"needle", "the", "section"}}
+	}
+
+	for name, tc := range setups {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(94))
+			ev := algebra.NewEvaluator(tc.in)
+			// Chains must evaluate, so draw names from the indexed regions
+			// only (the RIG also has unindexed helper nodes like the root).
+			var indexed []string
+			for _, n := range tc.g.Nodes() {
+				if _, ok := tc.in.Region(n); ok {
+					indexed = append(indexed, n)
+				}
+			}
+			for trial := 0; trial < 150; trial++ {
+				c := randomChain(rng, tc.g, indexed, tc.words)
+				normal, _ := optimizer.Optimize(c, tc.g)
+				random := rewriteRandomly(t, rng, c, tc.g)
+				want, err := ev.Eval(c.Expr())
+				if err != nil {
+					t.Fatalf("trial %d: eval %s: %v", trial, c, err)
+				}
+				for which, oc := range map[string]*optimizer.Chain{"Optimize": normal, "random order": random} {
+					got, err := ev.Eval(oc.Expr())
+					if err != nil {
+						t.Fatalf("trial %d: eval %s chain %s: %v", trial, which, oc, err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("trial %d: %s result differs:\n  original  %s = %v\n  rewritten %s = %v",
+							trial, which, c, regions(want), oc, regions(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+func regions(s interface{ Len() int }) string { return fmt.Sprintf("%d regions", s.Len()) }

@@ -1,0 +1,52 @@
+package xsql
+
+import (
+	"testing"
+)
+
+// fuzzSeeds are real queries from the test suite plus edge cases around
+// string escaping, path variables and operator nesting.
+var fuzzSeeds = []string{
+	`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`,
+	`SELECT r.Key FROM References r WHERE r.Editors.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`,
+	`SELECT r FROM References r WHERE r.*X.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.?X.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE NOT r.Authors.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.Title CONTAINS "Systems" AND r.Authors.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" OR r.Editors.Name.Last_Name = "Corliss"`,
+	`SELECT r FROM References r WHERE r.Authors.Name.Last_Name STARTS "Cor"`,
+	`SELECT r FROM References r`,
+	`SELECT r FROM References r, References s WHERE r.Key = s.Key`,
+	`SELECT s FROM Sections s WHERE s.*X.Para CONTAINS "needle"`,
+	`SELECT r FROM References r WHERE r.Title = "a \"quoted\" title"`,
+	`SELECT r FROM References r WHERE r.Title = "tab\tnewline\nbackslash\\"`,
+	`SELECT r FROM References r WHERE r.Title = ""`,
+	`SELECT`,
+	`SELECT r FROM`,
+	`"unterminated`,
+	`SELECT r FROM References r WHERE r.Title = "\x"`,
+}
+
+// FuzzXSQLParse asserts two properties on arbitrary input: the parser
+// never panics, and every accepted query round-trips — parse → String →
+// reparse succeeds and re-rendering is a fixpoint.
+func FuzzXSQLParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are caught by the harness
+		}
+		s1 := q.String()
+		q2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("String() of accepted query does not reparse:\n  input  %q\n  render %q\n  err    %v", src, s1, err)
+		}
+		if s2 := q2.String(); s2 != s1 {
+			t.Fatalf("String() is not a fixpoint:\n  input   %q\n  render1 %q\n  render2 %q", src, s1, s2)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package xsql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -80,19 +81,25 @@ func lex(src string) ([]token, error) {
 		case unicode.IsSpace(rune(c)):
 			i++
 		case c == '"':
+			// Find the closing quote, honoring backslash escapes, then
+			// decode with the Go string-literal rules. String() renders
+			// words with strconv.Quote, so lexing with strconv.Unquote
+			// makes parse → String → reparse the identity.
 			j := i + 1
-			var sb strings.Builder
 			for j < len(src) && src[j] != '"' {
 				if src[j] == '\\' && j+1 < len(src) {
 					j++
 				}
-				sb.WriteByte(src[j])
 				j++
 			}
 			if j >= len(src) {
 				return nil, fmt.Errorf("xsql: unterminated string constant at offset %d", i)
 			}
-			toks = append(toks, token{text: sb.String(), str: true})
+			word, err := strconv.Unquote(src[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("xsql: bad string constant at offset %d: %v", i, err)
+			}
+			toks = append(toks, token{text: word, str: true})
 			i = j + 1
 		case c == '.' || c == ',' || c == '=' || c == '(' || c == ')' || c == '*' || c == '?':
 			toks = append(toks, token{text: string(c)})
