@@ -196,13 +196,16 @@ func (e Select) String() string {
 
 // precedence levels for printing: higher binds tighter.
 func prec(op BinOp) int {
+	// Must mirror the parser's nesting: parseExpr (+,-) calls
+	// parseInclusion, which calls parseIntersect — so & binds tighter than
+	// the inclusions, which bind tighter than + and -.
 	switch op {
 	case OpUnion, OpDiff:
 		return 1
 	case OpIntersect:
-		return 2
-	default: // inclusion operators
 		return 3
+	default: // inclusion operators
+		return 2
 	}
 }
 

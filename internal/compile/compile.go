@@ -59,6 +59,28 @@ type Catalog struct {
 
 	faithful  map[string]bool
 	litTokens map[string]map[string]bool
+
+	// rewrite, when non-nil, replaces the optimizer applied to candidate
+	// expressions (see SetRewriter).
+	rewrite func(algebra.Expr, *rig.Graph) (algebra.Expr, []optimizer.Rewrite)
+}
+
+// SetRewriter overrides the optimizer applied to candidate expressions
+// during Compile; nil restores the default (optimizer.OptimizeExpr). It
+// exists so the differential harness's mutation tests can flip individual
+// rewrites and prove the harness detects the corruption; production code
+// never calls it. Set it before the catalog serves queries — it is not
+// synchronized with concurrent Compile calls.
+func (c *Catalog) SetRewriter(fn func(algebra.Expr, *rig.Graph) (algebra.Expr, []optimizer.Rewrite)) {
+	c.rewrite = fn
+}
+
+// optimizeExpr applies the configured or default candidate optimizer.
+func (c *Catalog) optimizeExpr(e algebra.Expr, g *rig.Graph) (algebra.Expr, []optimizer.Rewrite) {
+	if c.rewrite != nil {
+		return c.rewrite(e, g)
+	}
+	return optimizer.OptimizeExpr(e, g)
 }
 
 // NewCatalog derives the RIG from the grammar and creates an empty class
@@ -333,7 +355,7 @@ func (c *Catalog) Compile(q *xsql.Query, in *index.Instance) (*Plan, error) {
 		vp.Original = orig
 		if expr != nil {
 			g := c.projectedRIG(indexed)
-			opt, rewrites := optimizer.OptimizeExpr(expr, g)
+			opt, rewrites := c.optimizeExpr(expr, g)
 			vp.Candidates = opt
 			vp.Rewrites = rewrites
 		}

@@ -9,7 +9,7 @@ import (
 	. "qof/internal/compile"
 	"qof/internal/grammar"
 	"qof/internal/index"
-	"qof/internal/text"
+	"qof/internal/testutil"
 	"qof/internal/xsql"
 )
 
@@ -17,14 +17,7 @@ import (
 // spec over a small generated corpus.
 func setup(t *testing.T, spec grammar.IndexSpec) (*Catalog, *index.Instance) {
 	t.Helper()
-	cat := bibtex.Catalog()
-	content, _ := bibtex.Generate(bibtex.DefaultConfig(10))
-	doc := text.NewDocument("t.bib", content)
-	in, _, err := cat.Grammar.BuildInstance(doc, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return cat, in
+	return testutil.NewBibInstance(t, 10, spec)
 }
 
 func compileOne(t *testing.T, cat *Catalog, in *index.Instance, src string) *Plan {

@@ -14,7 +14,7 @@ import (
 	"qof/internal/bibtex"
 	"qof/internal/engine"
 	"qof/internal/grammar"
-	"qof/internal/text"
+	"qof/internal/testutil"
 	"qof/internal/xsql"
 )
 
@@ -101,33 +101,33 @@ func TestEngineExecuteConcurrent(t *testing.T) {
 	queries := parseAll(t, concurrentQueries)
 
 	t.Run("FullIndex", func(t *testing.T) {
-		f := newFixture(t, 80, grammar.IndexSpec{}, nil)
-		runEngineConcurrent(t, f.eng, queries, 8, 4)
+		f := testutil.NewBibFixture(t, 80, grammar.IndexSpec{}, nil)
+		runEngineConcurrent(t, f.Eng, queries, 8, 4)
 	})
 
 	t.Run("FullIndexParallelPhase2", func(t *testing.T) {
-		f := newFixture(t, 80, grammar.IndexSpec{}, nil)
-		f.eng.Parallelism = 4 // overlapping calls each spin up worker pools
-		runEngineConcurrent(t, f.eng, queries, 8, 4)
+		f := testutil.NewBibFixture(t, 80, grammar.IndexSpec{}, nil)
+		f.Eng.Parallelism = 4 // overlapping calls each spin up worker pools
+		runEngineConcurrent(t, f.Eng, queries, 8, 4)
 	})
 
 	t.Run("PartialIndex", func(t *testing.T) {
 		// {Reference, Key, Last_Name} forces candidate parsing + filtering.
-		f := newFixture(t, 80, grammar.IndexSpec{
+		f := testutil.NewBibFixture(t, 80, grammar.IndexSpec{
 			Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName},
 		}, nil)
-		runEngineConcurrent(t, f.eng, queries, 8, 4)
+		runEngineConcurrent(t, f.Eng, queries, 8, 4)
 	})
 
 	t.Run("FullScan", func(t *testing.T) {
 		// Only Key indexed: the author query cannot be narrowed at all, so
 		// concurrent executions exercise the full-scan path.
-		f := newFixture(t, 40, grammar.IndexSpec{Names: []string{bibtex.NTKey}}, nil)
+		f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{Names: []string{bibtex.NTKey}}, nil)
 		fullScanQueries := parseAll(t, []string{
 			changAuthorQuery,
 			`SELECT r.Key FROM References r WHERE r.Editors.Name.Last_Name = "Chang"`,
 		})
-		runEngineConcurrent(t, f.eng, fullScanQueries, 8, 3)
+		runEngineConcurrent(t, f.Eng, fullScanQueries, 8, 3)
 	})
 }
 
@@ -146,10 +146,9 @@ func TestCorpusExecuteConcurrent(t *testing.T) {
 	cat := bibtex.Catalog()
 	corpus := engine.NewCorpus(cat)
 	for i := 0; i < 6; i++ {
-		cfg := bibtex.DefaultConfig(30 + 7*i)
-		cfg.Seed = int64(i + 1)
-		content, _ := bibtex.Generate(cfg)
-		doc := text.NewDocument(fmt.Sprintf("file%d.bib", i), content)
+		doc, _ := testutil.BibDoc(t, fmt.Sprintf("file%d.bib", i), 30+7*i, func(cfg *bibtex.Config) {
+			cfg.Seed = int64(i + 1)
+		})
 		if err := corpus.Add(doc, grammar.IndexSpec{}); err != nil {
 			t.Fatal(err)
 		}
@@ -199,22 +198,22 @@ func TestCorpusExecuteConcurrent(t *testing.T) {
 // every parallelism degree the result set, the result order and the parsing
 // statistics must be identical to the sequential run.
 func TestPhase2ParallelMatchesSequential(t *testing.T) {
-	f := newFixture(t, 80, grammar.IndexSpec{
+	f := testutil.NewBibFixture(t, 80, grammar.IndexSpec{
 		Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName},
 	}, nil)
 	queries := parseAll(t, concurrentQueries)
 	want := make([]string, len(queries))
 	for i, q := range queries {
-		res, err := f.eng.Execute(q)
+		res, err := f.Eng.Execute(q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = snapshot(res)
 	}
 	for _, par := range []int{0, 1, 2, 3, 4, 8, 64} {
-		f.eng.Parallelism = par
+		f.Eng.Parallelism = par
 		for i, q := range queries {
-			res, err := f.eng.Execute(q)
+			res, err := f.Eng.Execute(q)
 			if err != nil {
 				t.Fatalf("parallelism %d: %s: %v", par, q, err)
 			}
@@ -228,9 +227,9 @@ func TestPhase2ParallelMatchesSequential(t *testing.T) {
 // TestExecutePlanCache asserts that a repeated query is served from the
 // plan cache and reports it via Stats.PlanCached.
 func TestExecutePlanCache(t *testing.T) {
-	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
 	q := xsql.MustParse(changAuthorQuery)
-	first, err := f.eng.Execute(q)
+	first, err := f.Eng.Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +239,7 @@ func TestExecutePlanCache(t *testing.T) {
 	// A semantically identical query parsed from different text normalizes
 	// to the same key.
 	q2 := xsql.MustParse("SELECT r FROM References r\n WHERE r.Authors.Name.Last_Name = \"Chang\"")
-	second, err := f.eng.Execute(q2)
+	second, err := f.Eng.Execute(q2)
 	if err != nil {
 		t.Fatal(err)
 	}

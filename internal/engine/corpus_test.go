@@ -7,6 +7,7 @@ import (
 	"qof/internal/bibtex"
 	"qof/internal/engine"
 	"qof/internal/grammar"
+	"qof/internal/testutil"
 	"qof/internal/text"
 	"qof/internal/xsql"
 )
@@ -16,11 +17,10 @@ func TestCorpusQuery(t *testing.T) {
 	corpus := engine.NewCorpus(cat)
 	wantTotal := 0
 	for i := 0; i < 4; i++ {
-		cfg := bibtex.DefaultConfig(25)
-		cfg.Seed = int64(100 + i)
-		cfg.TargetAuthorShare = 0.2
-		content, st := bibtex.Generate(cfg)
-		doc := text.NewDocument(fmt.Sprintf("lib%d.bib", i), content)
+		doc, st := testutil.BibDoc(t, fmt.Sprintf("lib%d.bib", i), 25, func(cfg *bibtex.Config) {
+			cfg.Seed = int64(100 + i)
+			cfg.TargetAuthorShare = 0.2
+		})
 		if err := corpus.Add(doc, grammar.IndexSpec{}); err != nil {
 			t.Fatal(err)
 		}
@@ -53,10 +53,10 @@ func TestCorpusProjection(t *testing.T) {
 	cat := bibtex.Catalog()
 	corpus := engine.NewCorpus(cat)
 	for i := 0; i < 2; i++ {
-		cfg := bibtex.DefaultConfig(10)
-		cfg.Seed = int64(i)
-		content, _ := bibtex.Generate(cfg)
-		if err := corpus.Add(text.NewDocument(fmt.Sprintf("l%d.bib", i), content), grammar.IndexSpec{}); err != nil {
+		doc, _ := testutil.BibDoc(t, fmt.Sprintf("l%d.bib", i), 10, func(cfg *bibtex.Config) {
+			cfg.Seed = int64(i)
+		})
+		if err := corpus.Add(doc, grammar.IndexSpec{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -83,12 +83,12 @@ func TestCorpusParallel(t *testing.T) {
 	par := engine.NewCorpus(cat)
 	par.Parallelism = 4
 	for i := 0; i < 6; i++ {
-		cfg := bibtex.DefaultConfig(20)
-		cfg.Seed = int64(i)
-		cfg.TargetAuthorShare = 0.3
-		content, _ := bibtex.Generate(cfg)
-		doc := text.NewDocument(fmt.Sprintf("p%d.bib", i), content)
-		doc2 := text.NewDocument(fmt.Sprintf("p%d.bib", i), content)
+		mut := func(cfg *bibtex.Config) {
+			cfg.Seed = int64(i)
+			cfg.TargetAuthorShare = 0.3
+		}
+		doc, _ := testutil.BibDoc(t, fmt.Sprintf("p%d.bib", i), 20, mut)
+		doc2, _ := testutil.BibDoc(t, fmt.Sprintf("p%d.bib", i), 20, mut)
 		if err := seq.Add(doc, grammar.IndexSpec{}); err != nil {
 			t.Fatal(err)
 		}

@@ -6,54 +6,23 @@ import (
 	"testing"
 
 	"qof/internal/bibtex"
-	"qof/internal/compile"
 	"qof/internal/db"
-	"qof/internal/engine"
 	"qof/internal/grammar"
-	"qof/internal/index"
 	"qof/internal/scan"
-	"qof/internal/text"
+	"qof/internal/testutil"
 	"qof/internal/xsql"
 )
-
-// fixture bundles everything the integration tests need.
-type fixture struct {
-	cat  *compile.Catalog
-	doc  *text.Document
-	eng  *engine.Engine
-	st   bibtex.Stats
-	in   *index.Instance
-	spec grammar.IndexSpec
-}
-
-func newFixture(t testing.TB, n int, spec grammar.IndexSpec, mutate func(*bibtex.Config)) *fixture {
-	t.Helper()
-	cfg := bibtex.DefaultConfig(n)
-	cfg.TargetAuthorShare = 0.15
-	cfg.TargetEditorShare = 0.25
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	content, st := bibtex.Generate(cfg)
-	cat := bibtex.Catalog()
-	doc := text.NewDocument("corpus.bib", content)
-	in, _, err := cat.Grammar.BuildInstance(doc, spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return &fixture{cat: cat, doc: doc, eng: engine.New(cat, in), st: st, in: in, spec: spec}
-}
 
 const changAuthorQuery = `SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`
 
 func TestPaperQueryFullIndexing(t *testing.T) {
-	f := newFixture(t, 60, grammar.IndexSpec{}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{}, nil)
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.Results != f.st.TargetAsAuthor {
-		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.st.TargetAsAuthor)
+	if res.Stats.Results != f.St.TargetAsAuthor {
+		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.St.TargetAsAuthor)
 	}
 	if !res.Stats.Exact {
 		t.Error("full indexing should be exact")
@@ -62,8 +31,8 @@ func TestPaperQueryFullIndexing(t *testing.T) {
 	if res.Stats.Parsed != res.Stats.Results {
 		t.Errorf("parsed %d regions for %d results", res.Stats.Parsed, res.Stats.Results)
 	}
-	if res.Stats.ParsedBytes >= f.doc.Len()/2 {
-		t.Errorf("parsed %d of %d bytes; expected a small fraction", res.Stats.ParsedBytes, f.doc.Len())
+	if res.Stats.ParsedBytes >= f.Doc.Len()/2 {
+		t.Errorf("parsed %d of %d bytes; expected a small fraction", res.Stats.ParsedBytes, f.Doc.Len())
 	}
 	if res.Stats.FullScan {
 		t.Error("full scan flagged")
@@ -74,66 +43,66 @@ func TestPartialIndexingSuperset(t *testing.T) {
 	// Section 6.1: {Reference, Key, Last_Name} cannot distinguish authors
 	// from editors; candidates are the Chang-anywhere references, then
 	// parsing filters.
-	f := newFixture(t, 60, grammar.IndexSpec{
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{
 		Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName},
 	}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.Results != f.st.TargetAsAuthor {
-		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.st.TargetAsAuthor)
+	if res.Stats.Results != f.St.TargetAsAuthor {
+		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.St.TargetAsAuthor)
 	}
 	if res.Stats.Exact {
 		t.Error("partial plan must not be exact")
 	}
-	if res.Stats.Candidates != f.st.TargetAsEither {
+	if res.Stats.Candidates != f.St.TargetAsEither {
 		t.Errorf("candidates = %d, want %d (Chang as author or editor)",
-			res.Stats.Candidates, f.st.TargetAsEither)
+			res.Stats.Candidates, f.St.TargetAsEither)
 	}
 	if res.Stats.Parsed != res.Stats.Candidates {
 		t.Errorf("parsed %d != candidates %d", res.Stats.Parsed, res.Stats.Candidates)
 	}
 	// Far less than the whole file was parsed.
-	if res.Stats.ParsedBytes >= f.doc.Len() {
+	if res.Stats.ParsedBytes >= f.Doc.Len() {
 		t.Error("parsed the whole file")
 	}
 }
 
 func TestPartialIndexingExactPerSection63(t *testing.T) {
-	f := newFixture(t, 60, grammar.IndexSpec{
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{
 		Names: []string{bibtex.NTReference, bibtex.NTAuthors, bibtex.NTEditors, bibtex.NTLastName},
 	}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Stats.Exact {
 		t.Fatal("Section 6.3 conditions hold; plan must be exact")
 	}
-	if res.Stats.Results != f.st.TargetAsAuthor {
-		t.Fatalf("results = %d, want %d", res.Stats.Results, f.st.TargetAsAuthor)
+	if res.Stats.Results != f.St.TargetAsAuthor {
+		t.Fatalf("results = %d, want %d", res.Stats.Results, f.St.TargetAsAuthor)
 	}
 }
 
 func TestFullScanFallback(t *testing.T) {
-	f := newFixture(t, 30, grammar.IndexSpec{Names: []string{bibtex.NTKey}}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	f := testutil.NewBibFixture(t, 30, grammar.IndexSpec{Names: []string{bibtex.NTKey}}, nil)
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Stats.FullScan {
 		t.Error("expected full-scan fallback")
 	}
-	if res.Stats.Results != f.st.TargetAsAuthor {
-		t.Fatalf("results = %d, want %d", res.Stats.Results, f.st.TargetAsAuthor)
+	if res.Stats.Results != f.St.TargetAsAuthor {
+		t.Fatalf("results = %d, want %d", res.Stats.Results, f.St.TargetAsAuthor)
 	}
 }
 
 func TestIndexOnlyProjection(t *testing.T) {
-	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
 	const q = `SELECT r.Authors.Name.Last_Name FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`
-	res, err := f.eng.Execute(xsql.MustParse(q))
+	res, err := f.Eng.Execute(xsql.MustParse(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +113,7 @@ func TestIndexOnlyProjection(t *testing.T) {
 		t.Errorf("index-only run parsed %d regions", res.Stats.Parsed)
 	}
 	// Cross-check against the full-scan baseline.
-	base, err := scan.FullScan(f.cat, f.doc, xsql.MustParse(q))
+	base, err := scan.FullScan(f.Cat, f.Doc, xsql.MustParse(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,15 +161,15 @@ func TestEngineMatchesFullScan(t *testing.T) {
 		},
 	}
 	for specName, spec := range specs {
-		f := newFixture(t, 40, spec, nil)
+		f := testutil.NewBibFixture(t, 40, spec, nil)
 		for _, src := range queries {
 			q := xsql.MustParse(src)
-			res, err := f.eng.Execute(q)
+			res, err := f.Eng.Execute(q)
 			if err != nil {
 				t.Errorf("[%s] %s: engine error: %v", specName, src, err)
 				continue
 			}
-			base, err := scan.FullScan(f.cat, f.doc, q)
+			base, err := scan.FullScan(f.Cat, f.Doc, q)
 			if err != nil {
 				t.Errorf("[%s] %s: baseline error: %v", specName, src, err)
 				continue
@@ -250,14 +219,14 @@ func TestEngineMatchesFullScanRandomSpecs(t *testing.T) {
 			}
 		}
 		spec := grammar.IndexSpec{Names: names}
-		f := newFixture(t, 25, spec, nil)
+		f := testutil.NewBibFixture(t, 25, spec, nil)
 		for _, src := range queries {
 			q := xsql.MustParse(src)
-			res, err := f.eng.Execute(q)
+			res, err := f.Eng.Execute(q)
 			if err != nil {
 				t.Fatalf("trial %d %v: %s: %v", trial, names, src, err)
 			}
-			base, err := scan.FullScan(f.cat, f.doc, q)
+			base, err := scan.FullScan(f.Cat, f.Doc, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -280,37 +249,37 @@ func TestScopedIndexingAnswersScopedQuery(t *testing.T) {
 	// Index Last_Name only inside Authors (Section 7): the author query
 	// still gets index support, with Last_Name candidates already
 	// restricted to author names.
-	f := newFixture(t, 60, grammar.IndexSpec{
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{
 		Names:  []string{bibtex.NTReference},
 		Scoped: []grammar.ScopedName{{Name: bibtex.NTLastName, Within: bibtex.NTAuthors}},
 	}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Stats.FullScan {
 		t.Fatal("scoped index should support the query")
 	}
-	if res.Stats.Results != f.st.TargetAsAuthor {
-		t.Fatalf("results = %d, want %d", res.Stats.Results, f.st.TargetAsAuthor)
+	if res.Stats.Results != f.St.TargetAsAuthor {
+		t.Fatalf("results = %d, want %d", res.Stats.Results, f.St.TargetAsAuthor)
 	}
 	// Candidate narrowing is tighter than the unscoped partial index:
 	// editor-only Changs are not even candidates.
-	if res.Stats.Candidates != f.st.TargetAsAuthor {
+	if res.Stats.Candidates != f.St.TargetAsAuthor {
 		t.Errorf("candidates = %d, want %d (scoped index excludes editor names)",
-			res.Stats.Candidates, f.st.TargetAsAuthor)
+			res.Stats.Candidates, f.St.TargetAsAuthor)
 	}
 }
 
 func TestSelfJoinQuery(t *testing.T) {
-	f := newFixture(t, 50, grammar.IndexSpec{}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(
+	f := testutil.NewBibFixture(t, 50, grammar.IndexSpec{}, nil)
+	res, err := f.Eng.Execute(xsql.MustParse(
 		`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.Results != f.st.SelfEditedByAuth {
-		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.st.SelfEditedByAuth)
+	if res.Stats.Results != f.St.SelfEditedByAuth {
+		t.Fatalf("results = %d, ground truth %d", res.Stats.Results, f.St.SelfEditedByAuth)
 	}
 }
 
@@ -320,7 +289,7 @@ func TestSelfJoinQuery(t *testing.T) {
 // an editor of r authored s and r, s share a keyword. The engine's
 // nested-loop evaluation must agree with the full-scan baseline.
 func TestPaperFlagshipQuery(t *testing.T) {
-	f := newFixture(t, 15, grammar.IndexSpec{}, func(c *bibtex.Config) {
+	f := testutil.NewBibFixture(t, 15, grammar.IndexSpec{}, func(c *bibtex.Config) {
 		c.TargetAuthorShare = 0.4
 		c.TargetEditorShare = 0.4
 		c.MaxKeywords = 2
@@ -328,11 +297,11 @@ func TestPaperFlagshipQuery(t *testing.T) {
 	q := xsql.MustParse(`SELECT r FROM References r, References s WHERE ` +
 		`r.Editors.Name.Last_Name = s.Authors.Name.Last_Name AND ` +
 		`r.Keywords.Keyword = s.Keywords.Keyword`)
-	res, err := f.eng.Execute(q)
+	res, err := f.Eng.Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := scan.FullScan(f.cat, f.doc, q)
+	base, err := scan.FullScan(f.Cat, f.Doc, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,11 +312,11 @@ func TestPaperFlagshipQuery(t *testing.T) {
 	qNeg := xsql.MustParse(`SELECT r FROM References r, References s WHERE ` +
 		`NOT (r.Editors.Name.Last_Name = s.Authors.Name.Last_Name AND ` +
 		`r.Keywords.Keyword = s.Keywords.Keyword) AND r.Key = r.Key`)
-	resNeg, err := f.eng.Execute(qNeg)
+	resNeg, err := f.Eng.Execute(qNeg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseNeg, err := scan.FullScan(f.cat, f.doc, qNeg)
+	baseNeg, err := scan.FullScan(f.Cat, f.Doc, qNeg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,15 +326,15 @@ func TestPaperFlagshipQuery(t *testing.T) {
 }
 
 func TestMultiVarJoin(t *testing.T) {
-	f := newFixture(t, 12, grammar.IndexSpec{}, nil)
+	f := testutil.NewBibFixture(t, 12, grammar.IndexSpec{}, nil)
 	// References whose key is referred to by some other reference.
 	q := xsql.MustParse(
 		`SELECT r FROM References r, References s WHERE s.Referred.RefKey = r.Key`)
-	res, err := f.eng.Execute(q)
+	res, err := f.Eng.Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := scan.FullScan(f.cat, f.doc, q)
+	base, err := scan.FullScan(f.Cat, f.Doc, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,8 +344,8 @@ func TestMultiVarJoin(t *testing.T) {
 }
 
 func TestTrivialQueryShortCircuits(t *testing.T) {
-	f := newFixture(t, 20, grammar.IndexSpec{}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(
+	f := testutil.NewBibFixture(t, 20, grammar.IndexSpec{}, nil)
+	res, err := f.Eng.Execute(xsql.MustParse(
 		`SELECT r FROM References r WHERE r.Title.Last_Name = "Chang"`))
 	if err != nil {
 		t.Fatal(err)
@@ -390,33 +359,33 @@ func TestTrivialQueryShortCircuits(t *testing.T) {
 }
 
 func TestGrepBaseline(t *testing.T) {
-	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
-	g := scan.Grep(f.doc, "Chang")
-	if g.BytesScanned != f.doc.Len() {
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
+	g := scan.Grep(f.Doc, "Chang")
+	if g.BytesScanned != f.Doc.Len() {
 		t.Error("grep must scan the whole file")
 	}
 	// Grep counts occurrences (authors + editors), which is at least the
 	// number of matching references and cannot equal the author-only
 	// ground truth in this corpus.
-	if g.Occurrences < f.st.TargetAsEither {
-		t.Errorf("occurrences = %d < %d", g.Occurrences, f.st.TargetAsEither)
+	if g.Occurrences < f.St.TargetAsEither {
+		t.Errorf("occurrences = %d < %d", g.Occurrences, f.St.TargetAsEither)
 	}
-	if got := scan.Grep(f.doc, ""); got.Occurrences != 0 {
+	if got := scan.Grep(f.Doc, ""); got.Occurrences != 0 {
 		t.Error("empty word")
 	}
 }
 
 func TestEngineAccessors(t *testing.T) {
-	f := newFixture(t, 5, grammar.IndexSpec{}, nil)
-	if f.eng.Instance() != f.in || f.eng.Catalog() != f.cat {
+	f := testutil.NewBibFixture(t, 5, grammar.IndexSpec{}, nil)
+	if f.Eng.Instance() != f.In || f.Eng.Catalog() != f.Cat {
 		t.Error("accessors")
 	}
 }
 
 func TestStartsQueries(t *testing.T) {
-	f := newFixture(t, 40, grammar.IndexSpec{}, nil)
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
 	// Last_Name is faithful: STARTS on it is index-exact.
-	res, err := f.eng.Execute(xsql.MustParse(
+	res, err := f.Eng.Execute(xsql.MustParse(
 		`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name STARTS "Chan"`))
 	if err != nil {
 		t.Fatal(err)
@@ -424,9 +393,9 @@ func TestStartsQueries(t *testing.T) {
 	if !res.Stats.Exact {
 		t.Errorf("STARTS on faithful leaf should be exact:\n%s", res.Plan.Explain())
 	}
-	if res.Stats.Results != f.st.TargetAsAuthor {
+	if res.Stats.Results != f.St.TargetAsAuthor {
 		t.Errorf("results = %d, want %d (only Chang starts with Chan here)",
-			res.Stats.Results, f.st.TargetAsAuthor)
+			res.Stats.Results, f.St.TargetAsAuthor)
 	}
 	// Cross-check against the baseline, also for an unfaithful leaf.
 	for _, src := range []string{
@@ -435,11 +404,11 @@ func TestStartsQueries(t *testing.T) {
 		`SELECT r FROM References r WHERE r.Abstract STARTS "term"`,
 	} {
 		q := xsql.MustParse(src)
-		res, err := f.eng.Execute(q)
+		res, err := f.Eng.Execute(q)
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
 		}
-		base, err := scan.FullScan(f.cat, f.doc, q)
+		base, err := scan.FullScan(f.Cat, f.Doc, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -453,13 +422,13 @@ func TestStartsQueries(t *testing.T) {
 func TestMultiVarSelectUnconstrained(t *testing.T) {
 	// The selected variable has no own conditions: every r pairs with the
 	// matching s objects; r qualifies iff some s exists.
-	f := newFixture(t, 10, grammar.IndexSpec{}, nil)
+	f := testutil.NewBibFixture(t, 10, grammar.IndexSpec{}, nil)
 	q := xsql.MustParse(`SELECT r FROM References r, References s WHERE s.Authors.Name.Last_Name = "Chang"`)
-	res, err := f.eng.Execute(q)
+	res, err := f.Eng.Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := scan.FullScan(f.cat, f.doc, q)
+	base, err := scan.FullScan(f.Cat, f.Doc, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +437,7 @@ func TestMultiVarSelectUnconstrained(t *testing.T) {
 	}
 	// Some Chang-author exists in this corpus, so every r qualifies.
 	want := 0
-	if f.st.TargetAsAuthor > 0 {
+	if f.St.TargetAsAuthor > 0 {
 		want = 10
 	}
 	if len(res.Objects) != want {
@@ -477,8 +446,8 @@ func TestMultiVarSelectUnconstrained(t *testing.T) {
 }
 
 func TestExecuteTimings(t *testing.T) {
-	f := newFixture(t, 30, grammar.IndexSpec{}, nil)
-	res, err := f.eng.Execute(xsql.MustParse(changAuthorQuery))
+	f := testutil.NewBibFixture(t, 30, grammar.IndexSpec{}, nil)
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
 	if err != nil {
 		t.Fatal(err)
 	}

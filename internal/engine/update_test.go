@@ -10,6 +10,7 @@ import (
 	"qof/internal/grammar"
 	"qof/internal/region"
 	"qof/internal/sgml"
+	"qof/internal/testutil"
 	"qof/internal/text"
 	"qof/internal/xsql"
 )
@@ -37,16 +38,16 @@ func TestReplaceRegionMatchesRebuild(t *testing.T) {
 			Scoped: []grammar.ScopedName{{Name: bibtex.NTLastName, Within: bibtex.NTAuthors}},
 		},
 	} {
-		f := newFixture(t, 20, spec, nil)
-		refs := f.in.MustRegion(bibtex.NTReference)
+		f := testutil.NewBibFixture(t, 20, spec, nil)
+		refs := f.In.MustRegion(bibtex.NTReference)
 		target := refs.At(7)
 
-		doc2, in2, err := engine.ReplaceRegion(f.cat, f.in, bibtex.NTReference, target, editedReference)
+		doc2, in2, err := engine.ReplaceRegion(f.Cat, f.In, bibtex.NTReference, target, editedReference)
 		if err != nil {
 			t.Fatalf("spec %v: ReplaceRegion: %v", spec, err)
 		}
 		// Ground truth: rebuild from scratch over the edited document.
-		rebuilt, _, err := f.cat.Grammar.BuildInstance(doc2, spec)
+		rebuilt, _, err := f.Cat.Grammar.BuildInstance(doc2, spec)
 		if err != nil {
 			t.Fatalf("rebuild: %v", err)
 		}
@@ -63,7 +64,7 @@ func TestReplaceRegionMatchesRebuild(t *testing.T) {
 			}
 		}
 		// Queries over the edited corpus see the new data.
-		eng := engine.New(f.cat, in2)
+		eng := engine.New(f.Cat, in2)
 		res, err := eng.Execute(xsql.MustParse(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`))
 		if err != nil {
 			t.Fatal(err)
@@ -120,35 +121,35 @@ func TestReplaceRegionNested(t *testing.T) {
 }
 
 func TestReplaceRegionErrors(t *testing.T) {
-	f := newFixture(t, 5, grammar.IndexSpec{}, nil)
-	refs := f.in.MustRegion(bibtex.NTReference)
+	f := testutil.NewBibFixture(t, 5, grammar.IndexSpec{}, nil)
+	refs := f.In.MustRegion(bibtex.NTReference)
 	// Replacement that does not parse.
-	if _, _, err := engine.ReplaceRegion(f.cat, f.in, bibtex.NTReference, refs.At(0), "garbage"); err == nil {
+	if _, _, err := engine.ReplaceRegion(f.Cat, f.In, bibtex.NTReference, refs.At(0), "garbage"); err == nil {
 		t.Error("garbage replacement accepted")
 	}
 	// Not an indexed region.
 	bogus := refs.At(0)
 	bogus.Start++
-	if _, _, err := engine.ReplaceRegion(f.cat, f.in, bibtex.NTReference, bogus, editedReference); err == nil {
+	if _, _, err := engine.ReplaceRegion(f.Cat, f.In, bibtex.NTReference, bogus, editedReference); err == nil {
 		t.Error("non-indexed region accepted")
 	}
 	// Unknown name.
-	if _, _, err := engine.ReplaceRegion(f.cat, f.in, "Nope", refs.At(0), editedReference); err == nil {
+	if _, _, err := engine.ReplaceRegion(f.Cat, f.In, "Nope", refs.At(0), editedReference); err == nil {
 		t.Error("unknown name accepted")
 	}
 }
 
 func TestInsertAndDeleteMatchRebuild(t *testing.T) {
-	f := newFixture(t, 15, grammar.IndexSpec{}, nil)
-	refs := f.in.MustRegion(bibtex.NTReference)
+	f := testutil.NewBibFixture(t, 15, grammar.IndexSpec{}, nil)
+	refs := f.In.MustRegion(bibtex.NTReference)
 
 	// Insert a new reference after the 4th (newline-prefixed to keep the
 	// layout tidy; whitespace is insignificant to the grammar).
-	doc2, in2, err := engine.InsertAfter(f.cat, f.in, bibtex.NTReference, refs.At(4), "\n"+editedReference)
+	doc2, in2, err := engine.InsertAfter(f.Cat, f.In, bibtex.NTReference, refs.At(4), "\n"+editedReference)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rebuilt, _, err := f.cat.Grammar.BuildInstance(doc2, grammar.IndexSpec{})
+	rebuilt, _, err := f.Cat.Grammar.BuildInstance(doc2, grammar.IndexSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestInsertAndDeleteMatchRebuild(t *testing.T) {
 		t.Fatalf("references after insert = %d", got)
 	}
 	// The new reference is queryable.
-	res, err := engine.New(f.cat, in2).Execute(xsql.MustParse(
+	res, err := engine.New(f.Cat, in2).Execute(xsql.MustParse(
 		`SELECT r.Key FROM References r WHERE r.Key = "Edited01"`))
 	if err != nil {
 		t.Fatal(err)
@@ -173,11 +174,11 @@ func TestInsertAndDeleteMatchRebuild(t *testing.T) {
 	// Delete the 8th reference from the updated corpus.
 	refs2 := in2.MustRegion(bibtex.NTReference)
 	target := refs2.At(8)
-	doc3, in3, err := engine.DeleteRegion(f.cat, in2, bibtex.NTReference, target)
+	doc3, in3, err := engine.DeleteRegion(f.Cat, in2, bibtex.NTReference, target)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rebuilt3, _, err := f.cat.Grammar.BuildInstance(doc3, grammar.IndexSpec{})
+	rebuilt3, _, err := f.Cat.Grammar.BuildInstance(doc3, grammar.IndexSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,20 +243,20 @@ func TestInsertDeleteNestedSections(t *testing.T) {
 }
 
 func TestInsertDeleteErrors(t *testing.T) {
-	f := newFixture(t, 3, grammar.IndexSpec{}, nil)
-	refs := f.in.MustRegion(bibtex.NTReference)
-	if _, _, err := engine.InsertAfter(f.cat, f.in, bibtex.NTReference, refs.At(0), "garbage"); err == nil {
+	f := testutil.NewBibFixture(t, 3, grammar.IndexSpec{}, nil)
+	refs := f.In.MustRegion(bibtex.NTReference)
+	if _, _, err := engine.InsertAfter(f.Cat, f.In, bibtex.NTReference, refs.At(0), "garbage"); err == nil {
 		t.Error("garbage insertion accepted")
 	}
-	if _, _, err := engine.InsertAfter(f.cat, f.in, "Nope", refs.At(0), editedReference); err == nil {
+	if _, _, err := engine.InsertAfter(f.Cat, f.In, "Nope", refs.At(0), editedReference); err == nil {
 		t.Error("unknown name accepted")
 	}
 	bogus := refs.At(0)
 	bogus.End--
-	if _, _, err := engine.DeleteRegion(f.cat, f.in, bibtex.NTReference, bogus); err == nil {
+	if _, _, err := engine.DeleteRegion(f.Cat, f.In, bibtex.NTReference, bogus); err == nil {
 		t.Error("non-indexed region delete accepted")
 	}
-	if _, _, err := engine.DeleteRegion(f.cat, f.in, "Nope", refs.At(0)); err == nil {
+	if _, _, err := engine.DeleteRegion(f.Cat, f.In, "Nope", refs.At(0)); err == nil {
 		t.Error("unknown name delete accepted")
 	}
 }

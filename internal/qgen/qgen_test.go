@@ -1,0 +1,96 @@
+package qgen_test
+
+import (
+	"testing"
+
+	"qof/internal/algebra"
+	"qof/internal/qgen"
+	"qof/internal/xsql"
+)
+
+// TestDeterministic pins the replayability contract: the same seed yields
+// byte-identical corpora and query/expression streams.
+func TestDeterministic(t *testing.T) {
+	a := qgen.Domains(42)
+	b := qgen.Domains(42)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("Domains: got %d and %d domains, want 3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("domain %d: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if a[i].Doc.Content() != b[i].Doc.Content() {
+			t.Errorf("domain %s: corpora differ under same seed", a[i].Name)
+		}
+		ga := qgen.NewQueryGen(a[i], 7)
+		gb := qgen.NewQueryGen(b[i], 7)
+		for k := 0; k < 100; k++ {
+			qa, qb := ga.Query().String(), gb.Query().String()
+			if qa != qb {
+				t.Fatalf("domain %s query %d: %q vs %q", a[i].Name, k, qa, qb)
+			}
+		}
+		names := []string{"Reference", "Section", "Entry"}
+		ea := qgen.ExprGenFor(a[i], names, 7)
+		eb := qgen.ExprGenFor(b[i], names, 7)
+		for k := 0; k < 100; k++ {
+			xa, xb := ea.Expr().String(), eb.Expr().String()
+			if xa != xb {
+				t.Fatalf("domain %s expr %d: %q vs %q", a[i].Name, k, xa, xb)
+			}
+		}
+	}
+}
+
+// TestQueriesRoundTrip checks that generated queries are well-formed: they
+// render to text the parser accepts and the round trip is a fixed point —
+// the property the engine's plan cache (keyed by query text) relies on.
+func TestQueriesRoundTrip(t *testing.T) {
+	for _, d := range qgen.Domains(13) {
+		g := qgen.NewQueryGen(d, 99)
+		for k := 0; k < 200; k++ {
+			q := g.Query()
+			src := q.String()
+			back, err := xsql.Parse(src)
+			if err != nil {
+				t.Fatalf("%s: generated query does not parse: %q: %v", d.Name, src, err)
+			}
+			if back.String() != src {
+				t.Fatalf("%s: round trip changed the query:\n  %q\n  %q", d.Name, src, back.String())
+			}
+			if _, ok := q.ClassOf(q.Select.Var); !ok {
+				t.Fatalf("%s: select variable %q is unbound in %q", d.Name, q.Select.Var, src)
+			}
+		}
+	}
+}
+
+// TestExprsRoundTrip checks the same for algebra expressions.
+func TestExprsRoundTrip(t *testing.T) {
+	for _, d := range qgen.Domains(13) {
+		g := qgen.ExprGenFor(d, []string{"A", "B"}, 99)
+		for k := 0; k < 200; k++ {
+			e := g.Expr()
+			src := e.String()
+			back, err := algebra.Parse(src)
+			if err != nil {
+				t.Fatalf("%s: generated expression does not parse: %q: %v", d.Name, src, err)
+			}
+			if !algebra.Equal(e, back) {
+				t.Fatalf("%s: round trip changed the expression: %q", d.Name, src)
+			}
+		}
+	}
+}
+
+// TestSpecsAreBuildable checks every domain spec against its corpus.
+func TestSpecsAreBuildable(t *testing.T) {
+	for _, d := range qgen.Domains(5) {
+		for i, spec := range d.Specs {
+			if _, _, err := d.Cat.Grammar.BuildInstance(d.Doc, spec); err != nil {
+				t.Errorf("%s spec %d: BuildInstance: %v", d.Name, i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package diff_test
+
+import (
+	"testing"
+
+	"qof/internal/qgen"
+	"qof/internal/refeval/diff"
+)
+
+// Fixed seeds: a failure reproduces from the seed and query index alone.
+const (
+	corpusSeed = 1994
+	querySeed  = 317
+	exprSeed   = 631
+)
+
+// queriesPerDomain is the differential workload size per domain (the
+// acceptance floor is 500).
+const queriesPerDomain = 600
+
+// exprsPerHarness sizes the algebra-level sweep per (domain, spec) pair.
+const exprsPerHarness = 150
+
+// TestDifferentialQueries runs the randomly generated query workload through
+// the full engine (optimized, plan-cached, parallel phase 2) and the naive
+// oracle across every index specification of every domain.
+func TestDifferentialQueries(t *testing.T) {
+	for _, d := range qgen.Domains(corpusSeed) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			hs, err := diff.Harnesses(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := qgen.NewQueryGen(d, querySeed)
+			nonEmpty := 0
+			for i := 0; i < queriesPerDomain; i++ {
+				q := gen.Query()
+				h := hs[i%len(hs)]
+				if err := h.CheckQuery(q); err != nil {
+					t.Fatalf("query %d: %v", i, err)
+				}
+				if res, err := h.Oracle.Query(q); err == nil &&
+					(len(res.Objects) > 0 || len(res.Strings) > 0) {
+					nonEmpty++
+				}
+			}
+			// Guard against a vacuous workload: agreement on empty results
+			// only would prove nothing.
+			if min := queriesPerDomain / 10; nonEmpty < min {
+				t.Errorf("only %d/%d queries had non-empty answers, want ≥ %d",
+					nonEmpty, queriesPerDomain, min)
+			}
+		})
+	}
+}
+
+// TestDifferentialExprs runs randomly generated algebra expressions through
+// the production evaluator (universe-based and layered ⊃d) and the naive
+// reference evaluator on every index specification.
+func TestDifferentialExprs(t *testing.T) {
+	for _, d := range qgen.Domains(corpusSeed) {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			hs, err := diff.Harnesses(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for hi, h := range hs {
+				gen := qgen.ExprGenFor(d, h.In.Names(), exprSeed+int64(hi))
+				for i := 0; i < exprsPerHarness; i++ {
+					e := gen.Expr()
+					if err := h.CheckExpr(e); err != nil {
+						t.Fatalf("spec %d expr %d: %v", hi, i, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package diff_test
+
+import (
+	"sync"
+	"testing"
+
+	"qof/internal/qgen"
+	"qof/internal/refeval/diff"
+)
+
+// The fuzz fixtures are built once per process: three domains, each with a
+// full-indexing harness and a partial-indexing one. The fuzzer's inputs
+// (domain selector + generator seed) then deterministically expand into one
+// query and one expression per iteration, so every crashing input replays.
+var (
+	fuzzOnce     sync.Once
+	fuzzDomains  []*qgen.Domain
+	fuzzHarness  [][]*diff.Harness
+	fuzzBuildErr error
+)
+
+func fuzzSetup() {
+	fuzzDomains = qgen.Domains(corpusSeed)
+	for _, d := range fuzzDomains {
+		var hs []*diff.Harness
+		for _, si := range []int{0, 1} {
+			h, err := diff.New(d, si, d.Specs[si])
+			if err != nil {
+				fuzzBuildErr = err
+				return
+			}
+			hs = append(hs, h)
+		}
+		fuzzHarness = append(fuzzHarness, hs)
+	}
+}
+
+// FuzzDifferential drives the differential harness from fuzzer-chosen
+// generator seeds: each input picks a domain, an index spec, and a seed that
+// generates one query and one algebra expression to cross-check.
+func FuzzDifferential(f *testing.F) {
+	f.Add(byte('b'), uint64(1))
+	f.Add(byte('s'), uint64(2))
+	f.Add(byte('l'), uint64(3))
+	f.Fuzz(func(t *testing.T, domain byte, seed uint64) {
+		fuzzOnce.Do(fuzzSetup)
+		if fuzzBuildErr != nil {
+			t.Fatal(fuzzBuildErr)
+		}
+		d := fuzzDomains[int(domain)%len(fuzzDomains)]
+		hs := fuzzHarness[int(domain)%len(fuzzDomains)]
+		h := hs[int(seed%2)]
+		qg := qgen.NewQueryGen(d, int64(seed))
+		if err := h.CheckQuery(qg.Query()); err != nil {
+			t.Fatal(err)
+		}
+		eg := qgen.ExprGenFor(d, h.In.Names(), int64(seed))
+		if err := h.CheckExpr(eg.Expr()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package diff_test
+
+import (
+	"testing"
+
+	"qof/internal/algebra"
+	"qof/internal/optimizer"
+	"qof/internal/qgen"
+	"qof/internal/refeval/diff"
+	"qof/internal/rig"
+	"qof/internal/xsql"
+)
+
+// mutationWorkload is a small fixed query set with known-interesting plans
+// under full indexing: exact selection chains on the author and editor
+// paths, and an index-only projection.
+var mutationWorkload = []string{
+	`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "Chang"`,
+	`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.Year = "1982" OR r.Authors.Name.Last_Name = "Corliss"`,
+}
+
+// mutant corrupts the optimizer's output in one specific way. Each mutant
+// models a distinct bug class: unsound ⊃→⊃d strengthening (over-applying
+// rule 3.5(a)), unconditional chain shortening (over-applying rule 3.5(b),
+// superset on exact plans), lost selections (superset), and an
+// operator-direction typo (subset).
+type mutant struct {
+	name    string
+	corrupt func(algebra.Expr) algebra.Expr
+}
+
+var mutants = []mutant{
+	{"plain-to-direct", func(e algebra.Expr) algebra.Expr {
+		return mapBinOps(e, func(op algebra.BinOp) algebra.BinOp {
+			if op == algebra.OpIncluding {
+				return algebra.OpDirIncluding
+			}
+			return op
+		})
+	}},
+	{"swap-inclusion", func(e algebra.Expr) algebra.Expr {
+		return mapBinOps(e, func(op algebra.BinOp) algebra.BinOp {
+			if op == algebra.OpIncluding {
+				return algebra.OpIncluded
+			}
+			return op
+		})
+	}},
+	{"drop-selection", stripSelects},
+	{"shorten-always", dropMiddleName},
+}
+
+// runWorkload compiles-and-checks the workload on a fresh BibTeX domain
+// whose catalog optimizes candidates through rewriter, returning how many
+// queries the harness flags.
+func runWorkload(t *testing.T, rewriter func(algebra.Expr, *rig.Graph) (algebra.Expr, []optimizer.Rewrite)) int {
+	t.Helper()
+	d := qgen.BibTeX(corpusSeed) // fresh catalog: plans must not leak across mutants
+	if rewriter != nil {
+		d.Cat.SetRewriter(rewriter)
+	}
+	h, err := diff.New(d, 0, d.Specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches := 0
+	for _, src := range mutationWorkload {
+		if err := h.CheckQuery(xsql.MustParse(src)); err != nil {
+			t.Logf("detected: %v", err)
+			mismatches++
+		}
+	}
+	return mismatches
+}
+
+// TestMutationsDetected proves the harness has teeth: with the real
+// optimizer the workload is clean, and every corrupted rewrite is flagged.
+func TestMutationsDetected(t *testing.T) {
+	if got := runWorkload(t, nil); got != 0 {
+		t.Fatalf("unmutated engine: %d mismatches, want 0", got)
+	}
+	for _, m := range mutants {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			rewriter := func(e algebra.Expr, g *rig.Graph) (algebra.Expr, []optimizer.Rewrite) {
+				opt, rws := optimizer.OptimizeExpr(e, g)
+				return m.corrupt(opt), rws
+			}
+			if got := runWorkload(t, rewriter); got == 0 {
+				t.Errorf("mutation %s: no query detected the corruption", m.name)
+			}
+		})
+	}
+}
+
+// mapBinOps rewrites every binary operator bottom-up.
+func mapBinOps(e algebra.Expr, f func(algebra.BinOp) algebra.BinOp) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Binary:
+		return algebra.Binary{Op: f(e.Op), L: mapBinOps(e.L, f), R: mapBinOps(e.R, f)}
+	case algebra.Unary:
+		return algebra.Unary{Op: e.Op, Arg: mapBinOps(e.Arg, f)}
+	case algebra.Select:
+		return algebra.Select{Mode: e.Mode, W: e.W, Arg: mapBinOps(e.Arg, f)}
+	case algebra.Near:
+		return algebra.Near{E: mapBinOps(e.E, f), To: mapBinOps(e.To, f), K: e.K}
+	case algebra.Freq:
+		return algebra.Freq{Arg: mapBinOps(e.Arg, f), W: e.W, N: e.N}
+	default:
+		return e
+	}
+}
+
+// stripSelects removes every σ node, widening the candidate set.
+func stripSelects(e algebra.Expr) algebra.Expr {
+	switch e := e.(type) {
+	case algebra.Select:
+		return stripSelects(e.Arg)
+	case algebra.Binary:
+		return algebra.Binary{Op: e.Op, L: stripSelects(e.L), R: stripSelects(e.R)}
+	case algebra.Unary:
+		return algebra.Unary{Op: e.Op, Arg: stripSelects(e.Arg)}
+	case algebra.Near:
+		return algebra.Near{E: stripSelects(e.E), To: stripSelects(e.To), K: e.K}
+	case algebra.Freq:
+		return algebra.Freq{Arg: stripSelects(e.Arg), W: e.W, N: e.N}
+	default:
+		return e
+	}
+}
+
+// dropMiddleName deletes the middle name of any ≥3-name inclusion chain, as
+// if rule 3.5(b) fired without its all-paths-through precondition.
+func dropMiddleName(e algebra.Expr) algebra.Expr {
+	if c, ok := optimizer.FromExpr(e); ok && len(c.Names) >= 3 {
+		m := len(c.Names) / 2
+		names := append(append([]string(nil), c.Names[:m]...), c.Names[m+1:]...)
+		direct := make([]bool, 0, len(names)-1)
+		for i := 0; i+1 < len(c.Names); i++ {
+			if i == m-1 {
+				direct = append(direct, false) // merged pair: plain inclusion
+				continue
+			}
+			if i == m {
+				continue
+			}
+			direct = append(direct, c.Direct[i])
+		}
+		nc, err := optimizer.NewChain(names, direct, c.Sel, c.Asc)
+		if err != nil {
+			return e
+		}
+		return nc.Expr()
+	}
+	switch e := e.(type) {
+	case algebra.Binary:
+		return algebra.Binary{Op: e.Op, L: dropMiddleName(e.L), R: dropMiddleName(e.R)}
+	case algebra.Unary:
+		return algebra.Unary{Op: e.Op, Arg: dropMiddleName(e.Arg)}
+	case algebra.Select:
+		return algebra.Select{Mode: e.Mode, W: e.W, Arg: dropMiddleName(e.Arg)}
+	default:
+		return e
+	}
+}
