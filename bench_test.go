@@ -338,6 +338,40 @@ func BenchmarkConcurrentExecute(b *testing.B) {
 	}
 }
 
+// BenchmarkRepeatedQueryCache isolates the cross-query result cache: the
+// same mixed workload against one engine with the cache disabled and one
+// with it on. Both variants share the warm plan cache and parse identical
+// candidates; the delta is phase-1 index evaluation served from cache.
+func BenchmarkRepeatedQueryCache(b *testing.B) {
+	queries := make([]*xsql.Query, len(experiments.ConcurrencyQueries))
+	for i, src := range experiments.ConcurrencyQueries {
+		queries[i] = xsql.MustParse(src)
+	}
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := bibtexSetup(b, grammar.IndexSpec{})
+			if !cached {
+				s.Engine.DisableResultCache()
+			}
+			for _, q := range queries { // warm plan (and result) caches
+				if _, err := s.Engine.Execute(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Engine.Execute(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkMicroIndexBuildFull(b *testing.B) {

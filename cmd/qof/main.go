@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -239,14 +240,17 @@ func cmdQuery(args []string) error {
 			return fmt.Errorf("-index applies to single-file queries")
 		}
 		corpus := engine.NewCorpus(d.catalog())
+		corpus.Parallelism = runtime.GOMAXPROCS(0)
+		var docs []*text.Document
 		for _, path := range fs.Args()[:fs.NArg()-1] {
 			doc, err := readDoc(path)
 			if err != nil {
 				return err
 			}
-			if err := corpus.Add(doc, spec); err != nil {
-				return err
-			}
+			docs = append(docs, doc)
+		}
+		if err := corpus.AddAll(docs, spec); err != nil {
+			return err
 		}
 		res, err := corpus.Execute(q)
 		if err != nil {

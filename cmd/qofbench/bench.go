@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"qof/internal/engine"
+	"qof/internal/qgen"
+	"qof/internal/xsql"
+)
+
+// The -json benchmark: for every qgen domain, run a generated repeated-query
+// workload against two engines over the same instance — one with the
+// cross-query result cache disabled (baseline) and one with it on — and
+// report machine-readable throughput, allocation and cache-hit figures.
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Quick   bool          `json:"quick"`
+	Rounds  int           `json:"rounds"`
+	Queries int           `json:"queries_per_domain"`
+	Domains []domainBench `json:"domains"`
+}
+
+type domainBench struct {
+	Name     string    `json:"name"`
+	Baseline benchPass `json:"baseline"`
+	Cached   benchPass `json:"cached"`
+	// Speedup is cached ops/sec over baseline ops/sec for the repeated
+	// workload; the result cache's contribution.
+	Speedup float64 `json:"speedup"`
+}
+
+type benchPass struct {
+	OpsPerSec          float64 `json:"ops_per_sec"`
+	AllocsPerOp        float64 `json:"allocs_per_op"`
+	PlanCacheHitRate   float64 `json:"plan_cache_hit_rate"`
+	ResultCacheHitRate float64 `json:"result_cache_hit_rate"`
+}
+
+// runJSONBench writes the benchmark report to path. quick shrinks the
+// workload for CI smoke runs.
+func runJSONBench(path string, quick bool) error {
+	rounds, nQueries := 8, 60
+	if quick {
+		rounds, nQueries = 4, 25
+	}
+	report := benchReport{Quick: quick, Rounds: rounds, Queries: nQueries}
+	for _, d := range qgen.Domains(1994) {
+		queries := benchQueries(d, nQueries)
+		if len(queries) == 0 {
+			return fmt.Errorf("domain %s: no runnable queries generated", d.Name)
+		}
+		spec := d.Specs[0]
+		in, _, err := d.Cat.Grammar.BuildInstance(d.Doc, spec)
+		if err != nil {
+			return fmt.Errorf("domain %s: %w", d.Name, err)
+		}
+		db := domainBench{Name: d.Name}
+		for _, cached := range []bool{false, true} {
+			eng := engine.New(d.Cat, in)
+			if !cached {
+				eng.DisableResultCache()
+			}
+			pass, err := runPass(eng, queries, rounds)
+			if err != nil {
+				return fmt.Errorf("domain %s: %w", d.Name, err)
+			}
+			if cached {
+				db.Cached = pass
+			} else {
+				db.Baseline = pass
+			}
+		}
+		if db.Baseline.OpsPerSec > 0 {
+			db.Speedup = db.Cached.OpsPerSec / db.Baseline.OpsPerSec
+		}
+		report.Domains = append(report.Domains, db)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// benchQueries generates n distinct queries the domain's engine accepts
+// (qgen deliberately emits some queries with unindexed names; those error
+// identically on every engine, so they carry no benchmark signal).
+func benchQueries(d *qgen.Domain, n int) []*xsql.Query {
+	g := qgen.NewQueryGen(d, 7)
+	in, _, err := d.Cat.Grammar.BuildInstance(d.Doc, d.Specs[0])
+	if err != nil {
+		return nil
+	}
+	probe := engine.New(d.Cat, in)
+	var out []*xsql.Query
+	for tries := 0; len(out) < n && tries < 20*n; tries++ {
+		q := g.Query()
+		if _, err := probe.Execute(q); err != nil {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// runPass executes the query list rounds times and measures throughput,
+// allocations per query, and cache hit rates.
+func runPass(eng *engine.Engine, queries []*xsql.Query, rounds int) (benchPass, error) {
+	// Warm-up round: fault in lazy index structures (universe, sistring
+	// array) so the timed rounds measure steady-state serving.
+	for _, q := range queries {
+		if _, err := eng.Execute(q); err != nil {
+			return benchPass{}, err
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ops := 0
+	for r := 0; r < rounds; r++ {
+		for _, q := range queries {
+			if _, err := eng.Execute(q); err != nil {
+				return benchPass{}, err
+			}
+			ops++
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	var pass benchPass
+	if elapsed > 0 {
+		pass.OpsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	pass.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+	ph, pm, rh, rm := eng.CacheCounters()
+	if ph+pm > 0 {
+		pass.PlanCacheHitRate = float64(ph) / float64(ph+pm)
+	}
+	if rh+rm > 0 {
+		pass.ResultCacheHitRate = float64(rh) / float64(rh+rm)
+	}
+	return pass, nil
+}

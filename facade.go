@@ -11,6 +11,7 @@ package qof
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"qof/internal/advisor"
 	"qof/internal/algebra"
@@ -285,6 +286,23 @@ func (s *Schema) NewCorpus(opts ...IndexOption) *Corpus {
 func (c *Corpus) Add(name, content string, opts ...IndexOption) error {
 	cfg := applyOptions(opts)
 	return c.c.Add(text.NewDocument(name, content), cfg.spec)
+}
+
+// AddAll indexes the named documents and adds them to the corpus in order.
+// With WithParallelism on the corpus, the index builds run concurrently;
+// the result is identical to sequential Adds. On error nothing is added.
+func (c *Corpus) AddAll(files map[string]string, opts ...IndexOption) error {
+	cfg := applyOptions(opts)
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	docs := make([]*text.Document, len(names))
+	for i, name := range names {
+		docs[i] = text.NewDocument(name, files[name])
+	}
+	return c.c.AddAll(docs, cfg.spec)
 }
 
 // CorpusHit is one file's results.

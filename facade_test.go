@@ -153,6 +153,19 @@ func TestFacadeCorpus(t *testing.T) {
 	if len(hits) != 1 || hits[0].File != "a.bib" || hits[0].Values[0] != "Corl82a" {
 		t.Fatalf("hits = %+v", hits)
 	}
+
+	// AddAll with parallel builds answers identically (files sort by name).
+	bulk := schema.NewCorpus(qof.WithParallelism(2))
+	if err := bulk.AddAll(map[string]string{"a.bib": bibtex.SampleEntry, "b.bib": gen}); err != nil {
+		t.Fatal(err)
+	}
+	bulkHits, err := bulk.Query(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bulkHits) != 1 || bulkHits[0].File != "a.bib" || bulkHits[0].Values[0] != "Corl82a" {
+		t.Fatalf("AddAll hits = %+v", bulkHits)
+	}
 }
 
 func TestFacadeAdvise(t *testing.T) {

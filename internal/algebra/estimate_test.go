@@ -1,0 +1,132 @@
+package algebra
+
+import (
+	"testing"
+
+	"qof/internal/stats"
+)
+
+// estimateExprs is a mixed bag of expressions over the fixture instance:
+// selects, inclusions (transitive and direct), set operations, nesting
+// filters and word-level primitives, including several that are provably
+// empty from the statistics.
+var estimateExprs = []string{
+	`Reference`,
+	`word("Chang")`,
+	`word("never-occurs")`,
+	`Reference > Authors > contains(Last_Name, "Chang")`,
+	`Reference > contains(Last_Name, "never-occurs")`,
+	`Reference >d Authors >d Name >d contains(Last_Name, "Chang")`,
+	`Last_Name < Authors < Reference`,
+	`Authors + Editors`,
+	`Authors & Editors`,
+	`Name - (Name < Editors)`,
+	`outermost(Reference + Name)`,
+	`innermost(Reference + Name + Last_Name)`,
+	`equals(Last_Name, "Chang")`,
+	`(Reference > contains(Last_Name, "never-occurs")) & Reference`,
+	`Reference & (Authors + Editors)`,
+	`prefix("Cor")`,
+	`match("Chang")`,
+	`near(Authors, Editors, 1)`,
+	`near(Authors, Authors - Authors, 5)`,
+	`freq(Reference, "Chang", 1)`,
+	`freq(Reference, "never-occurs", 2)`,
+	`innermost(Reference - Authors)`,
+}
+
+// TestEstimateUpperBound checks the soundness contract the evaluator's
+// short-circuiting relies on: for every expression whose names are all
+// indexed, the estimated cardinality bounds the actual result size, and
+// Card == 0 implies the result really is empty.
+func TestEstimateUpperBound(t *testing.T) {
+	in := fixture(t)
+	st := stats.Collect(in)
+	for _, src := range estimateExprs {
+		e := MustParse(src)
+		est := EstimateCost(e, st)
+		got, err := NewEvaluator(in).Eval(e)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
+		if got.Len() > est.Card {
+			t.Errorf("%s: estimate %d below actual %d — not an upper bound", src, est.Card, got.Len())
+		}
+		if est.Card == 0 && !got.IsEmpty() {
+			t.Errorf("%s: estimated provably empty but evaluated to %v", src, got)
+		}
+		if est.Cost < 0 {
+			t.Errorf("%s: negative cost %f", src, est.Cost)
+		}
+	}
+}
+
+// TestShortCircuit checks that an evaluated-empty operand of ∩/⊃/⊂ skips
+// the other side (counted in Stats.ShortCircuits) without changing results.
+func TestShortCircuit(t *testing.T) {
+	in := fixture(t)
+	st := stats.Collect(in)
+
+	for _, src := range []string{
+		`(Reference > contains(Last_Name, "never-occurs")) & Reference`,
+		`Reference & (Reference > contains(Last_Name, "never-occurs"))`,
+		`(Reference > contains(Last_Name, "never-occurs")) > Name`,
+		`Last_Name < (Reference > contains(Last_Name, "never-occurs"))`,
+	} {
+		ev := NewEvaluator(in)
+		ev.CostStats = st
+		var es Stats
+		got, err := ev.EvalStats(MustParse(src), &es)
+		if err != nil {
+			t.Fatalf("EvalStats(%q): %v", src, err)
+		}
+		if !got.IsEmpty() {
+			t.Errorf("%s: expected empty result, got %v", src, got)
+		}
+		if es.ShortCircuits == 0 {
+			t.Errorf("%s: empty operand did not short-circuit: %+v", src, es)
+		}
+		// The short-circuit must not change the result: a plain evaluator
+		// (no statistics, no skipping disabled paths) agrees.
+		want, err := NewEvaluator(in).Eval(MustParse(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: short-circuited %v differs from plain %v", src, got, want)
+		}
+	}
+
+	// Union and the right side of difference must never be skipped: the
+	// other operand still contributes to the result.
+	for _, src := range []string{
+		`(Authors & Editors) + Reference`,
+		`Reference - (Authors & Editors)`,
+	} {
+		ev := NewEvaluator(in)
+		ev.CostStats = st
+		got, err := ev.Eval(MustParse(src))
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
+		if got.Len() != 2 {
+			t.Errorf("%s: expected the 2 references, got %v", src, got)
+		}
+	}
+}
+
+// TestShortCircuitErrorParity pins the error contract differential testing
+// relies on: when the skipped operand would have failed (an unindexed
+// name), the evaluator must still report the error instead of silently
+// returning an empty set.
+func TestShortCircuitErrorParity(t *testing.T) {
+	in := fixture(t)
+	st := stats.Collect(in)
+	ev := NewEvaluator(in)
+	ev.CostStats = st
+	// Left side evaluates empty; right side references an unindexed name.
+	_, err := ev.Eval(MustParse(`(Authors & Editors) & Unindexed`))
+	if err == nil {
+		t.Fatal("expected unindexed-name error, short-circuit swallowed it")
+	}
+}

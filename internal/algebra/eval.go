@@ -3,9 +3,12 @@ package algebra
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 
 	"qof/internal/index"
 	"qof/internal/region"
+	"qof/internal/stats"
 )
 
 // ErrNotIndexed is wrapped by evaluation errors caused by a region name that
@@ -16,10 +19,12 @@ var ErrNotIndexed = errors.New("region name is not indexed")
 // Stats accumulates evaluation statistics for the experiments and for
 // EXPLAIN output.
 type Stats struct {
-	Ops            int // operator applications
-	DirectOps      int // of which ⊃d/⊂d
-	RegionsTouched int // total regions in intermediate results
-	CacheHits      int // subexpressions answered from the CSE cache
+	Ops             int // operator applications
+	DirectOps       int // of which ⊃d/⊂d
+	RegionsTouched  int // total regions in intermediate results
+	CacheHits       int // subexpressions answered from the CSE cache
+	ResultCacheHits int // subexpressions answered from the cross-query cache
+	ShortCircuits   int // binary operators skipped via a provably empty operand
 }
 
 // Evaluator evaluates region-algebra expressions against one index instance.
@@ -44,7 +49,35 @@ type Evaluator struct {
 	// read at the start of each Eval call; concurrent Eval calls sharing
 	// one Stats would race, so concurrent callers use EvalStats instead.
 	Stats *Stats
+
+	// Results, when non-nil, is a cross-query cache of subexpression
+	// results (the engine's LRU). Only expressions whose static Cost
+	// reaches ResultMinCost are consulted and stored, and keys embed the
+	// instance epoch so index mutations invalidate stale entries.
+	Results ResultCache
+
+	// ResultMinCost gates Results; 0 means DefaultResultMinCost.
+	ResultMinCost int
+
+	// CostStats, when non-nil, enables cardinality-aware operand
+	// ordering: for operators that are empty whenever one operand is,
+	// the side estimated cheaper (or provably empty) evaluates first so
+	// an empty outcome can skip the other side entirely.
+	CostStats *stats.Stats
 }
+
+// ResultCache is the cross-query result cache interface the engine
+// implements. Implementations must be safe for concurrent use; stored sets
+// are immutable.
+type ResultCache interface {
+	Get(key string) (region.Set, bool)
+	Put(key string, s region.Set)
+}
+
+// DefaultResultMinCost is the static-cost threshold below which results are
+// not worth caching across queries: anything cheaper than one inclusion
+// sweep is recomputed faster than it is looked up and stored.
+const DefaultResultMinCost = CostInclusion
 
 // NewEvaluator creates an evaluator over the instance.
 func NewEvaluator(in *index.Instance) *Evaluator {
@@ -73,12 +106,21 @@ func (ev *Evaluator) Eval(e Expr) (region.Set, error) {
 	return ev.EvalStats(e, ev.Stats)
 }
 
+// ctxPool recycles evaluation contexts (and their memo maps) across calls:
+// under concurrent serving every query used to allocate a fresh map.
+var ctxPool = sync.Pool{New: func() any { return &evalCtx{memo: make(map[string]region.Set, 8)} }}
+
 // EvalStats evaluates e, accumulating statistics into st when non-nil.
 // This is the entry point for concurrent callers: each call gets its own
 // memo and stats sink, so overlapping calls on one Evaluator never contend.
 func (ev *Evaluator) EvalStats(e Expr, st *Stats) (region.Set, error) {
-	ctx := &evalCtx{memo: make(map[string]region.Set), stats: st}
-	return ev.eval(ctx, e)
+	ctx := ctxPool.Get().(*evalCtx)
+	ctx.stats = st
+	out, err := ev.eval(ctx, e)
+	clear(ctx.memo)
+	ctx.stats = nil
+	ctxPool.Put(ctx)
+	return out, err
 }
 
 func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
@@ -92,12 +134,56 @@ func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 			}
 			return cached, nil
 		}
+		if ev.Results != nil && ev.cacheWorthy(e) {
+			if s, ok := ev.Results.Get(ev.resultKey(key)); ok {
+				if ctx.stats != nil {
+					ctx.stats.ResultCacheHits++
+				}
+				ctx.memo[key] = s
+				return s, nil
+			}
+		}
 	}
 	out, err := ev.evalUncached(ctx, e)
 	if err == nil && key != "" {
 		ctx.memo[key] = out
+		if ev.Results != nil && ev.cacheWorthy(e) {
+			ev.Results.Put(ev.resultKey(key), out)
+		}
 	}
 	return out, err
+}
+
+// cacheWorthy reports whether e is expensive enough for the cross-query
+// cache.
+func (ev *Evaluator) cacheWorthy(e Expr) bool {
+	minCost := ev.ResultMinCost
+	if minCost == 0 {
+		minCost = DefaultResultMinCost
+	}
+	return Cost(e) >= minCost
+}
+
+// resultKey embeds the instance epoch so mutations (Define/Drop/Splice)
+// orphan every previously cached entry.
+func (ev *Evaluator) resultKey(exprKey string) string {
+	return strconv.FormatUint(ev.in.Epoch(), 36) + "|" + exprKey
+}
+
+// CachedResult returns the cross-query cached result for e when present,
+// letting the engine skip evaluation setup entirely on repeated queries.
+func (ev *Evaluator) CachedResult(e Expr) (region.Set, bool) {
+	if ev.Results == nil {
+		return region.Empty, false
+	}
+	switch e.(type) {
+	case Binary, Select, Unary, Near, Freq:
+		if !ev.cacheWorthy(e) {
+			return region.Empty, false
+		}
+		return ev.Results.Get(ev.resultKey(e.String()))
+	}
+	return region.Empty, false
 }
 
 func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
@@ -164,13 +250,42 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 		ctx.count(out, false)
 		return out, nil
 	case Binary:
-		l, err := ev.eval(ctx, e.L)
+		lFirst := true
+		if ev.CostStats != nil && emptyAnnihilates(e.Op, false) {
+			// Both operand orders can short-circuit: evaluate the side
+			// the statistics price cheaper (preferring a provably empty
+			// one) so an empty outcome skips the expensive side.
+			le := EstimateCost(e.L, ev.CostStats)
+			re := EstimateCost(e.R, ev.CostStats)
+			if (re.Card == 0 && le.Card > 0) ||
+				((re.Card == 0) == (le.Card == 0) &&
+					(re.Cost < le.Cost || (re.Cost == le.Cost && re.Card < le.Card))) {
+				lFirst = false
+			}
+		}
+		first, second := e.L, e.R
+		if !lFirst {
+			first, second = e.R, e.L
+		}
+		fs, err := ev.eval(ctx, first)
 		if err != nil {
 			return region.Empty, err
 		}
-		r, err := ev.eval(ctx, e.R)
+		if fs.IsEmpty() && emptyAnnihilates(e.Op, lFirst) && ev.safeToSkip(second) {
+			// The operator is empty whenever this operand is, and the
+			// skipped side cannot fail, so its evaluation is pure cost.
+			if ctx.stats != nil {
+				ctx.stats.ShortCircuits++
+			}
+			return region.Empty, nil
+		}
+		ss, err := ev.eval(ctx, second)
 		if err != nil {
 			return region.Empty, err
+		}
+		l, r := fs, ss
+		if !lFirst {
+			l, r = ss, fs
 		}
 		out, err := ev.apply(e.Op, l, r)
 		if err != nil {
@@ -181,6 +296,36 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 	default:
 		return region.Empty, fmt.Errorf("algebra: unknown expression %T", e)
 	}
+}
+
+// emptyAnnihilates reports whether op's result is necessarily empty when
+// one operand is: true for ∩, ⊃, ⊂, ⊃d and ⊂d on either side, and for −
+// only when the left operand is the empty one (L − ∅ = L). ∪ never
+// annihilates. firstWasL identifies which operand was evaluated; passing
+// false asks whether the right side alone can annihilate, which is also
+// the condition for operand reordering to pay off.
+func emptyAnnihilates(op BinOp, firstWasL bool) bool {
+	switch op {
+	case OpUnion:
+		return false
+	case OpDiff:
+		return firstWasL
+	default:
+		return true
+	}
+}
+
+// safeToSkip reports whether e can be skipped without losing an error:
+// evaluation only fails on region names the instance does not index, so an
+// expression whose names are all indexed evaluates without error.
+func (ev *Evaluator) safeToSkip(e Expr) bool {
+	safe := true
+	Walk(e, func(x Expr) {
+		if n, ok := x.(Name); ok && !ev.in.Has(n.Ident) {
+			safe = false
+		}
+	})
+	return safe
 }
 
 func (ev *Evaluator) apply(op BinOp, l, r region.Set) (region.Set, error) {

@@ -1,0 +1,80 @@
+package algebra
+
+import (
+	"testing"
+
+	"qof/internal/region"
+)
+
+// mapCache is a minimal ResultCache for exercising the evaluator's cache
+// protocol without the engine's LRU.
+type mapCache struct {
+	m    map[string]region.Set
+	puts int
+}
+
+func (c *mapCache) Get(key string) (region.Set, bool) {
+	s, ok := c.m[key]
+	return s, ok
+}
+
+func (c *mapCache) Put(key string, s region.Set) {
+	c.m[key] = s
+	c.puts++
+}
+
+// TestEvaluatorResultCache checks the evaluator side of the cross-query
+// result cache: costly expressions are stored and served, cheap leaves are
+// not, and CachedResult answers without evaluating.
+func TestEvaluatorResultCache(t *testing.T) {
+	in := fixture(t)
+	ev := NewEvaluator(in)
+	cache := &mapCache{m: make(map[string]region.Set)}
+	ev.Results = cache
+
+	costly := MustParse(`Reference > Authors > contains(Last_Name, "Chang")`)
+	if _, ok := ev.CachedResult(costly); ok {
+		t.Fatal("CachedResult hit before any evaluation")
+	}
+	want, err := ev.Eval(costly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts == 0 {
+		t.Fatal("costly expression was not stored in the result cache")
+	}
+	var st Stats
+	got, err := ev.EvalStats(costly, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResultCacheHits == 0 {
+		t.Errorf("repeat evaluation did not hit the result cache: %+v", st)
+	}
+	if !got.Equal(want) {
+		t.Errorf("cached result %v differs from computed %v", got, want)
+	}
+	if s, ok := ev.CachedResult(costly); !ok || !s.Equal(want) {
+		t.Errorf("CachedResult = %v, %v; want %v, true", s, ok, want)
+	}
+
+	// A bare name is below the cost threshold: evaluated, never cached.
+	cheap := MustParse(`Reference`)
+	before := cache.puts
+	if _, err := ev.Eval(cheap); err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts != before {
+		t.Error("cheap leaf was stored in the result cache")
+	}
+	if _, ok := ev.CachedResult(cheap); ok {
+		t.Error("CachedResult served a below-threshold expression")
+	}
+
+	// Keys embed the instance epoch: a mutation makes the cached entry
+	// unreachable even though the map still holds it.
+	in.Define("Bump", region.FromRegions([]region.Region{{Start: 0, End: 1}}))
+	if _, ok := ev.CachedResult(costly); ok {
+		t.Error("CachedResult survived an instance mutation")
+	}
+}

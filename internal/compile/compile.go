@@ -31,6 +31,7 @@ import (
 	"qof/internal/index"
 	"qof/internal/optimizer"
 	"qof/internal/rig"
+	"qof/internal/stats"
 	"qof/internal/text"
 	"qof/internal/xsql"
 )
@@ -190,6 +191,9 @@ type VarPlan struct {
 	Exact bool
 	// Rewrites lists the optimizer rules applied (Theorem 3.6).
 	Rewrites []optimizer.Rewrite
+	// Est holds the statistics-based cardinality/cost estimate for
+	// Candidates when the plan was compiled with CompileStats.
+	Est *algebra.Estimate
 }
 
 // ProjPlan describes how to produce the SELECT output.
@@ -254,6 +258,9 @@ func (p *Plan) Explain() string {
 			fmt.Fprintf(&sb, "  original:  %s  (cost %d)\n", algebra.Pretty(v.Original), algebra.Cost(v.Original))
 		}
 		fmt.Fprintf(&sb, "  candidates: %s  (cost %d)\n", algebra.Pretty(v.Candidates), algebra.Cost(v.Candidates))
+		if v.Est != nil {
+			fmt.Fprintf(&sb, "  estimate: ≤%d regions, %.0f work units\n", v.Est.Card, v.Est.Cost)
+		}
 		for _, rw := range v.Rewrites {
 			fmt.Fprintf(&sb, "  rewrite: %s\n", rw)
 		}
@@ -327,6 +334,15 @@ func (ii idxInfo) usableAt(name string, prior []string) bool {
 
 // Compile plans the query against the instance's current indexing choice.
 func (c *Catalog) Compile(q *xsql.Query, in *index.Instance) (*Plan, error) {
+	return c.CompileStats(q, in, nil)
+}
+
+// CompileStats plans like Compile and, when st is non-nil, additionally
+// applies the statistics-driven ordering of commutative operands (cheap,
+// small side first) and records cardinality/cost estimates on each
+// variable plan. Plans are equivalent either way; st only steers
+// evaluation order.
+func (c *Catalog) CompileStats(q *xsql.Query, in *index.Instance, st *stats.Stats) (*Plan, error) {
 	plan := &Plan{Query: q}
 	indexed := newIdxInfo(in)
 	for _, f := range q.From {
@@ -358,6 +374,11 @@ func (c *Catalog) Compile(q *xsql.Query, in *index.Instance) (*Plan, error) {
 			opt, rewrites := c.optimizeExpr(expr, g)
 			vp.Candidates = opt
 			vp.Rewrites = rewrites
+			if st != nil {
+				vp.Candidates = optimizer.OrderOperands(vp.Candidates, st)
+				est := algebra.EstimateCost(vp.Candidates, st)
+				vp.Est = &est
+			}
 		}
 		plan.Vars = append(plan.Vars, vp)
 	}

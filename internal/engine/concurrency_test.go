@@ -32,10 +32,12 @@ var concurrentQueries = []string{
 }
 
 // maskNondet zeroes the fields that legitimately differ run to run:
-// PlanCached flips after the first execution, and the timings are wall
-// clock. Everything else must be bit-identical across runs.
+// PlanCached and the result-cache fields flip after the first execution,
+// and the timings are wall clock. Everything else must be bit-identical
+// across runs.
 func maskNondet(st engine.Stats) engine.Stats {
 	st.PlanCached = false
+	st.ResultCached, st.ResultCacheHits = false, 0
 	st.CompileTime, st.Phase1Time, st.Phase2Time = 0, 0, 0
 	return st
 }

@@ -44,6 +44,50 @@ func (c *Corpus) Add(doc *text.Document, spec grammar.IndexSpec) error {
 	return nil
 }
 
+// AddAll indexes the documents and adds them to the corpus in the given
+// order. When Parallelism is set, the per-document index builds (parse,
+// region extraction, word index, statistics) run concurrently — they are
+// independent per file — but the corpus always ends up identical to
+// sequential Adds: engines are appended in document order, and on error the
+// corpus is left unchanged.
+func (c *Corpus) AddAll(docs []*text.Document, spec grammar.IndexSpec) error {
+	engines := make([]*Engine, len(docs))
+	errs := make([]error, len(docs))
+	build := func(i int) {
+		in, _, err := c.cat.Grammar.BuildInstance(docs[i], spec)
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: indexing %s: %w", docs[i].Name(), err)
+			return
+		}
+		engines[i] = New(c.cat, in)
+	}
+	if c.Parallelism > 1 {
+		sem := make(chan struct{}, c.Parallelism)
+		var wg sync.WaitGroup
+		for i := range docs {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				build(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range docs {
+			build(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.engines = append(c.engines, engines...)
+	return nil
+}
+
 // Len reports the number of files in the corpus.
 func (c *Corpus) Len() int { return len(c.engines) }
 
@@ -118,6 +162,8 @@ func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
 		out.Stats.Exact = out.Stats.Exact || st.Exact
 		out.Stats.FullScan = out.Stats.FullScan || st.FullScan
 		out.Stats.PlanCached = out.Stats.PlanCached || st.PlanCached
+		out.Stats.ResultCached = out.Stats.ResultCached || st.ResultCached
+		out.Stats.ResultCacheHits += st.ResultCacheHits
 		if st.Results == 0 {
 			continue
 		}

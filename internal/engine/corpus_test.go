@@ -69,6 +69,67 @@ func TestCorpusProjection(t *testing.T) {
 	}
 }
 
+// TestCorpusAddAll checks that the parallel bulk build produces a corpus
+// identical to sequential Adds: same order, same per-file results.
+func TestCorpusAddAll(t *testing.T) {
+	cat := bibtex.Catalog()
+	var docs []*text.Document
+	seq := engine.NewCorpus(cat)
+	for i := 0; i < 6; i++ {
+		mut := func(cfg *bibtex.Config) {
+			cfg.Seed = int64(i)
+			cfg.TargetAuthorShare = 0.3
+		}
+		doc, _ := testutil.BibDoc(t, fmt.Sprintf("b%d.bib", i), 20, mut)
+		docs = append(docs, doc)
+		doc2, _ := testutil.BibDoc(t, fmt.Sprintf("b%d.bib", i), 20, mut)
+		if err := seq.Add(doc2, grammar.IndexSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk := engine.NewCorpus(cat)
+	bulk.Parallelism = 4
+	if err := bulk.AddAll(docs, grammar.IndexSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != seq.Len() {
+		t.Fatalf("Len = %d, want %d", bulk.Len(), seq.Len())
+	}
+	q := xsql.MustParse(changAuthorQuery)
+	a, err := seq.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bulk.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Results() != b.Results() || len(a.Hits) != len(b.Hits) {
+		t.Fatalf("sequential %d/%d vs bulk %d/%d",
+			a.Results(), len(a.Hits), b.Results(), len(b.Hits))
+	}
+	for i := range a.Hits {
+		if a.Hits[i].File != b.Hits[i].File || !a.Hits[i].Regions.Equal(b.Hits[i].Regions) {
+			t.Errorf("hit %d differs (order or contents)", i)
+		}
+	}
+}
+
+// TestCorpusAddAllError checks that a bad document fails the whole bulk add
+// and leaves the corpus unchanged.
+func TestCorpusAddAllError(t *testing.T) {
+	corpus := engine.NewCorpus(bibtex.Catalog())
+	corpus.Parallelism = 4
+	good, _ := testutil.BibDoc(t, "ok.bib", 5, nil)
+	docs := []*text.Document{good, text.NewDocument("bad.bib", "not bibtex")}
+	if err := corpus.AddAll(docs, grammar.IndexSpec{}); err == nil {
+		t.Fatal("unparseable file accepted")
+	}
+	if corpus.Len() != 0 {
+		t.Fatalf("failed AddAll left %d engines behind", corpus.Len())
+	}
+}
+
 func TestCorpusAddError(t *testing.T) {
 	corpus := engine.NewCorpus(bibtex.Catalog())
 	err := corpus.Add(text.NewDocument("bad.bib", "not bibtex"), grammar.IndexSpec{})

@@ -26,6 +26,7 @@ import (
 	"qof/internal/grammar"
 	"qof/internal/index"
 	"qof/internal/region"
+	"qof/internal/stats"
 	"qof/internal/xsql"
 )
 
@@ -42,10 +43,12 @@ const planCacheCap = 64
 // synchronizes internally. The Parallelism field is configuration — set it
 // before the engine starts serving.
 type Engine struct {
-	cat   *compile.Catalog
-	in    *index.Instance
-	ev    *algebra.Evaluator
-	plans *compile.PlanCache
+	cat     *compile.Catalog
+	in      *index.Instance
+	ev      *algebra.Evaluator
+	plans   *compile.PlanCache
+	results *ResultCache
+	st      *stats.Stats
 
 	// Parallelism bounds the number of worker goroutines parsing and
 	// filtering phase-2 candidate regions within one Execute call; values
@@ -54,14 +57,22 @@ type Engine struct {
 	Parallelism int
 }
 
-// New creates an engine over the catalog and instance.
+// New creates an engine over the catalog and instance. Construction
+// collects index statistics (region cardinalities, word frequencies,
+// nesting depth) that drive cardinality-aware operand ordering, and sets up
+// the cross-query result cache.
 func New(cat *compile.Catalog, in *index.Instance) *Engine {
-	return &Engine{
-		cat:   cat,
-		in:    in,
-		ev:    algebra.NewEvaluator(in),
-		plans: compile.NewPlanCache(planCacheCap),
+	e := &Engine{
+		cat:     cat,
+		in:      in,
+		ev:      algebra.NewEvaluator(in),
+		plans:   compile.NewPlanCache(planCacheCap),
+		results: NewResultCache(resultCacheCap),
+		st:      stats.Collect(in),
 	}
+	e.ev.Results = e.results
+	e.ev.CostStats = e.st
+	return e
 }
 
 // Instance returns the engine's index instance.
@@ -69,6 +80,28 @@ func (e *Engine) Instance() *index.Instance { return e.in }
 
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *compile.Catalog { return e.cat }
+
+// IndexStats returns the statistics collected over the instance when the
+// engine was built.
+func (e *Engine) IndexStats() *stats.Stats { return e.st }
+
+// DisableResultCache turns off the cross-query result cache. It is
+// configuration, like Parallelism: call it before the engine starts
+// serving. Benchmarks use it to isolate the cache's contribution.
+func (e *Engine) DisableResultCache() {
+	e.ev.Results = nil
+	e.results = nil
+}
+
+// CacheCounters reports cumulative plan- and result-cache hits and misses,
+// for throughput reports.
+func (e *Engine) CacheCounters() (planHits, planMisses, resultHits, resultMisses int) {
+	planHits, planMisses = e.plans.Counters()
+	if e.results != nil {
+		resultHits, resultMisses = e.results.Counters()
+	}
+	return
+}
 
 // Stats describes how a query was executed.
 type Stats struct {
@@ -81,6 +114,12 @@ type Stats struct {
 	FullScan    bool // the index offered no narrowing
 	JoinFast    bool // the Section 5.2 region-level join was used
 	PlanCached  bool // the compiled plan came from the plan cache
+
+	// ResultCached reports that the candidate set itself was served from
+	// the cross-query result cache (phase 1 skipped); ResultCacheHits
+	// counts every subexpression answered from it, candidates included.
+	ResultCached    bool
+	ResultCacheHits int
 
 	// Wall-clock breakdown: query compilation + optimization, index
 	// evaluation (phase 1), and candidate parsing + filtering +
@@ -119,7 +158,7 @@ func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
 		q = plan.Query
 	} else {
 		var err error
-		plan, err = e.cat.Compile(q, e.in)
+		plan, err = e.cat.CompileStats(q, e.in, e.st)
 		if err != nil {
 			return nil, err
 		}
@@ -148,6 +187,15 @@ func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
 	return res, nil
 }
 
+// evalExpr runs an algebra expression through the evaluator and folds the
+// per-call evaluator statistics (result-cache hits) into the result's stats.
+func (e *Engine) evalExpr(x algebra.Expr, res *Result) (region.Set, error) {
+	var ast algebra.Stats
+	s, err := e.ev.EvalStats(x, &ast)
+	res.Stats.ResultCacheHits += ast.ResultCacheHits
+	return s, err
+}
+
 // executeSingle runs the one-range-variable fast path.
 func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) error {
 	vp := &plan.Vars[0]
@@ -159,10 +207,18 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	var candidates region.Set
 	switch {
 	case vp.Candidates != nil:
-		var err error
-		candidates, err = e.ev.Eval(vp.Candidates)
-		if err != nil {
-			return fmt.Errorf("engine: evaluating candidates: %w", err)
+		if s, ok := e.ev.CachedResult(vp.Candidates); ok {
+			// The whole candidate expression was answered by the
+			// cross-query result cache: phase 1 is a lookup.
+			candidates = s
+			res.Stats.ResultCached = true
+			res.Stats.ResultCacheHits++
+		} else {
+			var err error
+			candidates, err = e.evalExpr(vp.Candidates, res)
+			if err != nil {
+				return fmt.Errorf("engine: evaluating candidates: %w", err)
+			}
 		}
 	default:
 		// The index offers nothing: parse the whole document and use
@@ -183,7 +239,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	// Index-only projection: exact candidates plus an exact projection
 	// chain answer the query without touching the file.
 	if res.Projected && vp.Exact && plan.Projection.Chain != nil && plan.Projection.Exact && !res.Stats.FullScan {
-		projected, err := e.ev.Eval(plan.Projection.Chain.Expr())
+		projected, err := e.evalExpr(plan.Projection.Chain.Expr(), res)
 		if err != nil {
 			return fmt.Errorf("engine: evaluating projection: %w", err)
 		}
@@ -201,7 +257,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	// Section 5.2 fast join: decide the path comparison from the leaf
 	// regions alone, then parse only the matching objects.
 	if plan.JoinFast != nil && !res.Stats.FullScan {
-		matched, ok, err := e.joinFastCandidates(plan.JoinFast, candidates)
+		matched, ok, err := e.joinFastCandidates(plan.JoinFast, candidates, res)
 		if err != nil {
 			return err
 		}
@@ -312,7 +368,7 @@ func (e *Engine) phase2(q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, 
 // hash-join the values per candidate. It requires candidates to be
 // non-nested (so every leaf has a unique container); ok=false means the
 // caller must fall back to parsing.
-func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.Set) (region.Set, bool, error) {
+func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.Set, res *Result) (region.Set, bool, error) {
 	cands := candidates.Regions()
 	for i := 1; i < len(cands); i++ {
 		if cands[i-1].End > cands[i].Start {
@@ -321,7 +377,7 @@ func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.
 	}
 	content := e.in.Document().Content()
 	groups := func(ch algebra.Expr) (map[int]map[string]bool, error) {
-		leaves, err := e.ev.Eval(ch)
+		leaves, err := e.evalExpr(ch, res)
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +429,7 @@ func (e *Engine) executeMulti(q *xsql.Query, plan *compile.Plan, res *Result) er
 		var cands region.Set
 		if vp.Candidates != nil {
 			var err error
-			cands, err = e.ev.Eval(vp.Candidates)
+			cands, err = e.evalExpr(vp.Candidates, res)
 			if err != nil {
 				return fmt.Errorf("engine: candidates for %s: %w", vp.Var, err)
 			}

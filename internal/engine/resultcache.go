@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"qof/internal/region"
+)
+
+// resultCacheCap bounds the per-engine cross-query result cache. Entries
+// are whole region sets, so the cap is larger than the plan cache's (more
+// distinct subexpressions than query texts) but still small enough that a
+// burst of one-off queries cannot pin unbounded memory.
+const resultCacheCap = 256
+
+// ResultCache is a bounded LRU cache of evaluated region sets keyed by
+// (instance epoch, canonical expression string) — the evaluator builds the
+// keys, embedding the epoch so Define/Drop/Splice invalidate by construction
+// (stale entries age out of the LRU rather than being swept). It is the
+// cross-query sibling of compile.PlanCache: the plan cache skips parsing
+// and optimization for repeated query texts, this cache skips phase-1 index
+// evaluation for repeated subexpressions, including ones shared between
+// different queries.
+//
+// Region sets are immutable, so a cached set is shared by any number of
+// concurrent executions; the cache itself is safe for concurrent use. It
+// implements algebra.ResultCache.
+type ResultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+
+	hits, misses int
+}
+
+type resultEntry struct {
+	key string
+	set region.Set
+}
+
+// NewResultCache creates a cache holding at most capacity result sets;
+// capacity < 1 is treated as 1.
+func NewResultCache(capacity int) *ResultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ResultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached set for the key, marking it most recently used.
+func (rc *ResultCache) Get(key string) (region.Set, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.m[key]
+	if !ok {
+		rc.misses++
+		return region.Empty, false
+	}
+	rc.hits++
+	rc.ll.MoveToFront(el)
+	return el.Value.(*resultEntry).set, true
+}
+
+// Put inserts (or refreshes) the set under the key, evicting the least
+// recently used entry when the cache is full.
+func (rc *ResultCache) Put(key string, s region.Set) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.m[key]; ok {
+		el.Value.(*resultEntry).set = s
+		rc.ll.MoveToFront(el)
+		return
+	}
+	rc.m[key] = rc.ll.PushFront(&resultEntry{key: key, set: s})
+	for rc.ll.Len() > rc.cap {
+		oldest := rc.ll.Back()
+		rc.ll.Remove(oldest)
+		delete(rc.m, oldest.Value.(*resultEntry).key)
+	}
+}
+
+// Len reports the number of cached sets.
+func (rc *ResultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.ll.Len()
+}
+
+// Counters reports cumulative hit and miss counts, for throughput reports.
+func (rc *ResultCache) Counters() (hits, misses int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits, rc.misses
+}

@@ -1,0 +1,43 @@
+package index
+
+import (
+	"testing"
+
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// TestEpochBumps verifies that every mutating operation advances the epoch,
+// the contract the engine's result cache keys rely on.
+func TestEpochBumps(t *testing.T) {
+	doc := text.NewDocument("d", "alpha beta gamma")
+	in := NewInstance(doc)
+	e0 := in.Epoch()
+
+	set := region.FromRegions([]region.Region{{Start: 0, End: 5}})
+	in.Define("A", set)
+	e1 := in.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("Define did not bump epoch: %d -> %d", e0, e1)
+	}
+
+	in.DefineScoped("B", "A", set)
+	e2 := in.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("DefineScoped did not bump epoch: %d -> %d", e1, e2)
+	}
+
+	in.Drop("B")
+	e3 := in.Epoch()
+	if e3 <= e2 {
+		t.Fatalf("Drop did not bump epoch: %d -> %d", e2, e3)
+	}
+
+	// A spliced instance starts past its parent so stale cache entries
+	// cannot collide even before its regions are redefined.
+	newDoc := text.NewDocument("d", "alpha beta delta")
+	spliced := SpliceInstance(in, newDoc, 11, 16, 16)
+	if spliced.Epoch() <= e3-1 {
+		t.Fatalf("spliced epoch %d not past parent %d", spliced.Epoch(), e3)
+	}
+}

@@ -22,6 +22,26 @@ func newTestIndex(t *testing.T) *WordIndex {
 	return NewWordIndex(text.NewDocument("sample.bib", sampleBib))
 }
 
+func TestForEachWord(t *testing.T) {
+	x := newTestIndex(t)
+	total, distinct := 0, 0
+	prev := ""
+	x.ForEachWord(func(w string, occ int) {
+		if w <= prev {
+			t.Fatalf("words not in sorted order: %q after %q", w, prev)
+		}
+		prev = w
+		if occ != len(x.Occurrences(w)) {
+			t.Errorf("%q: reported %d, occurrences %d", w, occ, len(x.Occurrences(w)))
+		}
+		distinct++
+		total += occ
+	})
+	if distinct != x.WordCount() || total != x.TokenCount() {
+		t.Errorf("visited %d/%d, want %d/%d", distinct, total, x.WordCount(), x.TokenCount())
+	}
+}
+
 func TestWordIndexCounts(t *testing.T) {
 	x := newTestIndex(t)
 	if x.TokenCount() == 0 || x.WordCount() == 0 {

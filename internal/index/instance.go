@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qof/internal/region"
 	"qof/internal/text"
@@ -27,6 +28,11 @@ type Instance struct {
 
 	uniMu    sync.Mutex
 	universe *region.Universe // lazily built under uniMu; nil when stale
+
+	// epoch counts the mutations applied to this instance. Caches keyed by
+	// instance contents (the engine's cross-query result cache) include the
+	// epoch in their keys so Define/Drop/Splice invalidate them.
+	epoch atomic.Uint64
 }
 
 // NewInstance creates an empty instance over the document.
@@ -78,7 +84,13 @@ func (in *Instance) invalidateUniverse() {
 	in.uniMu.Lock()
 	in.universe = nil
 	in.uniMu.Unlock()
+	in.epoch.Add(1)
 }
+
+// Epoch returns the instance's mutation counter. It increases on every
+// Define, DefineScoped and Drop, and a spliced instance starts one past its
+// parent, so equal epochs on one instance imply identical region contents.
+func (in *Instance) Epoch() uint64 { return in.epoch.Load() }
 
 // Has reports whether the region name is indexed.
 func (in *Instance) Has(name string) bool {

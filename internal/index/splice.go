@@ -96,6 +96,9 @@ func (x *WordIndex) Splice(newDoc *text.Document, editStart, oldEnd, newEnd int)
 // sets themselves.
 func SpliceInstance(old *Instance, newDoc *text.Document, editStart, oldEnd, newEnd int) *Instance {
 	in := NewInstanceFromWords(old.words.Splice(newDoc, editStart, oldEnd, newEnd))
+	// Start past the parent's epoch so results cached against the old
+	// contents can never be served for the spliced document.
+	in.epoch.Store(old.Epoch() + 1)
 	return in
 }
 

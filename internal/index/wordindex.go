@@ -64,23 +64,42 @@ func newWordIndex(doc *text.Document, tokens []text.Token) *WordIndex {
 // sistringArray returns the token indexes in lexicographic order of the
 // text following each token (PAT's sistring order). It is built on first
 // use: sorting semi-infinite strings is the most expensive part of word
-// indexing and only prefix search needs it.
+// indexing and only prefix search needs it. Token order is derived from
+// byte-level suffix ranks (see suffixRanks) so each comparison is O(1)
+// regardless of how repetitive the document is.
 func (x *WordIndex) sistringArray() []int {
 	x.sisOnce.Do(func() {
 		if len(x.tokens) == 0 {
 			return
 		}
-		content := x.doc.Content()
+		starts := make([]int, len(x.tokens))
 		arr := make([]int, len(x.tokens))
-		for i := range arr {
+		for i, tok := range x.tokens {
+			starts[i] = tok.Start
 			arr[i] = i
 		}
+		rank := suffixRanksAt(x.doc.Content(), starts)
 		sort.Slice(arr, func(a, b int) bool {
-			return content[x.tokens[arr[a]].Start:] < content[x.tokens[arr[b]].Start:]
+			return rank[x.tokens[arr[a]].Start] < rank[x.tokens[arr[b]].Start]
 		})
 		x.sistring = arr
 	})
 	return x.sistring
+}
+
+// sortSistringNaive is the direct suffix-comparison sort the ranked build
+// replaced. It is kept as the correctness and performance reference for
+// tests and benchmarks only.
+func (x *WordIndex) sortSistringNaive() []int {
+	content := x.doc.Content()
+	arr := make([]int, len(x.tokens))
+	for i := range arr {
+		arr[i] = i
+	}
+	sort.Slice(arr, func(a, b int) bool {
+		return content[x.tokens[arr[a]].Start:] < content[x.tokens[arr[b]].Start:]
+	})
+	return arr
 }
 
 // Document returns the indexed document.
@@ -95,6 +114,15 @@ func (x *WordIndex) WordCount() int { return len(x.words) }
 // Tokens returns all word occurrences sorted by start position. Callers must
 // not modify the returned slice.
 func (x *WordIndex) Tokens() []text.Token { return x.tokens }
+
+// ForEachWord calls fn for every distinct word with its occurrence count,
+// in sorted word order. It is the statistics collector's view of the
+// inverted index.
+func (x *WordIndex) ForEachWord(fn func(w string, occurrences int)) {
+	for _, w := range x.words {
+		fn(w, len(x.byWord[w]))
+	}
+}
 
 // Occurrences returns the tokens of every occurrence of the exact word w,
 // sorted by start position.

@@ -1,0 +1,51 @@
+package optimizer
+
+import (
+	"testing"
+
+	"qof/internal/algebra"
+	"qof/internal/stats"
+)
+
+// orderStats fabricates statistics where Small is much cheaper than Big.
+func orderStats() *stats.Stats {
+	return &stats.Stats{
+		DocLen: 1000, TotalTokens: 200, DistinctWords: 50,
+		Regions: map[string]int{"Small": 2, "Big": 500, "Mid": 50},
+		WordOcc: map[string]int{"w": 3},
+	}
+}
+
+func TestOrderOperands(t *testing.T) {
+	st := orderStats()
+	for _, tc := range []struct{ in, want string }{
+		// Commutative operators get the cheap side first.
+		{`Big & Small`, `Small & Big`},
+		{`Big + Small`, `Small + Big`},
+		{`Small & Big`, `Small & Big`}, // already ordered
+		// Non-commutative operators keep their operand roles.
+		{`Big - Small`, `Big - Small`},
+		{`Big > Small`, `Big > Small`},
+		{`Small < Big`, `Small < Big`},
+		// Recursion reaches nested operands on every side.
+		{`(Big & Small) - (Big + Small)`, `(Small & Big) - (Small + Big)`},
+		{`innermost(Big & Small)`, `innermost(Small & Big)`},
+		{`contains(Big & Small, "w")`, `contains(Small & Big, "w")`},
+		{`near(Big & Small, Mid, 2)`, `near(Small & Big, Mid, 2)`},
+		{`freq(Big & Small, "w", 2)`, `freq(Small & Big, "w", 2)`},
+		// Leaves pass through untouched.
+		{`word("w")`, `word("w")`},
+	} {
+		got := OrderOperands(algebra.MustParse(tc.in), st)
+		if got.String() != algebra.MustParse(tc.want).String() {
+			t.Errorf("OrderOperands(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestOrderOperandsNilStats(t *testing.T) {
+	e := algebra.MustParse(`Big & Small`)
+	if got := OrderOperands(e, nil); got.String() != e.String() {
+		t.Errorf("nil stats must be a no-op, got %s", got)
+	}
+}

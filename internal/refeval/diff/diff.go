@@ -66,12 +66,14 @@ func Harnesses(d *qgen.Domain) ([]*Harness, error) {
 	return out, nil
 }
 
-// CheckQuery executes q on the engine twice — the second run must come from
-// the plan cache — and on the oracle, and returns a mismatch report as an
-// error, or nil when all three agree.
+// CheckQuery executes q on the engine three times — the second and third
+// runs must come from the plan cache, and by the third the cross-query
+// result cache is warm, so both cache layers are under differential test —
+// and on the oracle, and returns a mismatch report as an error, or nil when
+// all runs agree.
 func (h *Harness) CheckQuery(q *xsql.Query) error {
 	want, oerr := h.Oracle.Query(q)
-	for run := 0; run < 2; run++ {
+	for run := 0; run < 3; run++ {
 		got, err := h.Eng.Execute(q)
 		if (err != nil) != (oerr != nil) {
 			return fmt.Errorf("%s: error disagreement on %s (run %d):\n  engine: %v\n  oracle: %v",
@@ -80,8 +82,8 @@ func (h *Harness) CheckQuery(q *xsql.Query) error {
 		if err != nil {
 			continue // both sides reject the query the same way
 		}
-		if run == 1 && !got.Stats.PlanCached {
-			return fmt.Errorf("%s: second run of %s did not hit the plan cache", h.Name, q)
+		if run >= 1 && !got.Stats.PlanCached {
+			return fmt.Errorf("%s: run %d of %s did not hit the plan cache", h.Name, run, q)
 		}
 		if msg := h.compare(q, got, want); msg != "" {
 			return fmt.Errorf("%s: mismatch on %s (run %d):\n%s\nplan:\n%s",

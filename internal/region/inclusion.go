@@ -33,7 +33,7 @@ func (s Set) Including(t Set) Set {
 		return Empty
 	}
 	rmq := newMinTable(S.regions)
-	var out []Region
+	out := make([]Region, 0, len(R.regions))
 	for _, r := range R.regions {
 		// Candidates s have s.Start in [r.Start, r.End]; since the set
 		// is sorted primarily by Start this is a contiguous index
@@ -52,7 +52,8 @@ func (s Set) Including(t Set) Set {
 			out = append(out, r)
 		}
 	}
-	return fromSorted(out)
+	rmq.release()
+	return trimmed(out)
 }
 
 // strictBesides reports whether some region in cands other than r is
@@ -77,12 +78,13 @@ func (s Set) Included(t Set) Set {
 	}
 	// prefMax[i] = max end among S.regions[0:i] (those starts are ≤ any
 	// later start).
-	prefMax := make([]int, len(S.regions)+1)
+	buf := getIntBuf()
+	prefMax := buf.ints(len(S.regions) + 1)
 	prefMax[0] = -1
 	for i, sr := range S.regions {
 		prefMax[i+1] = max(prefMax[i], sr.End)
 	}
-	var out []Region
+	out := make([]Region, 0, len(R.regions))
 	for _, r := range R.regions {
 		// Containers s have s.Start ≤ r.Start, a prefix of S; one of
 		// them contains r iff the maximum end in the prefix is ≥ r.End.
@@ -96,7 +98,8 @@ func (s Set) Included(t Set) Set {
 			out = append(out, r)
 		}
 	}
-	return fromSorted(out)
+	putIntBuf(buf)
+	return trimmed(out)
 }
 
 // containerBesides reports whether some region in cands other than r
@@ -139,31 +142,45 @@ func upperBoundStart(rs []Region, v int) int {
 }
 
 // minTable is a sparse table answering range-minimum queries over the end
-// positions of a sorted region slice in O(1) after O(n log n) setup.
+// positions of a sorted region slice in O(1) after O(n log n) setup. All
+// levels live in one pooled scratch buffer; callers release the table when
+// done with it.
 type minTable struct {
 	rows [][]int
+	buf  *intBuf
 }
 
-func newMinTable(rs []Region) *minTable {
+func newMinTable(rs []Region) minTable {
 	n := len(rs)
-	row := make([]int, n)
-	for i, r := range rs {
-		row[i] = r.End
-	}
-	t := &minTable{rows: [][]int{row}}
+	levels, total := 1, n
 	for width := 2; width <= n; width *= 2 {
-		prev := t.rows[len(t.rows)-1]
-		next := make([]int, n-width+1)
+		levels++
+		total += n - width + 1
+	}
+	buf := getIntBuf()
+	flat := buf.ints(total)
+	rows := make([][]int, 1, levels)
+	rows[0] = flat[:n]
+	for i, r := range rs {
+		rows[0][i] = r.End
+	}
+	off := n
+	for width := 2; width <= n; width *= 2 {
+		prev := rows[len(rows)-1]
+		next := flat[off : off+n-width+1]
+		off += n - width + 1
 		for i := range next {
 			next[i] = min(prev[i], prev[i+width/2])
 		}
-		t.rows = append(t.rows, next)
+		rows = append(rows, next)
 	}
-	return t
+	return minTable{rows: rows, buf: buf}
 }
 
+func (t minTable) release() { putIntBuf(t.buf) }
+
 // min returns the minimum end in the half-open index range [lo, hi).
-func (t *minTable) min(lo, hi int) int {
+func (t minTable) min(lo, hi int) int {
 	k := bits.Len(uint(hi-lo)) - 1
 	return min(t.rows[k][lo], t.rows[k][hi-(1<<k)])
 }
@@ -197,6 +214,31 @@ func (u *Universe) All() Set { return u.all }
 // ProperlyNested reports whether the universe regions form a forest
 // (no partial overlaps).
 func (u *Universe) ProperlyNested() bool { return u.nested }
+
+// MaxDepth returns the number of nesting levels in the universe: 0 for an
+// empty universe and 1 when no region strictly contains another. Depth is
+// only tracked through the forest, so a non-nested universe reports 1.
+func (u *Universe) MaxDepth() int {
+	if u.all.IsEmpty() {
+		return 0
+	}
+	if !u.nested {
+		return 1
+	}
+	// Containers sort before the regions they include, so parent[i] < i
+	// and a single forward pass computes every depth.
+	depth := make([]int, len(u.parent))
+	maxd := 1
+	for i, p := range u.parent {
+		if p < 0 {
+			depth[i] = 1
+		} else {
+			depth[i] = depth[p] + 1
+		}
+		maxd = max(maxd, depth[i])
+	}
+	return maxd
+}
 
 // buildForest computes, for regions sorted by (Start asc, End desc) with no
 // partial overlaps, the index of each region's tightest strict container

@@ -1,0 +1,41 @@
+package region
+
+import "sync"
+
+// The inclusion kernels need integer scratch (range-minimum tables, prefix
+// maxima) proportional to the operand sizes. Under concurrent query serving
+// those buffers dominated the allocation profile, so they are recycled
+// through a pool instead of allocated per call.
+
+// intBuf is a pooled integer scratch buffer. Kernels acquire one with
+// getIntBuf, slice it with ints, and return it with putIntBuf.
+type intBuf struct{ s []int }
+
+var intPool = sync.Pool{New: func() any { return new(intBuf) }}
+
+func getIntBuf() *intBuf  { return intPool.Get().(*intBuf) }
+func putIntBuf(b *intBuf) { intPool.Put(b) }
+
+// ints returns a length-n view of the buffer, growing it when needed.
+// Contents are unspecified; callers must overwrite before reading.
+func (b *intBuf) ints(n int) []int {
+	if cap(b.s) < n {
+		b.s = make([]int, n)
+	}
+	return b.s[:n]
+}
+
+// trimmed wraps out as a Set, copying to a right-sized slice when the
+// capacity hint left most of it unused, so long-lived results (cached sets,
+// instance extents) don't pin oversized backing arrays.
+func trimmed(out []Region) Set {
+	if len(out) == 0 {
+		return Empty
+	}
+	if cap(out) >= 4*len(out) {
+		exact := make([]Region, len(out))
+		copy(exact, out)
+		out = exact
+	}
+	return fromSorted(out)
+}

@@ -164,7 +164,10 @@ func (s Set) Union(t Set) Set {
 
 // Intersect returns s ∩ t.
 func (s Set) Intersect(t Set) Set {
-	var out []Region
+	if s.IsEmpty() || t.IsEmpty() {
+		return Empty
+	}
+	out := make([]Region, 0, min(len(s.regions), len(t.regions)))
 	i, j := 0, 0
 	for i < len(s.regions) && j < len(t.regions) {
 		a, b := s.regions[i], t.regions[j]
@@ -179,12 +182,18 @@ func (s Set) Intersect(t Set) Set {
 			j++
 		}
 	}
-	return fromSorted(out)
+	return trimmed(out)
 }
 
 // Diff returns s − t.
 func (s Set) Diff(t Set) Set {
-	var out []Region
+	if s.IsEmpty() {
+		return Empty
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	out := make([]Region, 0, len(s.regions))
 	i, j := 0, 0
 	for i < len(s.regions) {
 		if j >= len(t.regions) {
@@ -203,24 +212,30 @@ func (s Set) Diff(t Set) Set {
 			j++
 		}
 	}
-	return fromSorted(out)
+	return trimmed(out)
 }
 
 // Filter returns the subset of s whose regions satisfy keep.
 func (s Set) Filter(keep func(Region) bool) Set {
-	var out []Region
+	if s.IsEmpty() {
+		return Empty
+	}
+	out := make([]Region, 0, len(s.regions))
 	for _, r := range s.regions {
 		if keep(r) {
 			out = append(out, r)
 		}
 	}
-	return fromSorted(out)
+	return trimmed(out)
 }
 
 // Outermost implements the ω operation: the regions of s not included in any
 // other region of s (the maximal elements of s under inclusion).
 func (s Set) Outermost() Set {
-	var out []Region
+	if s.IsEmpty() {
+		return Empty
+	}
+	out := make([]Region, 0, len(s.regions))
 	maxEnd := -1
 	for _, r := range s.regions {
 		// Everything earlier in (Start asc, End desc) order has
@@ -230,7 +245,7 @@ func (s Set) Outermost() Set {
 			maxEnd = r.End
 		}
 	}
-	return fromSorted(out)
+	return trimmed(out)
 }
 
 // Innermost implements the ι operation: the regions of s that include no
@@ -252,7 +267,7 @@ func (s Set) Innermost() Set {
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
-	return fromSorted(out)
+	return trimmed(out)
 }
 
 // ProperlyNested reports whether no two regions of the set partially

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"qof/internal/index"
+	"qof/internal/text"
+)
+
+// Combined on-disk format: the instance's own format (index.Save) as a
+// length-prefixed blob, followed by the statistics section, so statistics
+// persist alongside the instance without the index format or package
+// depending on this one. Integers are unsigned varints, as in the index
+// format.
+const statsMagic = "QOFST01\n"
+
+// Save writes the instance and its statistics to w. When st is nil the
+// statistics are collected first.
+func Save(w io.Writer, in *index.Instance, st *Stats) error {
+	if st == nil {
+		st = Collect(in)
+	}
+	var blob bytes.Buffer
+	if err := in.Save(&blob); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(statsMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(blob.Len()))
+	if _, err := bw.Write(blob.Bytes()); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(st.DocLen))
+	writeUvarint(bw, uint64(st.TotalTokens))
+	writeUvarint(bw, uint64(st.DistinctWords))
+	writeUvarint(bw, uint64(st.UniverseSize))
+	writeUvarint(bw, uint64(st.MaxDepth))
+	writeUvarint(bw, st.Epoch)
+	writeCountMap(bw, st.Regions)
+	writeCountMap(bw, st.WordOcc)
+	return bw.Flush()
+}
+
+// Load reads an instance plus statistics previously written by Save,
+// re-attaching the instance to doc exactly like index.Load.
+func Load(r io.Reader, doc *text.Document) (*index.Instance, *Stats, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(statsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("stats: reading magic: %w", err)
+	}
+	if string(magic) != statsMagic {
+		return nil, nil, errors.New("stats: bad magic (not a qof index+stats file)")
+	}
+	blobLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	in, err := index.Load(io.LimitReader(br, int64(blobLen)), doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+	fields := []*int{&st.DocLen, &st.TotalTokens, &st.DistinctWords, &st.UniverseSize, &st.MaxDepth}
+	for _, f := range fields {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		*f = int(v)
+	}
+	if st.Epoch, err = binary.ReadUvarint(br); err != nil {
+		return nil, nil, err
+	}
+	if st.Regions, err = readCountMap(br); err != nil {
+		return nil, nil, err
+	}
+	if st.WordOcc, err = readCountMap(br); err != nil {
+		return nil, nil, err
+	}
+	return in, st, nil
+}
+
+func writeCountMap(w *bufio.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeUvarint(w, uint64(len(keys)))
+	for _, k := range keys {
+		writeUvarint(w, uint64(len(k)))
+		w.WriteString(k)
+		writeUvarint(w, uint64(m[k]))
+	}
+}
+
+func readCountMap(r *bufio.Reader) (map[string]int, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]int, n)
+	for i := uint64(0); i < n; i++ {
+		kl, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if kl > 1<<20 {
+			return nil, errors.New("stats: unreasonable string length")
+		}
+		buf := make([]byte, kl)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		m[string(buf)] = int(v)
+	}
+	return m, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"qof/internal/index"
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+func testInstance(t *testing.T) *index.Instance {
+	t.Helper()
+	doc := text.NewDocument("t", "alpha beta alpha gamma beta alpha")
+	in := index.NewInstance(doc)
+	in.Define("Outer", region.FromRegions([]region.Region{{Start: 0, End: 16}, {Start: 17, End: 33}}))
+	in.Define("Inner", region.FromRegions([]region.Region{{Start: 0, End: 5}, {Start: 17, End: 22}}))
+	return in
+}
+
+func TestCollect(t *testing.T) {
+	in := testInstance(t)
+	st := Collect(in)
+	if st.DocLen != in.Document().Len() {
+		t.Errorf("DocLen = %d, want %d", st.DocLen, in.Document().Len())
+	}
+	if st.TotalTokens != 6 {
+		t.Errorf("TotalTokens = %d, want 6", st.TotalTokens)
+	}
+	if st.DistinctWords != 3 {
+		t.Errorf("DistinctWords = %d, want 3", st.DistinctWords)
+	}
+	if got := st.WordFreq("alpha"); got != 3 {
+		t.Errorf("WordFreq(alpha) = %d, want 3", got)
+	}
+	if got := st.WordFreq("absent"); got != 0 {
+		t.Errorf("WordFreq(absent) = %d, want 0", got)
+	}
+	if got := st.RegionCard("Outer"); got != 2 {
+		t.Errorf("RegionCard(Outer) = %d, want 2", got)
+	}
+	if got := st.RegionCard("Nope"); got != 0 {
+		t.Errorf("RegionCard(Nope) = %d, want 0", got)
+	}
+	if st.UniverseSize != 4 {
+		t.Errorf("UniverseSize = %d, want 4", st.UniverseSize)
+	}
+	if st.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want 2 (Inner nests in Outer)", st.MaxDepth)
+	}
+	if st.Epoch != in.Epoch() {
+		t.Errorf("Epoch = %d, want %d", st.Epoch, in.Epoch())
+	}
+}
+
+func TestNilReceivers(t *testing.T) {
+	var st *Stats
+	if st.RegionCard("A") != 0 || st.WordFreq("w") != 0 {
+		t.Error("nil Stats accessors must return 0")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	in := testInstance(t)
+	st := Collect(in)
+	var buf bytes.Buffer
+	if err := Save(&buf, in, st); err != nil {
+		t.Fatal(err)
+	}
+	in2, st2, err := Load(&buf, in.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range in.Names() {
+		if !in2.MustRegion(name).Equal(in.MustRegion(name)) {
+			t.Errorf("region %q differs after round trip", name)
+		}
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Errorf("stats differ after round trip:\n got %+v\nwant %+v", st2, st)
+	}
+}
+
+func TestSaveCollectsWhenNil(t *testing.T) {
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, in, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Load(&buf, in.Document())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, Collect(in)) {
+		t.Errorf("Save(nil) did not persist freshly collected stats: %+v", st)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	doc := text.NewDocument("t", "x")
+	if _, _, err := Load(bytes.NewReader([]byte("not an index")), doc); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Stats{
+		DocLen: 10, TotalTokens: 4, UniverseSize: 3, MaxDepth: 2,
+		Regions: map[string]int{"A": 2, "B": 1},
+		WordOcc: map[string]int{"x": 3, "y": 1},
+	}
+	b := &Stats{
+		DocLen: 20, TotalTokens: 6, UniverseSize: 5, MaxDepth: 1,
+		Regions: map[string]int{"A": 4},
+		WordOcc: map[string]int{"y": 2, "z": 5},
+	}
+	m := Merge(a, nil, b)
+	if m.DocLen != 30 || m.TotalTokens != 10 || m.UniverseSize != 8 {
+		t.Errorf("sums wrong: %+v", m)
+	}
+	if m.MaxDepth != 2 {
+		t.Errorf("MaxDepth = %d, want max(2,1)", m.MaxDepth)
+	}
+	if m.RegionCard("A") != 6 || m.RegionCard("B") != 1 {
+		t.Errorf("region sums wrong: %+v", m.Regions)
+	}
+	if m.WordFreq("y") != 3 || m.DistinctWords != 3 {
+		t.Errorf("word merge wrong: %+v", m.WordOcc)
+	}
+}
