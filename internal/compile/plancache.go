@@ -17,11 +17,11 @@ import (
 // concurrent use.
 type PlanCache struct {
 	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	cap int                      // immutable after construction
+	ll  *list.List               // guarded by mu; front = most recently used
+	m   map[string]*list.Element // guarded by mu
 
-	hits, misses int
+	hits, misses int // guarded by mu
 }
 
 type planEntry struct {

@@ -27,7 +27,7 @@ type Instance struct {
 	scopes  map[string]string // name -> surrounding region name for selective indexes
 
 	uniMu    sync.Mutex
-	universe *region.Universe // lazily built under uniMu; nil when stale
+	universe *region.Universe // guarded by uniMu; lazily built, nil when stale
 
 	// epoch counts the mutations applied to this instance. Caches keyed by
 	// instance contents (the engine's cross-query result cache) include the

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -22,6 +23,14 @@ const indexMagic = "QOFIX01\n"
 // ErrIndexMismatch is returned by Load when the persisted index was built
 // over a different document than the one supplied.
 var ErrIndexMismatch = errors.New("index: persisted index does not match document")
+
+var (
+	// ErrBadMagic reports a stream that is not a qof index file at all.
+	ErrBadMagic = errors.New("index: bad magic (not a qof index file)")
+	// ErrUnsupportedVersion reports a qof index file written by a
+	// different, incompatible format version.
+	ErrUnsupportedVersion = errors.New("index: unsupported format version")
+)
 
 // Save writes the instance (word tokens and all region indices) to w.
 func (in *Instance) Save(w io.Writer) error {
@@ -70,18 +79,21 @@ func Load(r io.Reader, doc *text.Document) (*Instance, error) {
 		return nil, fmt.Errorf("index: reading magic: %w", err)
 	}
 	if string(magic) != indexMagic {
-		return nil, errors.New("index: bad magic (not a qof index file)")
+		if bytes.HasPrefix(magic, []byte("QOFIX")) {
+			return nil, fmt.Errorf("%w: got %q, want %q", ErrUnsupportedVersion, magic, indexMagic)
+		}
+		return nil, ErrBadMagic
 	}
 	if _, err := readString(br); err != nil { // stored name is informational
-		return nil, err
+		return nil, fmt.Errorf("index: reading document name: %w", err)
 	}
 	docLen, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: reading document length: %w", err)
 	}
 	sum, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: reading document checksum: %w", err)
 	}
 	if int(docLen) != doc.Len() || uint32(sum) != crc32.ChecksumIEEE([]byte(doc.Content())) {
 		return nil, ErrIndexMismatch
@@ -89,18 +101,18 @@ func Load(r io.Reader, doc *text.Document) (*Instance, error) {
 
 	nTok, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: reading token count: %w", err)
 	}
 	toks := make([]text.Token, nTok)
 	prev := uint64(0)
 	for i := range toks {
 		ds, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: reading token table: %w", err)
 		}
 		ln, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: reading token table: %w", err)
 		}
 		start := prev + ds
 		if start+ln > docLen {
@@ -117,34 +129,34 @@ func Load(r io.Reader, doc *text.Document) (*Instance, error) {
 
 	nNames, err := readUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("index: reading class count: %w", err)
 	}
 	for i := uint64(0); i < nNames; i++ {
 		name, err := readString(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: reading class name: %w", err)
 		}
 		scope, err := readString(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: reading scope for %q: %w", name, err)
 		}
 		if scope != "" {
 			in.scopes[name] = scope
 		}
 		cnt, err := readUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("index: reading region count for %q: %w", name, err)
 		}
 		rs := make([]region.Region, cnt)
 		prev := uint64(0)
 		for j := range rs {
 			ds, err := readUvarint(br)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("index: reading region table for %q: %w", name, err)
 			}
 			ln, err := readUvarint(br)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("index: reading region table for %q: %w", name, err)
 			}
 			start := prev + ds
 			if start+ln > docLen {

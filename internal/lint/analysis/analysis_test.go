@@ -1,0 +1,18 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestReportf(t *testing.T) {
+	var got []Diagnostic
+	p := &Pass{Report: func(d Diagnostic) { got = append(got, d) }}
+	p.Reportf(token.Pos(7), "bad %s in %s", "thing", "place")
+	if len(got) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(got))
+	}
+	if got[0].Pos != token.Pos(7) || got[0].Message != "bad thing in place" {
+		t.Errorf("diagnostic = %+v", got[0])
+	}
+}

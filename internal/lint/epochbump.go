@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qof/internal/lint/analysis"
+)
+
+// EpochBump protects the engine's cross-query result cache: cached region
+// sets are keyed by (instance epoch, expression), so any mutation of an
+// instance's region-class maps that does not bump the epoch makes the
+// cache serve stale sets — silently, and only under the right query mix.
+//
+// The rule: on any struct type that has an "epoch"/"Epoch" field, an
+// exported method that mutates a map-typed field of the receiver (index
+// assignment, delete, or wholesale reassignment) — directly or via
+// unexported sibling methods — must also bump the epoch on that receiver
+// (epoch.Add/Store for atomics, ++ or assignment for plain integers),
+// directly or via a sibling such as invalidateUniverse. The check is
+// path-insensitive: bumping on some path and mutating on another still
+// counts, which matches the codebase convention of bumping unconditionally.
+var EpochBump = &analysis.Analyzer{
+	Name: "epochbump",
+	Doc: "reports exported methods that mutate region-class maps of an " +
+		"epoch-carrying struct without bumping its epoch",
+	Run: runEpochBump,
+}
+
+// methodFacts is what one method body does to its receiver.
+type methodFacts struct {
+	decl    *ast.FuncDecl
+	mutates bool            // writes a map-typed receiver field
+	bumps   bool            // bumps the receiver's epoch field
+	calls   map[string]bool // sibling methods invoked on the receiver
+}
+
+func runEpochBump(pass *analysis.Pass) (any, error) {
+	epochTypes := collectEpochTypes(pass)
+	if len(epochTypes) == 0 {
+		return nil, nil
+	}
+	// Gather per-method facts for each epoch-carrying type.
+	byType := make(map[*types.Named]map[string]*methodFacts)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			named := receiverNamed(pass, fd)
+			if named == nil || !epochTypes[named] {
+				continue
+			}
+			if byType[named] == nil {
+				byType[named] = make(map[string]*methodFacts)
+			}
+			byType[named][fd.Name.Name] = methodFactsFor(pass, fd)
+		}
+	}
+	// Close facts over intra-type calls, then report exported methods whose
+	// effective mutation is not matched by an effective bump.
+	for _, methods := range byType {
+		effMutates := closure(methods, func(m *methodFacts) bool { return m.mutates })
+		effBumps := closure(methods, func(m *methodFacts) bool { return m.bumps })
+		for name, m := range methods {
+			if !ast.IsExported(name) {
+				continue
+			}
+			if effMutates[name] && !effBumps[name] {
+				pass.Reportf(m.decl.Name.Pos(),
+					"exported method %s mutates region-class maps without bumping the epoch (result caches will serve stale sets)", name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectEpochTypes finds named struct types declaring an epoch field.
+func collectEpochTypes(pass *analysis.Pass) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fn := st.Field(i).Name(); fn == "epoch" || fn == "Epoch" {
+				out[named] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// receiverNamed resolves a method's receiver to its named type, looking
+// through a pointer.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) *types.Named {
+	var obj types.Object
+	if names := fd.Recv.List[0].Names; len(names) == 1 {
+		obj = pass.TypesInfo.Defs[names[0]]
+	}
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// methodFactsFor scans one method body for receiver-map mutations, epoch
+// bumps and sibling calls.
+func methodFactsFor(pass *analysis.Pass, fd *ast.FuncDecl) *methodFacts {
+	recv := fd.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.Defs[recv]
+	facts := &methodFacts{decl: fd, calls: make(map[string]bool)}
+
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recvObj
+	}
+	// recvField matches `recv.<name>` and returns the field's type.
+	recvField := func(e ast.Expr) (string, types.Type, bool) {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || !isRecv(sel.X) {
+			return "", nil, false
+		}
+		tv, ok := pass.TypesInfo.Types[sel]
+		if !ok {
+			return "", nil, false
+		}
+		return sel.Sel.Name, tv.Type, true
+	}
+	isEpochField := func(e ast.Expr) bool {
+		name, _, ok := recvField(e)
+		return ok && (name == "epoch" || name == "Epoch")
+	}
+	isMapField := func(e ast.Expr) bool {
+		_, t, ok := recvField(e)
+		if !ok {
+			return false
+		}
+		_, isMap := t.Underlying().(*types.Map)
+		return isMap
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isMapField(idx.X) {
+					facts.mutates = true // recv.m[k] = v
+				}
+				if isMapField(lhs) {
+					facts.mutates = true // recv.m = ...
+				}
+				if isEpochField(lhs) {
+					facts.bumps = true // recv.epoch = ...
+				}
+			}
+		case *ast.IncDecStmt:
+			if isEpochField(n.X) {
+				facts.bumps = true // recv.epoch++
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				// delete(recv.m, k)
+				if fun.Name == "delete" && len(n.Args) == 2 && isMapField(n.Args[0]) {
+					facts.mutates = true
+				}
+			case *ast.SelectorExpr:
+				// recv.sibling(...)
+				if isRecv(fun.X) {
+					facts.calls[fun.Sel.Name] = true
+				}
+				// recv.epoch.Add(...) / recv.epoch.Store(...)
+				if inner, ok := fun.X.(*ast.SelectorExpr); ok && isEpochField(inner) {
+					if fun.Sel.Name == "Add" || fun.Sel.Name == "Store" {
+						facts.bumps = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// closure propagates a per-method property through the intra-type call
+// graph to a fixed point: a method has the property effectively if it has
+// it directly or calls a sibling that effectively has it.
+func closure(methods map[string]*methodFacts, direct func(*methodFacts) bool) map[string]bool {
+	eff := make(map[string]bool, len(methods))
+	for name, m := range methods {
+		eff[name] = direct(m)
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, m := range methods {
+			if eff[name] {
+				continue
+			}
+			for callee := range m.calls {
+				if eff[callee] {
+					eff[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return eff
+}

@@ -1,0 +1,150 @@
+// Package lint hosts qof's project-specific static analyzers and the glue
+// that runs them: a registry, a per-package runner, and the
+// "qoflint:allow" suppression convention. The analyzers mechanically
+// enforce invariants that PRs 1–3 left to hand-maintained discipline:
+// mutex-guarded state, epoch bumps on index mutation, pooled-buffer
+// lifetimes, and canonical region-set construction. See docs/LINTING.md.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"qof/internal/lint/analysis"
+	"qof/internal/lint/loader"
+)
+
+// All returns every qoflint analyzer in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		LockCheck,
+		EpochBump,
+		PoolEscape,
+		RegionOrder,
+	}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Finding is one diagnostic resolved to a printable position.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunPackage applies the analyzers to one loaded package and returns the
+// surviving findings (after qoflint:allow suppression) in position order.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	sup := collectSuppressions(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.allows(name, pos) {
+				return
+			}
+			out = append(out, Finding{Pos: pos, Message: d.Message, Analyzer: name})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// allowRx matches suppression comments: "//qoflint:allow name1,name2 reason".
+var allowRx = regexp.MustCompile(`qoflint:allow\s+([\w,]+)`)
+
+// suppression is one allow range: diagnostics from the named analyzers are
+// dropped on lines [from, to] of the file.
+type suppression struct {
+	file     string
+	from, to int
+	names    map[string]bool
+}
+
+type suppressions []suppression
+
+// collectSuppressions gathers qoflint:allow comments. A comment suppresses
+// its own line and the next line; a comment in a function's doc comment
+// suppresses the whole function.
+func collectSuppressions(pkg *loader.Package) suppressions {
+	var out suppressions
+	add := func(file string, from, to int, names string) {
+		set := make(map[string]bool)
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				set[n] = true
+			}
+		}
+		out = append(out, suppression{file: file, from: from, to: to, names: set})
+	}
+	for _, f := range pkg.Files {
+		// Function-doc suppressions cover the whole declaration.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			if m := allowRx.FindStringSubmatch(fd.Doc.Text()); m != nil {
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				add(start.Filename, start.Line, end.Line, m[1])
+			}
+		}
+		// Line suppressions cover the comment's line and the next.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := allowRx.FindStringSubmatch(c.Text); m != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					add(pos.Filename, pos.Line, pos.Line+1, m[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (s suppressions) allows(analyzer string, pos token.Position) bool {
+	for _, sup := range s {
+		if sup.file == pos.Filename && sup.from <= pos.Line && pos.Line <= sup.to && sup.names[analyzer] {
+			return true
+		}
+	}
+	return false
+}

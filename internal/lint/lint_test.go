@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"testing"
+
+	"qof/internal/lint"
+	"qof/internal/lint/linttest"
+	"qof/internal/lint/loader"
+)
+
+func TestLockCheckFixture(t *testing.T) {
+	linttest.Run(t, lint.LockCheck, "testdata/lockcheck")
+}
+
+func TestEpochBumpFixture(t *testing.T) {
+	linttest.Run(t, lint.EpochBump, "testdata/epochbump")
+}
+
+func TestPoolEscapeFixture(t *testing.T) {
+	linttest.Run(t, lint.PoolEscape, "testdata/poolescape")
+}
+
+func TestRegionOrderFixture(t *testing.T) {
+	linttest.Run(t, lint.RegionOrder, "testdata/regionorder")
+}
+
+// TestRepoIsClean runs the whole suite over the real tree: the invariants
+// the analyzers encode are supposed to hold in shipped code, so any
+// finding here is either a real bug or a missing annotation.
+func TestRepoIsClean(t *testing.T) {
+	l, err := loader.New("../../")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		findings, err := lint.RunPackage(pkg, lint.All())
+		if err != nil {
+			t.Errorf("%s: %v", pkg.Path, err)
+			continue
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, a := range lint.All() {
+		if got := lint.Lookup(a.Name); got != a {
+			t.Errorf("Lookup(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if lint.Lookup("nosuch") != nil {
+		t.Error("Lookup(nosuch) should be nil")
+	}
+}

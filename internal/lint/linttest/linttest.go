@@ -1,0 +1,113 @@
+// Package linttest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture package
+// from a testdata directory, runs one analyzer over it, and checks the
+// produced diagnostics against "// want" expectations embedded in the
+// fixture source.
+//
+// An expectation is written on the line the diagnostic is reported on:
+//
+//	return c.m[k] // want `access to c.m without holding c.mu`
+//
+// Each quoted (or backquoted) fragment after "want" is a regular
+// expression that must match the message of a distinct diagnostic on that
+// line. Diagnostics without a matching expectation, and expectations
+// without a matching diagnostic, both fail the test. Suppression comments
+// (qoflint:allow) are honored exactly as in the real driver, so fixtures
+// can also pin the escape hatch's behavior.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"qof/internal/lint"
+	"qof/internal/lint/analysis"
+	"qof/internal/lint/loader"
+)
+
+// wantRx matches the expectation directive; quotedRx pulls out its pieces.
+var (
+	wantRx   = regexp.MustCompile(`//.*\bwant\s+(.+)$`)
+	quotedRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+type expectation struct {
+	rx   *regexp.Regexp
+	used bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run loads the fixture package in dir, applies the analyzer, and reports
+// any mismatch between diagnostics and // want expectations as test
+// failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	l, err := loader.New(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", dir, err)
+	}
+
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				for _, q := range quotedRx.FindAllStringSubmatch(m[1], -1) {
+					pat := q[1]
+					if pat == "" {
+						pat = q[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	findings, err := lint.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		key := lineKey{file: f.Pos.Filename, line: f.Pos.Line}
+		if !claim(wants[key], f.Message) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.used {
+				t.Errorf("%s: no %s diagnostic matching %q", fmt.Sprintf("%s:%d", key.file, key.line), a.Name, e.rx)
+			}
+		}
+	}
+}
+
+// claim marks the first unused expectation matching the message.
+func claim(exps []*expectation, msg string) bool {
+	for _, e := range exps {
+		if !e.used && e.rx.MatchString(msg) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}

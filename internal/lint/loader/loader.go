@@ -1,0 +1,293 @@
+// Package loader parses and type-checks packages of the enclosing module
+// for analysis, using only the standard library. It exists because the
+// analyzers need full *types.Info for the package under analysis, and the
+// canonical loader (golang.org/x/tools/go/packages) is an external
+// dependency this repository does not take.
+//
+// Dependencies — standard-library packages and other packages of the module
+// — are type-checked from source with function bodies ignored, which is all
+// the analyzers need from an import and keeps a whole-module load in the
+// low seconds.
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package: the parsed files (with
+// comments), the type-checker's package object and the full types.Info the
+// analyzers consume.
+type Package struct {
+	Path  string // import path ("qof/internal/region")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages of one module. It caches import-only dependency
+// checks, so loading many packages shares the work of type-checking the
+// standard library once.
+type Loader struct {
+	Fset    *token.FileSet
+	modRoot string
+	modPath string
+	ctxt    build.Context
+	imp     *sourceImporter
+}
+
+// New creates a loader for the module enclosing dir (dir and its parents
+// are searched for go.mod).
+func New(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, path, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// The analyzers reason about pure Go; never pull in cgo variants of
+	// standard-library packages (they do not type-check without a C
+	// toolchain pass).
+	ctxt.CgoEnabled = false
+	l := &Loader{Fset: token.NewFileSet(), modRoot: root, modPath: path, ctxt: ctxt}
+	l.imp = &sourceImporter{l: l, pkgs: make(map[string]*types.Package)}
+	return l, nil
+}
+
+// ModuleRoot returns the absolute directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// findModule walks up from dir to the directory holding go.mod and reads
+// the module path from its first "module" directive.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Load resolves the patterns ("./...", "./internal/region", import paths)
+// against the module and returns the matched packages, fully type-checked,
+// in deterministic path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.modRoot, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := l.resolveDir(strings.TrimSuffix(pat, "/..."))
+			if err := l.walk(base, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[l.resolveDir(pat)] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var out []*Package
+	for _, dir := range sorted {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			if isNoGo(err) {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// resolveDir maps a pattern to an absolute directory: "./x" is
+// module-root-relative, "qof/x" is resolved as an import path of the
+// module, anything else is taken as a filesystem path.
+func (l *Loader) resolveDir(pat string) string {
+	if pat == "." || strings.HasPrefix(pat, "./") {
+		return filepath.Join(l.modRoot, strings.TrimPrefix(pat, "./"))
+	}
+	if pat == l.modPath {
+		return l.modRoot
+	}
+	if rest, ok := strings.CutPrefix(pat, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, rest)
+	}
+	if abs, err := filepath.Abs(pat); err == nil {
+		return abs
+	}
+	return pat
+}
+
+// walk collects every package directory under base, skipping testdata,
+// hidden directories and the module's own tooling artifacts.
+func (l *Loader) walk(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs[p] = true
+		return nil
+	})
+}
+
+// isNoGo reports whether err is go/build's "no buildable Go source files".
+func isNoGo(err error) bool {
+	var noGo *build.NoGoError
+	return errors.As(err, &noGo)
+}
+
+// LoadDir parses and fully type-checks the single package in dir
+// (non-test files only). Fixture directories under testdata load the same
+// way as real packages.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	path := l.importPath(abs)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: abs, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importPath derives the import path for a directory inside the module;
+// directories outside it (or under testdata) get their directory path,
+// which is only used for labeling.
+func (l *Loader) importPath(abs string) string {
+	if rel, err := filepath.Rel(l.modRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			return l.modPath
+		}
+		return l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return abs
+}
+
+// sourceImporter type-checks imports from source with function bodies
+// ignored, resolving module-internal paths against the module root and
+// everything else against GOROOT/src (with the std vendor directory as
+// fallback). Results are cached for the life of the loader.
+type sourceImporter struct {
+	l    *Loader
+	pkgs map[string]*types.Package
+}
+
+func (im *sourceImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, err := im.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := im.l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("loader: import %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(im.l.Fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         im,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		// Imports only need a consistent public surface; body-level
+		// oddities in far corners of the standard library must not sink
+		// an analysis run.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, im.l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking import %q: %w", path, err)
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (im *sourceImporter) dirFor(path string) (string, error) {
+	if path == im.l.modPath {
+		return im.l.modRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, im.l.modPath+"/"); ok {
+		return filepath.Join(im.l.modRoot, rest), nil
+	}
+	goroot := im.l.ctxt.GOROOT
+	dir := filepath.Join(goroot, "src", path)
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, nil
+	}
+	vendored := filepath.Join(goroot, "src", "vendor", path)
+	if st, err := os.Stat(vendored); err == nil && st.IsDir() {
+		return vendored, nil
+	}
+	return "", fmt.Errorf("loader: cannot resolve import %q (not in module %s or GOROOT)", path, im.l.modPath)
+}

@@ -1,0 +1,137 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := New(".")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func TestNewFindsModule(t *testing.T) {
+	l := newTestLoader(t)
+	if _, err := os.Stat(filepath.Join(l.ModuleRoot(), "go.mod")); err != nil {
+		t.Errorf("ModuleRoot %q has no go.mod: %v", l.ModuleRoot(), err)
+	}
+	if l.modPath != "qof" {
+		t.Errorf("module path = %q, want qof", l.modPath)
+	}
+}
+
+func TestNewOutsideModule(t *testing.T) {
+	if _, err := New(t.TempDir()); err == nil {
+		t.Error("New outside any module should fail")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir(filepath.Join(l.ModuleRoot(), "internal", "region"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Path != "qof/internal/region" {
+		t.Errorf("Path = %q, want qof/internal/region", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Error("LoadDir returned an incomplete package")
+	}
+	if pkg.Types.Scope().Lookup("Set") == nil {
+		t.Error("type-checked region package lacks Set")
+	}
+	// Full types.Info is the loader's whole point: the analyzers need
+	// selections and uses resolved.
+	if len(pkg.Info.Uses) == 0 || len(pkg.Info.Selections) == 0 {
+		t.Error("types.Info not populated")
+	}
+}
+
+func TestLoadDirNoGoFiles(t *testing.T) {
+	l := newTestLoader(t)
+	_, err := l.LoadDir(t.TempDir())
+	if err == nil {
+		t.Fatal("LoadDir on an empty dir should fail")
+	}
+	if !isNoGo(err) {
+		t.Errorf("expected a no-Go-files error, got %v", err)
+	}
+}
+
+func TestLoadPatternForms(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./internal/region", "qof/internal/text")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	// Deterministic path order.
+	if pkgs[0].Path != "qof/internal/region" || pkgs[1].Path != "qof/internal/text" {
+		t.Errorf("got %q, %q", pkgs[0].Path, pkgs[1].Path)
+	}
+}
+
+func TestLoadRecursivePattern(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./internal/lint/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		seen[p.Path] = true
+		if filepath.Base(filepath.Dir(p.Dir)) == "testdata" {
+			t.Errorf("recursive load descended into testdata: %s", p.Dir)
+		}
+	}
+	for _, want := range []string{"qof/internal/lint", "qof/internal/lint/loader", "qof/internal/lint/analysis"} {
+		if !seen[want] {
+			t.Errorf("recursive load missed %s (got %v)", want, seen)
+		}
+	}
+}
+
+func TestImporterCaches(t *testing.T) {
+	l := newTestLoader(t)
+	p1, err := l.imp.Import("sort")
+	if err != nil {
+		t.Fatalf("import sort: %v", err)
+	}
+	p2, err := l.imp.Import("sort")
+	if err != nil {
+		t.Fatalf("import sort again: %v", err)
+	}
+	if p1 != p2 {
+		t.Error("importer did not cache the sort package")
+	}
+	if _, err := l.imp.Import("unsafe"); err != nil {
+		t.Errorf("unsafe must resolve: %v", err)
+	}
+	if _, err := l.imp.Import("no/such/pkg"); err == nil {
+		t.Error("unresolvable import should fail")
+	}
+}
+
+func TestResolveDir(t *testing.T) {
+	l := newTestLoader(t)
+	root := l.ModuleRoot()
+	cases := map[string]string{
+		".":                   root,
+		"./internal/region":   filepath.Join(root, "internal", "region"),
+		"qof":                 root,
+		"qof/internal/region": filepath.Join(root, "internal", "region"),
+	}
+	for pat, want := range cases {
+		if got := l.resolveDir(pat); got != want {
+			t.Errorf("resolveDir(%q) = %q, want %q", pat, got, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"qof/internal/lint/analysis"
+)
+
+// LockCheck enforces the "// guarded by <mu>" annotation convention: a
+// struct field carrying the annotation may only be read or written while
+// the named sibling mutex of the same value is held.
+//
+// The check is flow-approximate on purpose (a full lockset analysis needs
+// an SSA form the standard library does not provide): within each function
+// the statements are scanned in source order, Lock/RLock raise and
+// Unlock/RUnlock lower a per-(owner, mutex) counter, and a deferred unlock
+// leaves the counter raised until the function returns. Conditional
+// locking therefore confuses it — the engine's invariant is that guarded
+// state is locked unconditionally at the top of each accessor, and code
+// that must deviate documents itself with a qoflint:allow suppression.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "reports accesses to '// guarded by mu' annotated struct fields " +
+		"outside the annotated mutex",
+	Run: runLockCheck,
+}
+
+var guardedRx = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardInfo describes one annotated field: the mutex field name that must
+// be held, resolved per struct.
+type guardInfo struct {
+	mutex string // sibling field name of the mutex
+	field string // annotated field name, for messages
+}
+
+func runLockCheck(pass *analysis.Pass) (any, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBody(pass, fd.Body, guards)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards finds annotated fields and maps their types.Var objects to
+// the guard description. An annotation naming a non-existent sibling field
+// is itself reported.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				text := ""
+				if fld.Doc != nil {
+					text += fld.Doc.Text()
+				}
+				if fld.Comment != nil {
+					text += fld.Comment.Text()
+				}
+				m := guardedRx.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				mutex := m[1]
+				if !fieldNames[mutex] {
+					pass.Reportf(fld.Pos(), "guarded-by annotation names %q, which is not a field of this struct", mutex)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{mutex: mutex, field: name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// lockKey identifies one held mutex: the printed owner expression plus the
+// mutex field name, so "rc.mu" and "other.mu" are distinct locks.
+type lockKey struct {
+	owner string
+	mutex string
+}
+
+var lockMethods = map[string]int{"Lock": +1, "RLock": +1, "Unlock": -1, "RUnlock": -1}
+
+// checkLockBody scans one function body in source order, tracking which
+// (owner, mutex) pairs are held and reporting guarded-field accesses made
+// while the matching mutex is not.
+func checkLockBody(pass *analysis.Pass, body *ast.BlockStmt, guards map[types.Object]guardInfo) {
+	held := make(map[lockKey]int)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held for the rest of the
+			// function, so it must not lower the counter; skip the call
+			// (an unlock call has no other guarded subexpressions).
+			if _, delta, ok := lockOp(pass, n.Call); ok && delta < 0 {
+				return false
+			}
+		case *ast.CallExpr:
+			if key, delta, ok := lockOp(pass, n); ok {
+				held[key] += delta
+				return false // rc.mu in rc.mu.Lock() is not a guarded access
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok {
+				return true
+			}
+			g, guarded := guards[sel.Obj()]
+			if !guarded {
+				return true
+			}
+			owner := types.ExprString(n.X)
+			if held[lockKey{owner: owner, mutex: g.mutex}] <= 0 {
+				pass.Reportf(n.Sel.Pos(), "access to %s.%s without holding %s.%s (field is guarded by %s)",
+					owner, g.field, owner, g.mutex, g.mutex)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes <owner>.<mutex>.Lock/RLock/Unlock/RUnlock() calls on a
+// sync.Mutex or sync.RWMutex value and returns the lock key and the held
+// delta (+1 lock, -1 unlock).
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (lockKey, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	delta, ok := lockMethods[sel.Sel.Name]
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	recv, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	if !isSyncLocker(pass.TypesInfo.Types[recv].Type) {
+		return lockKey{}, 0, false
+	}
+	return lockKey{owner: types.ExprString(recv.X), mutex: recv.Sel.Name}, delta, true
+}
+
+// isSyncLocker reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"qof/internal/lint/analysis"
+)
+
+// RegionOrder enforces the region-set representation invariant the whole
+// algebra rests on: a Set's backing slice is sorted by (Start asc, End
+// desc) and duplicate-free. Every kernel assumes it of its operands, so a
+// single raw construction poisons every operator downstream.
+//
+// Mechanically: in a package that declares both a `Region` type and a
+// `Set` struct wrapping a []Region field, (1) composite literals that
+// populate the backing slice field may only appear inside functions whose
+// doc comment carries a `qoflint:canonicalizer` marker — the audited
+// constructors that sort/dedup (FromRegions) or take responsibility for
+// an already-canonical slice (fromSorted, trimmed); (2) exported
+// functions and methods must not return a raw []Region value built
+// locally — they return a Set (canonical by induction) or expose a stored
+// field (an accessor like Regions()), never an append-built slice whose
+// ordering nobody checked.
+var RegionOrder = &analysis.Analyzer{
+	Name: "regionorder",
+	Doc: "reports region-set constructions that bypass the canonicalizing " +
+		"constructors (sorted, duplicate-free order is the algebra's invariant)",
+	Run: runRegionOrder,
+}
+
+const canonicalizerMarker = "qoflint:canonicalizer"
+
+func runRegionOrder(pass *analysis.Pass) (any, error) {
+	regionType, setType, sliceField := findRegionTypes(pass)
+	if setType == nil {
+		return nil, nil
+	}
+	sliceOfRegion := types.NewSlice(regionType)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			blessed := fd.Doc != nil && strings.Contains(fd.Doc.Text(), canonicalizerMarker)
+
+			// (1) Raw Set literals with a populated backing slice.
+			if !blessed {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					cl, ok := n.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					tv, ok := pass.TypesInfo.Types[cl]
+					if !ok || !isType(tv.Type, setType) || len(cl.Elts) == 0 {
+						return true
+					}
+					for _, el := range cl.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok && key.Name != sliceField {
+								continue
+							}
+						}
+						pass.Reportf(cl.Pos(), "raw Set literal populates the backing slice outside a qoflint:canonicalizer function (ordering invariant unchecked)")
+						return true
+					}
+					return true
+				})
+			}
+
+			// (2) Exported functions returning locally built []Region.
+			if !fd.Name.IsExported() || blessed {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // a closure's returns are not the exported boundary
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					tv, ok := pass.TypesInfo.Types[res]
+					if !ok || !types.Identical(tv.Type, sliceOfRegion) {
+						continue
+					}
+					if isAccessorExpr(res) {
+						continue
+					}
+					pass.Reportf(res.Pos(), "exported %s returns a raw []Region; route it through a canonicalizing constructor or return a Set", fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// findRegionTypes locates the package's Region type and the Set struct
+// wrapping a []Region field, returning the backing field's name.
+func findRegionTypes(pass *analysis.Pass) (regionType types.Type, setType types.Type, sliceField string) {
+	scope := pass.Pkg.Scope()
+	regionObj, ok := scope.Lookup("Region").(*types.TypeName)
+	if !ok {
+		return nil, nil, ""
+	}
+	setObj, ok := scope.Lookup("Set").(*types.TypeName)
+	if !ok {
+		return nil, nil, ""
+	}
+	st, ok := setObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, ""
+	}
+	want := types.NewSlice(regionObj.Type())
+	for i := 0; i < st.NumFields(); i++ {
+		if types.Identical(st.Field(i).Type(), want) {
+			return regionObj.Type(), setObj.Type(), st.Field(i).Name()
+		}
+	}
+	return nil, nil, ""
+}
+
+// isType reports whether t is the named type (or a pointer to it).
+func isType(t, want types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, want)
+}
+
+// isAccessorExpr reports whether a return expression merely exposes stored
+// state or delegates: a field selector, a call (the callee is checked on
+// its own), or nil.
+func isAccessorExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.CallExpr:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.ParenExpr:
+		return isAccessorExpr(e.X)
+	}
+	return false
+}

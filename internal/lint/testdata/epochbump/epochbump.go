@@ -1,0 +1,82 @@
+// Fixture for the epochbump analyzer: structs carrying an epoch field
+// must bump it in every exported method that mutates a map-typed field of
+// the receiver (directly or through unexported helpers).
+package epochbump
+
+import "sync/atomic"
+
+type Set []int
+
+type Instance struct {
+	regions map[string]Set
+	scopes  map[string]string
+	epoch   uint64
+	note    string
+}
+
+// bump is the shared helper exported mutators are expected to reach.
+func (in *Instance) bump() { in.epoch++ }
+
+// GoodDefine mutates and bumps through the helper.
+func (in *Instance) GoodDefine(name string, s Set) {
+	in.regions[name] = s
+	in.bump()
+}
+
+// GoodDrop mutates two maps and bumps inline.
+func (in *Instance) GoodDrop(name string) {
+	delete(in.regions, name)
+	delete(in.scopes, name)
+	in.epoch++
+}
+
+// GoodAssign replaces a whole map and bumps by assignment.
+func (in *Instance) GoodAssign(m map[string]Set) {
+	in.regions = m
+	in.epoch = in.epoch + 1
+}
+
+// BadDefine mutates a region-class map and forgets the bump.
+func (in *Instance) BadDefine(name string, s Set) { // want `BadDefine mutates region-class maps without bumping the epoch`
+	in.regions[name] = s
+}
+
+// BadViaHelper hides the mutation in an unexported helper.
+func (in *Instance) BadViaHelper(name string) { // want `BadViaHelper mutates region-class maps without bumping the epoch`
+	in.dropRaw(name)
+}
+
+func (in *Instance) dropRaw(name string) { delete(in.regions, name) }
+
+// SetNote writes a non-map field: no bump required.
+func (in *Instance) SetNote(s string) { in.note = s }
+
+// Restrict mutates a freshly built instance, not the receiver: no bump
+// required (the new instance starts its own epoch).
+func (in *Instance) Restrict(names ...string) *Instance {
+	out := &Instance{regions: make(map[string]Set), scopes: make(map[string]string)}
+	for _, n := range names {
+		if s, ok := in.regions[n]; ok {
+			out.regions[n] = s
+		}
+	}
+	return out
+}
+
+// AtomicInstance mirrors the real index.Instance: an atomic epoch bumped
+// with Add or Store.
+type AtomicInstance struct {
+	classes map[string]int
+	epoch   atomic.Uint64
+}
+
+// GoodAtomic bumps through the atomic's Add.
+func (a *AtomicInstance) GoodAtomic(k string) {
+	a.classes[k] = 1
+	a.epoch.Add(1)
+}
+
+// BadAtomic mutates without touching the atomic epoch.
+func (a *AtomicInstance) BadAtomic(k string) { // want `BadAtomic mutates region-class maps without bumping the epoch`
+	delete(a.classes, k)
+}

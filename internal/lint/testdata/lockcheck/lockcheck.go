@@ -1,0 +1,72 @@
+// Fixture for the lockcheck analyzer: seeded violations carry // want
+// expectations; the compliant accessors must produce no diagnostics.
+package lockcheck
+
+import "sync"
+
+type Cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	m     map[string]int // guarded by mu
+	n     int            // guarded by rw
+	plain int
+}
+
+// Good locks with the canonical defer pattern.
+func (c *Cache) Good(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+// GoodExplicit uses paired Lock/Unlock around the access.
+func (c *Cache) GoodExplicit(k string, v int) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// GoodRead holds the read side of an RWMutex.
+func (c *Cache) GoodRead() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.n
+}
+
+// Bad reads a guarded map with no lock at all.
+func (c *Cache) Bad(k string) int {
+	return c.m[k] // want `access to c.m without holding c.mu`
+}
+
+// BadAfterUnlock releases the lock and keeps reading.
+func (c *Cache) BadAfterUnlock(k string) int {
+	c.mu.Lock()
+	v := c.m[k]
+	c.mu.Unlock()
+	return v + c.m[k] // want `access to c.m without holding c.mu`
+}
+
+// BadWrongMutex holds mu while the field is guarded by rw.
+func (c *Cache) BadWrongMutex() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // want `access to c.n without holding c.rw`
+}
+
+// BadWrite stores without the lock.
+func (c *Cache) BadWrite(k string, v int) {
+	c.m[k] = v // want `access to c.m without holding c.mu`
+}
+
+// Plain accesses an unguarded field: no lock needed.
+func (c *Cache) Plain() int { return c.plain }
+
+// Suppressed documents a deliberate single-goroutine access.
+func (c *Cache) Suppressed(k string) int {
+	return c.m[k] //qoflint:allow lockcheck build phase runs single-goroutine
+}
+
+// Broken demonstrates annotation validation: the named mutex must exist.
+type Broken struct {
+	x int // guarded by nosuch // want `guarded-by annotation names "nosuch"`
+}

@@ -1,0 +1,73 @@
+// Fixture for the regionorder analyzer: region sets must be built through
+// marked canonicalizers, and exported functions must not hand out raw
+// []Region slices whose ordering nobody checked.
+package regionorder
+
+import "sort"
+
+type Region struct{ Start, End int }
+
+// Before orders regions by (Start asc, End desc).
+func (r Region) Before(s Region) bool {
+	if r.Start != s.Start {
+		return r.Start < s.Start
+	}
+	return r.End > s.End
+}
+
+type Set struct{ regions []Region }
+
+// Empty is allowed: an empty literal cannot violate the ordering.
+var Empty = Set{}
+
+// FromRegions sorts and wraps arbitrary input.
+//
+// qoflint:canonicalizer
+func FromRegions(rs []Region) Set {
+	out := make([]Region, len(rs))
+	copy(out, rs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return Set{regions: out}
+}
+
+// fromSorted wraps an already-ordered slice.
+//
+// qoflint:canonicalizer
+func fromSorted(rs []Region) Set { return Set{regions: rs} }
+
+// Regions is an accessor: exposing the stored (canonical) field is fine.
+func (s Set) Regions() []Region { return s.regions }
+
+// GoodUnion builds a scratch slice but routes it through a canonicalizer.
+func GoodUnion(a, b Set) Set {
+	out := append(append([]Region{}, a.regions...), b.regions...)
+	return FromRegions(out)
+}
+
+// GoodEmpty returns the zero set.
+func GoodEmpty() Set { return Set{} }
+
+// GoodDelegate returns another kernel's (already canonical) result.
+func GoodDelegate(a, b Set) Set { return GoodUnion(a, b) }
+
+// BadLiteral wraps an unchecked slice directly.
+func BadLiteral(rs []Region) Set {
+	return Set{regions: rs} // want `raw Set literal populates the backing slice`
+}
+
+// BadRawReturn exports an append-built slice nobody canonicalized.
+func BadRawReturn(a, b Set) []Region {
+	out := append(append([]Region{}, a.regions...), b.regions...)
+	return out // want `exported BadRawReturn returns a raw \[\]Region`
+}
+
+// sortedMerge is unexported plumbing: raw []Region may flow inside the
+// package as long as the exported surface stays canonical.
+func sortedMerge(a, b Set) []Region {
+	out := append(append([]Region{}, a.regions...), b.regions...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// GoodMerge wraps the unexported plumbing's output.
+func GoodMerge(a, b Set) Set { return fromSorted(sortedMerge(a, b)) }

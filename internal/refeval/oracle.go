@@ -25,7 +25,7 @@ type Oracle struct {
 
 	mu      sync.Mutex
 	tree    *grammar.Node
-	extents map[string]*extent
+	extents map[string]*extent // guarded by mu; lazily filled per class
 }
 
 // extent is one class's objects in document order.

@@ -69,6 +69,9 @@ var Empty = Set{}
 
 // FromRegions builds a set from arbitrary regions, sorting and removing
 // duplicates. The input slice is not retained.
+//
+// qoflint:canonicalizer — this is the constructor that establishes the
+// (Start asc, End desc), duplicate-free invariant for untrusted input.
 func FromRegions(rs []Region) Set {
 	if len(rs) == 0 {
 		return Set{}
@@ -88,6 +91,9 @@ func FromRegions(rs []Region) Set {
 
 // fromSorted wraps a slice that is already sorted and duplicate-free.
 // Callers must not modify the slice afterwards.
+//
+// qoflint:canonicalizer — kernels that emit regions in sweep order wrap
+// their output here; the marker keeps raw Set literals out of their code.
 func fromSorted(rs []Region) Set { return Set{regions: rs} }
 
 // Len reports the number of regions in the set.

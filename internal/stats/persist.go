@@ -20,6 +20,14 @@ import (
 // format.
 const statsMagic = "QOFST01\n"
 
+var (
+	// ErrBadMagic reports a stream that is not a qof index+stats file at all.
+	ErrBadMagic = errors.New("stats: bad magic (not a qof index+stats file)")
+	// ErrUnsupportedVersion reports a qof index+stats file written by a
+	// different, incompatible format version.
+	ErrUnsupportedVersion = errors.New("stats: unsupported format version")
+)
+
 // Save writes the instance and its statistics to w. When st is nil the
 // statistics are collected first.
 func Save(w io.Writer, in *index.Instance, st *Stats) error {
@@ -58,33 +66,45 @@ func Load(r io.Reader, doc *text.Document) (*index.Instance, *Stats, error) {
 		return nil, nil, fmt.Errorf("stats: reading magic: %w", err)
 	}
 	if string(magic) != statsMagic {
-		return nil, nil, errors.New("stats: bad magic (not a qof index+stats file)")
+		if bytes.HasPrefix(magic, []byte("QOFST")) {
+			return nil, nil, fmt.Errorf("%w: got %q, want %q", ErrUnsupportedVersion, magic, statsMagic)
+		}
+		return nil, nil, ErrBadMagic
 	}
 	blobLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("stats: reading instance blob length: %w", err)
 	}
 	in, err := index.Load(io.LimitReader(br, int64(blobLen)), doc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("stats: embedded instance: %w", err)
 	}
 	st := &Stats{}
-	fields := []*int{&st.DocLen, &st.TotalTokens, &st.DistinctWords, &st.UniverseSize, &st.MaxDepth}
+	fields := []struct {
+		name string
+		p    *int
+	}{
+		{"document length", &st.DocLen},
+		{"token total", &st.TotalTokens},
+		{"distinct words", &st.DistinctWords},
+		{"universe size", &st.UniverseSize},
+		{"max depth", &st.MaxDepth},
+	}
 	for _, f := range fields {
 		v, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("stats: reading %s: %w", f.name, err)
 		}
-		*f = int(v)
+		*f.p = int(v)
 	}
 	if st.Epoch, err = binary.ReadUvarint(br); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("stats: reading epoch: %w", err)
 	}
 	if st.Regions, err = readCountMap(br); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("stats: reading region counts: %w", err)
 	}
 	if st.WordOcc, err = readCountMap(br); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("stats: reading word occurrences: %w", err)
 	}
 	return in, st, nil
 }

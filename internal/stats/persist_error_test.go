@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"qof/internal/index"
+)
+
+// savedStats returns a valid Save output for the shared test instance.
+func savedStats(t *testing.T) (*index.Instance, []byte) {
+	t.Helper()
+	in := testInstance(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, in, nil); err != nil {
+		t.Fatal(err)
+	}
+	return in, buf.Bytes()
+}
+
+func TestLoadCorruptMagic(t *testing.T) {
+	in, data := savedStats(t)
+	data[0] ^= 0xff
+	_, _, err := Load(bytes.NewReader(data), in.Document())
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("corrupt magic: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestLoadVersionMismatch(t *testing.T) {
+	in, data := savedStats(t)
+	// Same family prefix, different version digits: QOFST01 -> QOFST99.
+	copy(data, "QOFST99\n")
+	_, _, err := Load(bytes.NewReader(data), in.Document())
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Errorf("future version: err = %v, want ErrUnsupportedVersion", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "QOFST99") {
+		t.Errorf("version error should name the offending magic, got %v", err)
+	}
+}
+
+func TestLoadEmptyStream(t *testing.T) {
+	in, _ := savedStats(t)
+	_, _, err := Load(bytes.NewReader(nil), in.Document())
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: err = %v, want io.EOF in chain", err)
+	}
+}
+
+// TestLoadTruncated replays the valid stream cut at every length and
+// requires a graceful wrapped error (never a panic, never false success).
+func TestLoadTruncated(t *testing.T) {
+	in, data := savedStats(t)
+	for cut := 0; cut < len(data); cut++ {
+		_, _, err := Load(bytes.NewReader(data[:cut]), in.Document())
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes: Load succeeded", cut, len(data))
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			// Truncation inside the embedded instance blob surfaces as a
+			// corrupt-table error from index.Load; anything else should
+			// still carry the EOF cause.
+			if !strings.Contains(err.Error(), "index:") && !strings.Contains(err.Error(), "stats:") {
+				t.Errorf("truncation at %d: unhelpful error %v", cut, err)
+			}
+		}
+	}
+}
+
+// TestLoadTruncatedTail cuts inside the statistics section (past the
+// embedded instance blob) and checks the error says which field failed.
+func TestLoadTruncatedTail(t *testing.T) {
+	in, data := savedStats(t)
+	_, _, err := Load(bytes.NewReader(data[:len(data)-1]), in.Document())
+	if err == nil {
+		t.Fatal("truncated tail: Load succeeded")
+	}
+	if !strings.Contains(err.Error(), "stats: reading") {
+		t.Errorf("tail truncation should identify the field being read, got %v", err)
+	}
+}
+
+func TestLoadEmbeddedInstanceError(t *testing.T) {
+	in, data := savedStats(t)
+	// Flip a byte of the embedded index blob's magic (starts right after
+	// the stats magic and the 1-2 byte blob length varint).
+	data[len(statsMagic)+1] ^= 0xff
+	_, _, err := Load(bytes.NewReader(data), in.Document())
+	if err == nil {
+		t.Fatal("corrupt embedded instance: Load succeeded")
+	}
+	if !strings.Contains(err.Error(), "stats: embedded instance:") {
+		t.Errorf("embedded-instance failure should be attributed, got %v", err)
+	}
+}
