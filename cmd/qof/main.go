@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -217,6 +218,9 @@ func cmdQuery(args []string) error {
 	explain := fs.Bool("explain", false, "print the plan before the results")
 	quiet := fs.Bool("quiet", false, "print only statistics, not result rows")
 	format := fs.String("format", "text", "output format: text or json")
+	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+	maxRegions := fs.Int("max-regions", 0, "abort after producing this many index regions (0 = unlimited)")
+	maxBytes := fs.Int("max-bytes", 0, "abort after parsing this many document bytes (0 = unlimited)")
 	fs.Parse(args)
 	if fs.NArg() < 2 {
 		return fmt.Errorf("usage: qof query -domain D FILE [FILE...] 'SELECT ...'")
@@ -233,6 +237,13 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	lim := engine.Limits{MaxRegions: *maxRegions, MaxEvalBytes: *maxBytes}
 	if fs.NArg() > 2 {
 		// Several files: query the whole corpus (Section 2's shared
 		// bibliographies scenario).
@@ -249,10 +260,10 @@ func cmdQuery(args []string) error {
 			}
 			docs = append(docs, doc)
 		}
-		if err := corpus.AddAll(docs, spec); err != nil {
+		if err := corpus.AddAllContext(ctx, docs, spec); err != nil {
 			return err
 		}
-		res, err := corpus.Execute(q)
+		res, err := corpus.ExecuteContext(ctx, q, engine.ExecOptions{Limits: lim})
 		if err != nil {
 			return err
 		}
@@ -284,7 +295,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	eng := engine.New(d.catalog(), in)
-	res, err := eng.Execute(q)
+	res, err := eng.ExecuteContext(ctx, q, lim)
 	if err != nil {
 		return err
 	}

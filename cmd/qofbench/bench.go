@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
 	"qof/internal/engine"
+	"qof/internal/index"
 	"qof/internal/qgen"
 	"qof/internal/xsql"
 )
@@ -32,6 +35,12 @@ type domainBench struct {
 	// Speedup is cached ops/sec over baseline ops/sec for the repeated
 	// workload; the result cache's contribution.
 	Speedup float64 `json:"speedup"`
+	// CancelLatencyUsMax is the worst observed time, in microseconds, for
+	// ExecuteContext to return after being handed an already-canceled
+	// context — an upper bound on how long the engine's cooperative poll
+	// points leave a dead query running. CancelLatencyUsAvg is the mean.
+	CancelLatencyUsMax float64 `json:"cancel_latency_us_max"`
+	CancelLatencyUsAvg float64 `json:"cancel_latency_us_avg"`
 }
 
 type benchPass struct {
@@ -78,6 +87,10 @@ func runJSONBench(path string, quick bool) error {
 		if db.Baseline.OpsPerSec > 0 {
 			db.Speedup = db.Cached.OpsPerSec / db.Baseline.OpsPerSec
 		}
+		db.CancelLatencyUsMax, db.CancelLatencyUsAvg, err = cancelLatency(d, in, queries)
+		if err != nil {
+			return fmt.Errorf("domain %s: %w", d.Name, err)
+		}
 		report.Domains = append(report.Domains, db)
 	}
 	out, err := json.MarshalIndent(report, "", "  ")
@@ -85,6 +98,36 @@ func runJSONBench(path string, quick bool) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// cancelLatency measures, per domain, how quickly ExecuteContext abandons
+// work once its context is canceled: every workload query runs on a fresh
+// engine under an already-canceled context, and the wall time until the
+// call returns is the cancellation latency. A pre-canceled context is the
+// worst and most reproducible case — every poll point fires on its first
+// check, so the measurement reflects poll granularity (including the
+// uncancelable compile prefix), not scheduler timing.
+func cancelLatency(d *qgen.Domain, in *index.Instance, queries []*xsql.Query) (maxUs, avgUs float64, err error) {
+	eng := engine.New(d.Cat, in)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var total float64
+	for _, q := range queries {
+		start := time.Now()
+		_, qerr := eng.ExecuteContext(ctx, q, engine.Limits{})
+		us := float64(time.Since(start).Nanoseconds()) / 1e3
+		if qerr != nil && !errors.Is(qerr, context.Canceled) {
+			return 0, 0, fmt.Errorf("canceled run of %q: unexpected error: %w", q, qerr)
+		}
+		if us > maxUs {
+			maxUs = us
+		}
+		total += us
+	}
+	if len(queries) > 0 {
+		avgUs = total / float64(len(queries))
+	}
+	return maxUs, avgUs, nil
 }
 
 // benchQueries generates n distinct queries the domain's engine accepts

@@ -9,12 +9,11 @@ package qof
 //	res, _ := file.Query(`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
 
 	"qof/internal/advisor"
-	"qof/internal/algebra"
 	"qof/internal/bibtex"
 	"qof/internal/compile"
 	"qof/internal/engine"
@@ -100,19 +99,14 @@ type File struct {
 // Index parses and indexes a document held in memory. The returned File is
 // safe for concurrent queries.
 func (s *Schema) Index(name, content string, opts ...IndexOption) (*File, error) {
-	cfg := applyOptions(opts)
-	doc := text.NewDocument(name, content)
-	in, _, err := s.cat.Grammar.BuildInstance(doc, cfg.spec)
-	if err != nil {
-		return nil, err
-	}
-	return &File{schema: s, eng: newEngine(s.cat, in, cfg.parallelism)}, nil
+	return s.IndexContext(context.Background(), name, content, opts...)
 }
 
 // Load re-attaches a persisted index (written by Save) to the document
 // content, verifying it has not changed. Indexing-choice options are
 // ignored (the persisted index fixes them); WithParallelism applies.
-func (s *Schema) Load(r io.Reader, name, content string, opts ...IndexOption) (*File, error) {
+func (s *Schema) Load(r io.Reader, name, content string, opts ...IndexOption) (f *File, err error) {
+	defer catchPanic(&err, "loading %s", name)
 	cfg := applyOptions(opts)
 	in, err := index.Load(r, text.NewDocument(name, content))
 	if err != nil {
@@ -128,7 +122,10 @@ func newEngine(cat *compile.Catalog, in *index.Instance, parallelism int) *engin
 }
 
 // Save persists the file's indexes.
-func (f *File) Save(w io.Writer) error { return f.eng.Instance().Save(w) }
+func (f *File) Save(w io.Writer) (err error) {
+	defer catchPanic(&err, "saving %s", f.Name())
+	return f.eng.Instance().Save(w)
+}
 
 // Name returns the document name.
 func (f *File) Name() string { return f.eng.Instance().Document().Name() }
@@ -180,15 +177,7 @@ func (r *Results) Explain() string { return r.explain }
 // Query runs an XSQL query (see the xsql package comment for the dialect)
 // against the file.
 func (f *File) Query(src string) (*Results, error) {
-	q, err := xsql.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	res, err := f.eng.Execute(q)
-	if err != nil {
-		return nil, err
-	}
-	return convertResults(f.eng.Instance().Document(), res), nil
+	return f.QueryContext(context.Background(), src)
 }
 
 func convertResults(doc *text.Document, res *engine.Result) *Results {
@@ -214,20 +203,7 @@ func convertResults(doc *text.Document, res *engine.Result) *Results {
 // Eval evaluates a raw region-algebra expression (see the algebra package
 // comment for the syntax) and returns the matching spans.
 func (f *File) Eval(src string) ([]Span, error) {
-	e, err := algebra.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	set, err := algebra.NewEvaluator(f.eng.Instance()).Eval(e)
-	if err != nil {
-		return nil, err
-	}
-	doc := f.eng.Instance().Document()
-	spans := make([]Span, 0, set.Len())
-	for _, r := range set.Regions() {
-		spans = append(spans, Span{Start: r.Start, End: r.End, Text: doc.Slice(r.Start, r.End)})
-	}
-	return spans, nil
+	return f.EvalContext(context.Background(), src)
 }
 
 // Replace applies an in-place edit: the span (which must be an indexed
@@ -290,19 +266,10 @@ func (c *Corpus) Add(name, content string, opts ...IndexOption) error {
 
 // AddAll indexes the named documents and adds them to the corpus in order.
 // With WithParallelism on the corpus, the index builds run concurrently;
-// the result is identical to sequential Adds. On error nothing is added.
+// the result is identical to sequential Adds. On error nothing is added,
+// and the returned error joins one attributed error per failed document.
 func (c *Corpus) AddAll(files map[string]string, opts ...IndexOption) error {
-	cfg := applyOptions(opts)
-	names := make([]string, 0, len(files))
-	for name := range files {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	docs := make([]*text.Document, len(names))
-	for i, name := range names {
-		docs[i] = text.NewDocument(name, files[name])
-	}
-	return c.c.AddAll(docs, cfg.spec)
+	return c.AddAllContext(context.Background(), files, opts...)
 }
 
 // CorpusHit is one file's results.
@@ -314,23 +281,11 @@ type CorpusHit struct {
 
 // Query runs the query against every file and merges the outcomes.
 func (c *Corpus) Query(src string) ([]CorpusHit, error) {
-	q, err := xsql.Parse(src)
+	res, err := c.ExecuteContext(context.Background(), src)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.c.Execute(q)
-	if err != nil {
-		return nil, err
-	}
-	var out []CorpusHit
-	for _, h := range res.Hits {
-		hit := CorpusHit{File: h.File, Values: append([]string(nil), h.Strings...)}
-		for _, r := range h.Regions.Regions() {
-			hit.Spans = append(hit.Spans, Span{Start: r.Start, End: r.End})
-		}
-		out = append(out, hit)
-	}
-	return out, nil
+	return res.Hits, nil
 }
 
 // Advise recommends which regions to index so the given query workload is

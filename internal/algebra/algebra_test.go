@@ -377,7 +377,10 @@ func TestLayeredDirectMatchesNaiveRandomNested(t *testing.T) {
 			sn := setNames[rng.Intn(len(setNames))]
 			R, S := in.MustRegion(rn), in.MustRegion(sn)
 			ev := NewEvaluator(in)
-			got := ev.layeredDirectlyIncluding(R, S)
+			got, err := ev.layeredDirectlyIncluding(&evalCtx{}, R, S)
+			if err != nil {
+				t.Fatalf("trial %d: %s >d %s: %v", trial, rn, sn, err)
+			}
 			want := region.NaiveDirectlyIncluding(R, S, u.All())
 			if !got.Equal(want) {
 				t.Fatalf("trial %d: %s >d %s: layered=%v naive=%v (universe %v)",

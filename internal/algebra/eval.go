@@ -1,12 +1,14 @@
 package algebra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
 	"sync"
 
 	"qof/internal/index"
+	"qof/internal/qerr"
 	"qof/internal/region"
 	"qof/internal/stats"
 )
@@ -87,9 +89,47 @@ func NewEvaluator(in *index.Instance) *Evaluator {
 // Instance returns the instance the evaluator runs against.
 func (ev *Evaluator) Instance() *index.Instance { return ev.in }
 
-// evalCtx is the state of one evaluation call: the CSE memo and the stats
-// sink. Keeping it out of the Evaluator is what makes overlapping calls
-// safe without locks.
+// Budget is the per-query region allowance shared by every evaluation of
+// one query: each operator result charges its cardinality, and crossing the
+// limit aborts the evaluation with an error wrapping qerr.ErrBudgetExceeded.
+// A Budget is not safe for concurrent use — the engine evaluates phase-1
+// expressions of one query sequentially — and a nil *Budget is unlimited.
+type Budget struct {
+	max       int
+	remaining int
+}
+
+// NewBudget creates a budget of maxRegions cumulative result regions;
+// maxRegions <= 0 returns nil (unlimited).
+func NewBudget(maxRegions int) *Budget {
+	if maxRegions <= 0 {
+		return nil
+	}
+	return &Budget{max: maxRegions, remaining: maxRegions}
+}
+
+// charge deducts n regions, failing once the allowance is spent.
+func (b *Budget) charge(n int) error {
+	if b == nil {
+		return nil
+	}
+	b.remaining -= n
+	if b.remaining < 0 {
+		return fmt.Errorf("algebra: regions budget of %d exceeded: %w", b.max, qerr.ErrBudgetExceeded)
+	}
+	return nil
+}
+
+// pendingPut is a result-cache write held back until the whole evaluation
+// succeeds, so a canceled or budget-killed call never publishes anything.
+type pendingPut struct {
+	key string
+	set region.Set
+}
+
+// evalCtx is the state of one evaluation call: the CSE memo, the stats
+// sink, and the cancellation and budget controls. Keeping it out of the
+// Evaluator is what makes overlapping calls safe without locks.
 type evalCtx struct {
 	// memo caches subexpression results within one Eval call, so common
 	// subexpressions of composite queries are evaluated once (the goal
@@ -97,6 +137,42 @@ type evalCtx struct {
 	// are pure, so caching never changes results.
 	memo  map[string]region.Set
 	stats *Stats
+
+	// cctx, when non-nil, is the evaluation's context: eval polls it at
+	// every operator application and the region kernels poll it through
+	// chk mid-sweep, so deadlines and cancels take effect inside one
+	// operator, not only between queries. It is nil when the caller's
+	// context can never be canceled.
+	cctx context.Context
+	// chk adapts cctx to the region kernels' Checker. It is allocated
+	// once per pooled context (it reads cctx at call time), never per
+	// evaluation.
+	chk region.Checker
+
+	// budget, when non-nil, is the query's region allowance.
+	budget *Budget
+
+	// pending holds result-cache writes until the evaluation completes;
+	// a failed evaluation discards them (see satellite: canceled, timed
+	// out or budget-killed evaluations must never be cached).
+	pending []pendingPut
+}
+
+// poll returns the context error once the evaluation's context is done.
+func (ctx *evalCtx) poll() error {
+	if ctx.cctx == nil {
+		return nil
+	}
+	return ctx.cctx.Err()
+}
+
+// checker returns the kernel Checker for this evaluation, nil when the
+// evaluation is not cancelable (so kernels skip polling entirely).
+func (ctx *evalCtx) checker() region.Checker {
+	if ctx.cctx == nil {
+		return nil
+	}
+	return ctx.chk
 }
 
 // Eval evaluates e and returns the resulting region set. Within one call,
@@ -107,23 +183,55 @@ func (ev *Evaluator) Eval(e Expr) (region.Set, error) {
 }
 
 // ctxPool recycles evaluation contexts (and their memo maps) across calls:
-// under concurrent serving every query used to allocate a fresh map.
-var ctxPool = sync.Pool{New: func() any { return &evalCtx{memo: make(map[string]region.Set, 8)} }}
+// under concurrent serving every query used to allocate a fresh map. The
+// kernel checker closure is allocated here, once per pooled context.
+var ctxPool = sync.Pool{New: func() any {
+	ctx := &evalCtx{memo: make(map[string]region.Set, 8)}
+	ctx.chk = ctx.poll
+	return ctx
+}}
 
 // EvalStats evaluates e, accumulating statistics into st when non-nil.
 // This is the entry point for concurrent callers: each call gets its own
 // memo and stats sink, so overlapping calls on one Evaluator never contend.
 func (ev *Evaluator) EvalStats(e Expr, st *Stats) (region.Set, error) {
+	return ev.EvalContext(context.Background(), e, st, nil)
+}
+
+// EvalContext evaluates e under a context and an optional region budget.
+// Cancellation and deadline expiry are polled at every operator application
+// and inside the region kernels (inclusion sweeps, the layered ⊃d loop,
+// word selection), so they take effect mid-evaluation; the error is then
+// ctx.Err() (context.Canceled or context.DeadlineExceeded). Budget
+// exhaustion surfaces as an error wrapping qerr.ErrBudgetExceeded. A failed
+// evaluation writes nothing to the cross-query result cache.
+func (ev *Evaluator) EvalContext(cctx context.Context, e Expr, st *Stats, b *Budget) (region.Set, error) {
 	ctx := ctxPool.Get().(*evalCtx)
 	ctx.stats = st
+	if cctx != nil && cctx.Done() != nil {
+		ctx.cctx = cctx
+	}
+	ctx.budget = b
 	out, err := ev.eval(ctx, e)
+	if err == nil && ev.Results != nil {
+		for _, p := range ctx.pending {
+			ev.Results.Put(p.key, p.set)
+		}
+	}
 	clear(ctx.memo)
-	ctx.stats = nil
+	for i := range ctx.pending {
+		ctx.pending[i] = pendingPut{}
+	}
+	ctx.pending = ctx.pending[:0]
+	ctx.stats, ctx.cctx, ctx.budget = nil, nil, nil
 	ctxPool.Put(ctx)
 	return out, err
 }
 
 func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
+	if err := ctx.poll(); err != nil {
+		return region.Empty, err
+	}
 	var key string
 	switch e.(type) {
 	case Binary, Select, Unary, Near, Freq:
@@ -134,7 +242,10 @@ func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 			}
 			return cached, nil
 		}
-		if ev.Results != nil && ev.cacheWorthy(e) {
+		// Budgeted evaluations bypass cache reads (writes still happen):
+		// a cached subexpression skips the very work the budget meters,
+		// which would make budget enforcement depend on cache state.
+		if ctx.budget == nil && ev.Results != nil && ev.cacheWorthy(e) {
 			if s, ok := ev.Results.Get(ev.resultKey(key)); ok {
 				if ctx.stats != nil {
 					ctx.stats.ResultCacheHits++
@@ -145,13 +256,23 @@ func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 		}
 	}
 	out, err := ev.evalUncached(ctx, e)
-	if err == nil && key != "" {
+	if err != nil {
+		return out, err
+	}
+	// Every operator result charges the region budget, leaves included: a
+	// hostile chain's cost shows up in its intermediate cardinalities.
+	if err := ctx.budget.charge(out.Len()); err != nil {
+		return region.Empty, err
+	}
+	if key != "" {
 		ctx.memo[key] = out
 		if ev.Results != nil && ev.cacheWorthy(e) {
-			ev.Results.Put(ev.resultKey(key), out)
+			// Held back until the whole evaluation succeeds: a killed
+			// evaluation must never publish cache entries.
+			ctx.pending = append(ctx.pending, pendingPut{key: ev.resultKey(key), set: out})
 		}
 	}
-	return out, err
+	return out, nil
 }
 
 // cacheWorthy reports whether e is expensive enough for the cross-query
@@ -208,11 +329,14 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 		var out region.Set
 		switch e.Mode {
 		case SelContains:
-			out = ev.in.Words().SelectContaining(arg, e.W)
+			out, err = ev.in.Words().SelectContainingCtl(arg, e.W, ctx.checker())
 		case SelEquals:
-			out = ev.in.Words().SelectEquals(arg, e.W)
+			out, err = ev.in.Words().SelectEqualsCtl(arg, e.W, ctx.checker())
 		default:
-			out = ev.in.Words().SelectPrefix(arg, e.W)
+			out, err = ev.in.Words().SelectPrefixCtl(arg, e.W, ctx.checker())
+		}
+		if err != nil {
+			return region.Empty, err
 		}
 		ctx.count(out, false)
 		return out, nil
@@ -287,7 +411,7 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 		if !lFirst {
 			l, r = ss, fs
 		}
-		out, err := ev.apply(e.Op, l, r)
+		out, err := ev.apply(ctx, e.Op, l, r)
 		if err != nil {
 			return region.Empty, err
 		}
@@ -328,7 +452,7 @@ func (ev *Evaluator) safeToSkip(e Expr) bool {
 	return safe
 }
 
-func (ev *Evaluator) apply(op BinOp, l, r region.Set) (region.Set, error) {
+func (ev *Evaluator) apply(ctx *evalCtx, op BinOp, l, r region.Set) (region.Set, error) {
 	switch op {
 	case OpUnion:
 		return l.Union(r), nil
@@ -337,16 +461,16 @@ func (ev *Evaluator) apply(op BinOp, l, r region.Set) (region.Set, error) {
 	case OpIntersect:
 		return l.Intersect(r), nil
 	case OpIncluding:
-		return l.Including(r), nil
+		return l.IncludingCtl(r, ctx.checker())
 	case OpIncluded:
-		return l.Included(r), nil
+		return l.IncludedCtl(r, ctx.checker())
 	case OpDirIncluding:
 		if ev.UseLayeredDirect {
-			return ev.layeredDirectlyIncluding(l, r), nil
+			return ev.layeredDirectlyIncluding(ctx, l, r)
 		}
-		return ev.in.Universe().DirectlyIncluding(l, r), nil
+		return ev.in.Universe().DirectlyIncludingCtl(l, r, ctx.checker())
 	case OpDirIncluded:
-		return ev.in.Universe().DirectlyIncluded(l, r), nil
+		return ev.in.Universe().DirectlyIncludedCtl(l, r, ctx.checker())
 	default:
 		return region.Empty, fmt.Errorf("algebra: unknown operator %v", op)
 	}
@@ -373,21 +497,44 @@ func (ctx *evalCtx) count(out region.Set, direct bool) {
 //
 // The program is exact on properly nested universes — the case the paper's
 // structuring schemas produce — and exists mainly to exhibit the cost of ⊃d
-// relative to ⊃.
-func (ev *Evaluator) layeredDirectlyIncluding(R, S region.Set) region.Set {
+// relative to ⊃. The while-loop polls the evaluation context at every layer
+// (and passes the checker into each inner sweep), so a deadline interrupts
+// even a deep ⊃d chain over a hostile document mid-operator.
+func (ev *Evaluator) layeredDirectlyIncluding(ctx *evalCtx, R, S region.Set) (region.Set, error) {
+	check := ctx.checker()
 	layer := R.Outermost()
 	rest := R.Diff(layer)
 	result := region.Empty
-	for !layer.Including(S).IsEmpty() {
+	for {
+		if err := ctx.poll(); err != nil {
+			return region.Empty, err
+		}
+		cont, err := layer.IncludingCtl(S, check)
+		if err != nil {
+			return region.Empty, err
+		}
+		if cont.IsEmpty() {
+			return result, nil
+		}
 		blocked := region.Empty
 		for _, tName := range ev.in.Names() {
 			T := ev.in.MustRegion(tName)
-			between := T.Included(layer) // T regions strictly inside a layer region
-			blocked = blocked.Union(S.Included(between))
+			between, err := T.IncludedCtl(layer, check) // T regions strictly inside a layer region
+			if err != nil {
+				return region.Empty, err
+			}
+			inner, err := S.IncludedCtl(between, check)
+			if err != nil {
+				return region.Empty, err
+			}
+			blocked = blocked.Union(inner)
 		}
-		result = result.Union(layer.Including(S.Diff(blocked)))
+		sel, err := layer.IncludingCtl(S.Diff(blocked), check)
+		if err != nil {
+			return region.Empty, err
+		}
+		result = result.Union(sel)
 		layer = rest.Outermost()
 		rest = rest.Diff(layer)
 	}
-	return result
 }

@@ -3,6 +3,8 @@ package compile
 import (
 	"container/list"
 	"sync"
+
+	"qof/internal/faultinject"
 )
 
 // PlanCache is a bounded LRU cache of compiled plans keyed by normalized
@@ -39,7 +41,12 @@ func NewPlanCache(capacity int) *PlanCache {
 }
 
 // Get returns the cached plan for the key, marking it most recently used.
+// An injected plancache.get fault degrades to a miss — the query recompiles
+// instead of failing.
 func (pc *PlanCache) Get(key string) (*Plan, bool) {
+	if err := faultinject.Hit(faultinject.PlanCacheGet); err != nil {
+		return nil, false
+	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	el, ok := pc.m[key]
@@ -53,8 +60,12 @@ func (pc *PlanCache) Get(key string) (*Plan, bool) {
 }
 
 // Put inserts (or refreshes) the plan under the key, evicting the least
-// recently used entry when the cache is full.
+// recently used entry when the cache is full. An injected plancache.put
+// fault drops the entry rather than caching a possibly-torn plan.
 func (pc *PlanCache) Put(key string, p *Plan) {
+	if err := faultinject.Hit(faultinject.PlanCachePut); err != nil {
+		return
+	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if el, ok := pc.m[key]; ok {

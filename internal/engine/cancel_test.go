@@ -1,0 +1,398 @@
+package engine_test
+
+// Cancellation, budget, and cache-safety tests. The -race stress tests
+// cancel contexts while parallel phase-2 workers and AddAll builders are
+// mid-flight, then prove the engine still serves correctly and no worker
+// goroutines leaked.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qof/internal/engine"
+	"qof/internal/faultinject"
+	"qof/internal/grammar"
+	"qof/internal/qerr"
+	"qof/internal/testutil"
+	"qof/internal/xsql"
+)
+
+func TestExecuteContextPreCanceled(t *testing.T) {
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
+	q := xsql.MustParse(changAuthorQuery)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Eng.ExecuteContext(ctx, q, engine.Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled execute: %v, want context.Canceled", err)
+	}
+	// The engine still serves correctly afterwards.
+	res, err := f.Eng.Execute(q)
+	if err != nil {
+		t.Fatalf("execute after cancel: %v", err)
+	}
+	if res.Stats.Results == 0 {
+		t.Fatal("execute after cancel returned no results")
+	}
+}
+
+func TestExecuteContextExpiredDeadline(t *testing.T) {
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
+	q := xsql.MustParse(changAuthorQuery)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := f.Eng.ExecuteContext(ctx, q, engine.Limits{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestExecuteContextRegionBudget(t *testing.T) {
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{}, nil)
+	q := xsql.MustParse(changAuthorQuery)
+	_, err := f.Eng.ExecuteContext(context.Background(), q, engine.Limits{MaxRegions: 1})
+	if !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("MaxRegions=1: %v, want ErrBudgetExceeded", err)
+	}
+	res, err := f.Eng.ExecuteContext(context.Background(), q, engine.Limits{MaxRegions: 1 << 30})
+	if err != nil {
+		t.Fatalf("generous region budget: %v", err)
+	}
+	want, err := f.Eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Regions.Equal(want.Regions) {
+		t.Fatal("budgeted execution diverged from unbudgeted")
+	}
+}
+
+// TestBudgetIgnoresWarmCache pins the budget/cache interaction: a result
+// cache warmed by an unbudgeted run must not let a budgeted rerun dodge
+// phase-1 accounting (budgeted queries bypass cache reads entirely).
+func TestBudgetIgnoresWarmCache(t *testing.T) {
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{}, nil)
+	q := xsql.MustParse(changAuthorQuery)
+	for i := 0; i < 2; i++ { // warm plan and result caches
+		if _, err := f.Eng.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := f.Eng.Execute(q)
+	if err != nil || !res.Stats.ResultCached {
+		t.Fatalf("cache not warm (stats=%+v, err=%v)", res.Stats, err)
+	}
+	_, err = f.Eng.ExecuteContext(context.Background(), q, engine.Limits{MaxRegions: 1})
+	if !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("MaxRegions=1 on warm cache: %v, want ErrBudgetExceeded", err)
+	}
+	// The unbudgeted path still serves from cache afterwards.
+	res, err = f.Eng.Execute(q)
+	if err != nil || !res.Stats.ResultCached {
+		t.Fatalf("cache lost after budgeted run (stats=%+v, err=%v)", res.Stats, err)
+	}
+}
+
+func TestExecuteContextByteBudget(t *testing.T) {
+	// A filtering query (non-exact plan) must parse candidates, so a
+	// one-byte parse budget trips in phase 2.
+	f := testutil.NewBibFixture(t, 60, grammar.IndexSpec{Names: []string{"Reference"}}, nil)
+	q := xsql.MustParse(changAuthorQuery)
+	_, err := f.Eng.ExecuteContext(context.Background(), q, engine.Limits{MaxEvalBytes: 1})
+	if !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("MaxEvalBytes=1: %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := f.Eng.ExecuteContext(context.Background(), q, engine.Limits{MaxEvalBytes: 1 << 30}); err != nil {
+		t.Fatalf("generous byte budget: %v", err)
+	}
+}
+
+// TestKilledExecutionNeverCached is the cache-safety invariant (the
+// result cache must not serve answers computed by an evaluation that was
+// canceled, timed out, or budget-killed): after a killed execution, the
+// next successful run must compute its candidates fresh — Stats.ResultCached
+// would be true if the killed run had published anything.
+func TestKilledExecutionNeverCached(t *testing.T) {
+	q := xsql.MustParse(cacheProbeQuery)
+	kills := map[string]func(eng *engine.Engine) error{
+		"canceled": func(eng *engine.Engine) error {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := eng.ExecuteContext(ctx, q, engine.Limits{})
+			return err
+		},
+		"timed-out": func(eng *engine.Engine) error {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+			defer cancel()
+			_, err := eng.ExecuteContext(ctx, q, engine.Limits{})
+			return err
+		},
+		"budget-killed": func(eng *engine.Engine) error {
+			_, err := eng.ExecuteContext(context.Background(), q, engine.Limits{MaxRegions: 1})
+			return err
+		},
+	}
+	for name, kill := range kills {
+		f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
+		if err := kill(f.Eng); err == nil {
+			t.Fatalf("%s: killed execution unexpectedly succeeded", name)
+		}
+		res, err := f.Eng.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: execute after kill: %v", name, err)
+		}
+		if res.Stats.ResultCached {
+			t.Errorf("%s: killed execution polluted the result cache", name)
+		}
+		_, _, hits, _ := f.Eng.CacheCounters()
+		if hits != 0 {
+			t.Errorf("%s: result cache served %d hits after only killed+first runs", name, hits)
+		}
+		// And the cache still works: the next repeat is a hit.
+		res, err = f.Eng.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: repeat after kill: %v", name, err)
+		}
+		if !res.Stats.ResultCached {
+			t.Errorf("%s: cache did not recover after a killed execution", name)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to within slack of
+// base (workers park asynchronously after Wait), failing after a timeout.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d running, started with %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelMidParallelPhase2 hammers a parallel-phase-2 engine while
+// another goroutine cancels each query's context mid-flight. Run under
+// -race. Every outcome must be either a complete, correct result or a clean
+// context.Canceled — and afterwards the engine must serve correctly with no
+// leaked workers.
+func TestCancelMidParallelPhase2(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := testutil.NewBibFixture(t, 400, grammar.IndexSpec{Names: []string{"Reference"}}, nil)
+	f.Eng.Parallelism = 4
+	q := xsql.MustParse(changAuthorQuery)
+	want, err := f.Eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold every phase-2 candidate open briefly so the cancels land while
+	// the worker pool is genuinely mid-flight rather than racing a query
+	// that finishes in microseconds.
+	if err := faultinject.Configure("engine.phase2=delay:500us"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var canceledRuns, completedRuns int
+	for round := 0; round < 30; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			// Stagger the cancel across rounds so it lands in
+			// different execution phases.
+			time.Sleep(time.Duration(round%10) * 100 * time.Microsecond)
+			cancel()
+		}(round)
+		res, err := f.Eng.ExecuteContext(ctx, q, engine.Limits{})
+		wg.Wait()
+		cancel()
+		switch {
+		case err == nil:
+			completedRuns++
+			if !res.Regions.Equal(want.Regions) {
+				t.Fatalf("round %d: completed run diverged", round)
+			}
+		case errors.Is(err, context.Canceled):
+			canceledRuns++
+		default:
+			t.Fatalf("round %d: unexpected error: %v", round, err)
+		}
+	}
+	t.Logf("canceled=%d completed=%d", canceledRuns, completedRuns)
+	if canceledRuns == 0 {
+		t.Error("no run was canceled mid-flight; the storm exercised nothing")
+	}
+	faultinject.Reset()
+	// The engine is fully usable after the storm.
+	res, err := f.Eng.Execute(q)
+	if err != nil {
+		t.Fatalf("execute after cancel storm: %v", err)
+	}
+	if !res.Regions.Equal(want.Regions) {
+		t.Fatal("post-storm result diverged")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancelMidAddAll cancels a parallel corpus ingest mid-build. The
+// corpus must either ingest everything or be left unchanged with every
+// unbuilt file attributed in the joined error; no goroutines may leak.
+func TestCancelMidAddAll(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cat := testutil.NewBibFixture(t, 1, grammar.IndexSpec{}, nil).Cat
+	docs := testutil.BibCorpusDocs(t, 12, 40)
+	for round := 0; round < 10; round++ {
+		c := engine.NewCorpus(cat)
+		c.Parallelism = 4
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(round int) {
+			time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+			cancel()
+		}(round)
+		err := c.AddAllContext(ctx, docs, grammar.IndexSpec{})
+		cancel()
+		if err == nil {
+			if c.Len() != len(docs) {
+				t.Fatalf("round %d: nil error but %d/%d files added", round, c.Len(), len(docs))
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: unexpected error: %v", round, err)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("round %d: failed AddAll left %d engines in the corpus", round, c.Len())
+		}
+		// Attribution: the joined error names each unbuilt file.
+		if !strings.Contains(err.Error(), ".bib") {
+			t.Fatalf("round %d: error lacks file attribution: %v", round, err)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCorpusExecuteContextCancel cancels corpus queries running across
+// parallel per-file goroutines.
+func TestCorpusExecuteContextCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cat := testutil.NewBibFixture(t, 1, grammar.IndexSpec{}, nil).Cat
+	c := engine.NewCorpus(cat)
+	c.Parallelism = 4
+	if err := c.AddAll(testutil.BibCorpusDocs(t, 8, 60), grammar.IndexSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	q := xsql.MustParse(changAuthorQuery)
+	want, err := c.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 15; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(round int) {
+			time.Sleep(time.Duration(round) * 150 * time.Microsecond)
+			cancel()
+		}(round)
+		res, err := c.ExecuteContext(ctx, q, engine.ExecOptions{})
+		cancel()
+		switch {
+		case err == nil:
+			if res.Stats.Results != want.Stats.Results {
+				t.Fatalf("round %d: completed run diverged", round)
+			}
+		case errors.Is(err, context.Canceled):
+		default:
+			t.Fatalf("round %d: unexpected error: %v", round, err)
+		}
+	}
+	// Still serving, and identically.
+	res, err := c.Execute(q)
+	if err != nil {
+		t.Fatalf("corpus execute after cancel storm: %v", err)
+	}
+	if res.Stats.Results != want.Stats.Results {
+		t.Fatal("post-storm corpus result diverged")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCorpusFileTimeoutPartial exercises graceful degradation: with an
+// impossible per-file timeout and Partial set, every file fails with an
+// attributed DeadlineExceeded and the call still returns a (fully degraded)
+// result rather than an error.
+func TestCorpusFileTimeoutPartial(t *testing.T) {
+	cat := testutil.NewBibFixture(t, 1, grammar.IndexSpec{}, nil).Cat
+	c := engine.NewCorpus(cat)
+	if err := c.AddAll(testutil.BibCorpusDocs(t, 3, 30), grammar.IndexSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	q := xsql.MustParse(changAuthorQuery)
+	res, err := c.ExecuteContext(context.Background(), q, engine.ExecOptions{
+		FileTimeout: time.Nanosecond, // expires before any file's first poll
+		Partial:     true,
+	})
+	if err != nil {
+		t.Fatalf("partial mode returned error: %v", err)
+	}
+	if len(res.Degraded) != 3 {
+		t.Fatalf("Degraded has %d entries, want 3", len(res.Degraded))
+	}
+	derr := res.DegradedError()
+	if !errors.Is(derr, context.DeadlineExceeded) {
+		t.Fatalf("DegradedError = %v, want DeadlineExceeded", derr)
+	}
+	for _, fail := range res.Degraded {
+		if fail.File == "" || fail.Err == nil {
+			t.Fatalf("degraded entry lacks attribution: %+v", fail)
+		}
+		if !strings.Contains(derr.Error(), fail.File) {
+			t.Fatalf("DegradedError does not name %s: %v", fail.File, derr)
+		}
+	}
+	// Without Partial the same failure is an error naming every file.
+	_, err = c.ExecuteContext(context.Background(), q, engine.ExecOptions{FileTimeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("non-partial: %v, want DeadlineExceeded", err)
+	}
+	for _, d := range res.Degraded {
+		if !strings.Contains(err.Error(), d.File) {
+			t.Fatalf("joined error does not name %s: %v", d.File, err)
+		}
+	}
+}
+
+// TestCorpusExecuteAggregatesErrors proves Execute reports every failing
+// file, not only the first (per-file budget violations here).
+func TestCorpusExecuteAggregatesErrors(t *testing.T) {
+	cat := testutil.NewBibFixture(t, 1, grammar.IndexSpec{}, nil).Cat
+	c := engine.NewCorpus(cat)
+	docs := testutil.BibCorpusDocs(t, 3, 30)
+	if err := c.AddAll(docs, grammar.IndexSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	q := xsql.MustParse(changAuthorQuery)
+	_, err := c.ExecuteContext(context.Background(), q, engine.ExecOptions{
+		Limits: engine.Limits{MaxRegions: 1},
+	})
+	if !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("budget corpus run: %v, want ErrBudgetExceeded", err)
+	}
+	for _, d := range docs {
+		if !strings.Contains(err.Error(), d.Name()) {
+			t.Fatalf("joined error missing file %s: %v", d.Name(), err)
+		}
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug edits

@@ -1,12 +1,17 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"qof/internal/compile"
 	"qof/internal/db"
+	"qof/internal/faultinject"
 	"qof/internal/grammar"
+	"qof/internal/qerr"
 	"qof/internal/region"
 	"qof/internal/text"
 	"qof/internal/xsql"
@@ -49,12 +54,29 @@ func (c *Corpus) Add(doc *text.Document, spec grammar.IndexSpec) error {
 // region extraction, word index, statistics) run concurrently — they are
 // independent per file — but the corpus always ends up identical to
 // sequential Adds: engines are appended in document order, and on error the
-// corpus is left unchanged.
+// corpus is left unchanged. Every failing file is reported, not just the
+// first: the returned error joins one attributed error per failed document
+// (errors.Is still matches each underlying cause).
 func (c *Corpus) AddAll(docs []*text.Document, spec grammar.IndexSpec) error {
+	return c.AddAllContext(context.Background(), docs, spec)
+}
+
+// AddAllContext is AddAll under a context. Cancellation is checked before
+// every document build (and inside each build, at its stage boundaries), so
+// a canceled bulk ingest stops promptly; the corpus is left unchanged
+// whenever any document fails. A panic while indexing one document is
+// isolated and reported as that document's error, wrapping qerr.ErrInternal.
+func (c *Corpus) AddAllContext(ctx context.Context, docs []*text.Document, spec grammar.IndexSpec) error {
 	engines := make([]*Engine, len(docs))
 	errs := make([]error, len(docs))
 	build := func(i int) {
-		in, _, err := c.cat.Grammar.BuildInstance(docs[i], spec)
+		defer func() {
+			if p := recover(); p != nil {
+				errs[i] = fmt.Errorf("engine: indexing %s: panic: %v: %w",
+					docs[i].Name(), p, qerr.ErrInternal)
+			}
+		}()
+		in, _, err := c.cat.Grammar.BuildInstanceContext(ctx, docs[i], spec)
 		if err != nil {
 			errs[i] = fmt.Errorf("engine: indexing %s: %w", docs[i].Name(), err)
 			return
@@ -65,6 +87,10 @@ func (c *Corpus) AddAll(docs []*text.Document, spec grammar.IndexSpec) error {
 		sem := make(chan struct{}, c.Parallelism)
 		var wg sync.WaitGroup
 		for i := range docs {
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("engine: indexing %s: %w", docs[i].Name(), err)
+				continue
+			}
 			sem <- struct{}{}
 			wg.Add(1)
 			go func(i int) {
@@ -76,13 +102,15 @@ func (c *Corpus) AddAll(docs []*text.Document, spec grammar.IndexSpec) error {
 		wg.Wait()
 	} else {
 		for i := range docs {
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("engine: indexing %s: %w", docs[i].Name(), err)
+				continue
+			}
 			build(i)
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
 	c.engines = append(c.engines, engines...)
 	return nil
@@ -100,11 +128,37 @@ type FileHit struct {
 	Stats   Stats
 }
 
+// FileFailure attributes one file's failure within a degraded corpus
+// result.
+type FileFailure struct {
+	File string
+	Err  error
+}
+
 // CorpusResult is the merged outcome of a corpus query.
 type CorpusResult struct {
 	Hits      []FileHit // files with at least one result, in corpus order
 	Projected bool
 	Stats     Stats // aggregated over every file
+
+	// Degraded lists the files whose evaluation failed when the query ran
+	// with ExecOptions.Partial; Hits and Stats then cover only the files
+	// that succeeded. Empty means the result is complete.
+	Degraded []FileFailure
+}
+
+// DegradedError joins the per-file failures of a degraded result into one
+// error with file attribution, or nil when the result is complete.
+// errors.Is matches each underlying cause (e.g. context.DeadlineExceeded).
+func (r *CorpusResult) DegradedError() error {
+	if len(r.Degraded) == 0 {
+		return nil
+	}
+	errs := make([]error, len(r.Degraded))
+	for i, f := range r.Degraded {
+		errs[i] = fmt.Errorf("%s: %w", f.File, f.Err)
+	}
+	return errors.Join(errs...)
 }
 
 // Results reports the total number of results across files.
@@ -119,13 +173,58 @@ func (r *CorpusResult) AllStrings() []string {
 	return out
 }
 
+// ExecOptions configure a corpus execution beyond the query itself. The
+// zero value means no budgets, no per-file timeout, all-or-nothing error
+// reporting.
+type ExecOptions struct {
+	// Limits applies per-file resource budgets (each file's engine gets
+	// its own budget, since files are evaluated independently).
+	Limits Limits
+	// FileTimeout bounds each file's evaluation separately; a file that
+	// exceeds it fails with context.DeadlineExceeded while the others run
+	// to completion. 0 means no per-file deadline.
+	FileTimeout time.Duration
+	// Partial degrades instead of failing: files whose evaluation errors
+	// are recorded in CorpusResult.Degraded with attribution and the
+	// remaining files are merged normally. Without Partial, any failure
+	// makes the whole Execute fail (reporting every failed file, joined).
+	Partial bool
+}
+
 // Execute runs the query against every file (in parallel when Parallelism
 // is set), merging the per-file results in corpus order. Queries with
 // several range variables range over objects of the same file (cross-file
 // joins are out of scope, as in the paper).
 func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
+	return c.ExecuteContext(context.Background(), q, ExecOptions{})
+}
+
+// ExecuteContext is Execute under a context and per-file execution options.
+// Canceling ctx stops every file's evaluation at its next poll point. A
+// panic while evaluating one file is isolated to that file's error
+// (wrapping qerr.ErrInternal); the corpus and its engines stay usable. When
+// any file fails without opts.Partial, the returned error joins one
+// attributed error per failed file.
+func (c *Corpus) ExecuteContext(ctx context.Context, q *xsql.Query, opts ExecOptions) (*CorpusResult, error) {
 	results := make([]*Result, len(c.engines))
 	errs := make([]error, len(c.engines))
+	run := func(eng *Engine) (res *Result, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				res, err = nil, fmt.Errorf("panic: %v: %w", p, qerr.ErrInternal)
+			}
+		}()
+		if err := faultinject.Hit(faultinject.CorpusFile); err != nil {
+			return nil, err
+		}
+		fctx := ctx
+		if opts.FileTimeout > 0 {
+			var cancel context.CancelFunc
+			fctx, cancel = context.WithTimeout(ctx, opts.FileTimeout)
+			defer cancel()
+		}
+		return eng.ExecuteContext(fctx, q, opts.Limits)
+	}
 	if c.Parallelism > 1 {
 		// Acquire the semaphore before spawning, so at most Parallelism
 		// goroutines exist at any moment — launching one goroutine per
@@ -138,19 +237,26 @@ func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
 			go func(i int, eng *Engine) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[i], errs[i] = eng.Execute(q)
+				results[i], errs[i] = run(eng)
 			}(i, eng)
 		}
 		wg.Wait()
 	} else {
 		for i, eng := range c.engines {
-			results[i], errs[i] = eng.Execute(q)
+			results[i], errs[i] = run(eng)
 		}
 	}
 	out := &CorpusResult{}
+	var failed []error
 	for i, eng := range c.engines {
+		name := eng.Instance().Document().Name()
 		if errs[i] != nil {
-			return nil, fmt.Errorf("engine: %s: %w", eng.Instance().Document().Name(), errs[i])
+			if opts.Partial {
+				out.Degraded = append(out.Degraded, FileFailure{File: name, Err: errs[i]})
+			} else {
+				failed = append(failed, fmt.Errorf("engine: %s: %w", name, errs[i]))
+			}
+			continue
 		}
 		res := results[i]
 		out.Projected = res.Projected
@@ -168,12 +274,22 @@ func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
 			continue
 		}
 		out.Hits = append(out.Hits, FileHit{
-			File:    eng.Instance().Document().Name(),
+			File:    name,
 			Regions: res.Regions,
 			Objects: res.Objects,
 			Strings: res.Strings,
 			Stats:   st,
 		})
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
+	}
+	if opts.Partial {
+		// The caller still learns the whole call was cut short: a done
+		// parent context is reported alongside whatever completed.
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

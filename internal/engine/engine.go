@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,8 +24,10 @@ import (
 	"qof/internal/algebra"
 	"qof/internal/compile"
 	"qof/internal/db"
+	"qof/internal/faultinject"
 	"qof/internal/grammar"
 	"qof/internal/index"
+	"qof/internal/qerr"
 	"qof/internal/region"
 	"qof/internal/stats"
 	"qof/internal/xsql"
@@ -144,10 +147,71 @@ type Result struct {
 	Stats     Stats
 }
 
+// Limits are per-query resource budgets, enforced at the same poll points
+// as cancellation. The zero value is unlimited. Budget violations surface
+// as errors wrapping qerr.ErrBudgetExceeded and are deterministic: the same
+// query over the same index trips at the same point every time.
+type Limits struct {
+	// MaxRegions caps the cumulative number of regions produced by
+	// phase-1 operator applications (leaves included), bounding the work
+	// a hostile inclusion chain can do on the indexing engine.
+	MaxRegions int
+	// MaxEvalBytes caps the document bytes parsed in phase 2, full scans
+	// included, bounding structured-parsing work and memory.
+	MaxEvalBytes int
+}
+
+// execEnv carries one execution's cancellation and budget state across the
+// engine's phases. The byte budget is atomic because parallel phase-2
+// workers charge it concurrently.
+type execEnv struct {
+	ctx    context.Context
+	lim    Limits
+	budget *algebra.Budget // phase-1 region budget; nil = unlimited
+
+	bytesUsed atomic.Int64 // phase-2 parsed bytes so far
+}
+
+// poll returns the context error once the execution's context is done.
+func (es *execEnv) poll() error {
+	if es.ctx.Done() == nil {
+		return nil
+	}
+	return es.ctx.Err()
+}
+
+// chargeBytes deducts n parsed bytes from the byte budget.
+func (es *execEnv) chargeBytes(n int) error {
+	if es.lim.MaxEvalBytes <= 0 {
+		return nil
+	}
+	if es.bytesUsed.Add(int64(n)) > int64(es.lim.MaxEvalBytes) {
+		return fmt.Errorf("engine: eval-bytes budget of %d exceeded: %w",
+			es.lim.MaxEvalBytes, qerr.ErrBudgetExceeded)
+	}
+	return nil
+}
+
 // Execute compiles and runs the query. Plans are cached by normalized query
 // text, so repeat queries skip parsing, compilation and optimization; the
 // cached plan is immutable and shared by concurrent executions.
 func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
+	return e.ExecuteContext(context.Background(), q, Limits{})
+}
+
+// ExecuteContext is Execute under a context and per-query resource budgets.
+// Cancellation and deadlines are polled cooperatively at every phase-1
+// operator application, inside the region kernels, and per phase-2
+// candidate, so they take effect mid-evaluation; the returned error is then
+// ctx.Err() (context.Canceled or context.DeadlineExceeded). Budget
+// violations wrap qerr.ErrBudgetExceeded. A failed execution is never
+// cached — neither its candidate sets nor partial results — and leaves the
+// engine fully usable.
+func (e *Engine) ExecuteContext(ctx context.Context, q *xsql.Query, lim Limits) (*Result, error) {
+	es := &execEnv{ctx: ctx, lim: lim, budget: algebra.NewBudget(lim.MaxRegions)}
+	if err := es.poll(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	key := q.String()
 	plan, cached := e.plans.Get(key)
@@ -171,11 +235,11 @@ func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
 		return res, nil
 	}
 	if len(q.From) == 1 {
-		if err := e.executeSingle(q, plan, res); err != nil {
+		if err := e.executeSingle(es, q, plan, res); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := e.executeMulti(q, plan, res); err != nil {
+		if err := e.executeMulti(es, q, plan, res); err != nil {
 			return nil, err
 		}
 	}
@@ -187,17 +251,18 @@ func (e *Engine) Execute(q *xsql.Query) (*Result, error) {
 	return res, nil
 }
 
-// evalExpr runs an algebra expression through the evaluator and folds the
-// per-call evaluator statistics (result-cache hits) into the result's stats.
-func (e *Engine) evalExpr(x algebra.Expr, res *Result) (region.Set, error) {
+// evalExpr runs an algebra expression through the evaluator under the
+// execution's context and region budget, and folds the per-call evaluator
+// statistics (result-cache hits) into the result's stats.
+func (e *Engine) evalExpr(es *execEnv, x algebra.Expr, res *Result) (region.Set, error) {
 	var ast algebra.Stats
-	s, err := e.ev.EvalStats(x, &ast)
+	s, err := e.ev.EvalContext(es.ctx, x, &ast, es.budget)
 	res.Stats.ResultCacheHits += ast.ResultCacheHits
 	return s, err
 }
 
 // executeSingle runs the one-range-variable fast path.
-func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) error {
+func (e *Engine) executeSingle(es *execEnv, q *xsql.Query, plan *compile.Plan, res *Result) error {
 	vp := &plan.Vars[0]
 	res.Stats.Exact = vp.Exact
 	phase1 := time.Now()
@@ -207,7 +272,10 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	var candidates region.Set
 	switch {
 	case vp.Candidates != nil:
-		if s, ok := e.ev.CachedResult(vp.Candidates); ok {
+		// A region budget must meter the actual phase-1 work, so budgeted
+		// queries bypass the cross-query cache: a warm cache would
+		// otherwise decide whether the budget applies at all.
+		if s, ok := e.ev.CachedResult(vp.Candidates); ok && es.budget == nil {
 			// The whole candidate expression was answered by the
 			// cross-query result cache: phase 1 is a lookup.
 			candidates = s
@@ -215,7 +283,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 			res.Stats.ResultCacheHits++
 		} else {
 			var err error
-			candidates, err = e.evalExpr(vp.Candidates, res)
+			candidates, err = e.evalExpr(es, vp.Candidates, res)
 			if err != nil {
 				return fmt.Errorf("engine: evaluating candidates: %w", err)
 			}
@@ -225,6 +293,9 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 		// every object region as a candidate.
 		res.Stats.FullScan = true
 		doc := e.in.Document()
+		if err := es.chargeBytes(doc.Len()); err != nil {
+			return err
+		}
 		tree, err := e.cat.Grammar.Parse(doc)
 		if err != nil {
 			return fmt.Errorf("engine: full scan parse: %w", err)
@@ -239,7 +310,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	// Index-only projection: exact candidates plus an exact projection
 	// chain answer the query without touching the file.
 	if res.Projected && vp.Exact && plan.Projection.Chain != nil && plan.Projection.Exact && !res.Stats.FullScan {
-		projected, err := e.evalExpr(plan.Projection.Chain.Expr(), res)
+		projected, err := e.evalExpr(es, plan.Projection.Chain.Expr(), res)
 		if err != nil {
 			return fmt.Errorf("engine: evaluating projection: %w", err)
 		}
@@ -257,7 +328,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	// Section 5.2 fast join: decide the path comparison from the leaf
 	// regions alone, then parse only the matching objects.
 	if plan.JoinFast != nil && !res.Stats.FullScan {
-		matched, ok, err := e.joinFastCandidates(plan.JoinFast, candidates, res)
+		matched, ok, err := e.joinFastCandidates(es, plan.JoinFast, candidates, res)
 		if err != nil {
 			return err
 		}
@@ -269,7 +340,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 	}
 
 	// Phase 2: parse candidates, filter unless exact, project.
-	return e.phase2(q, plan, vp, candidates, res)
+	return e.phase2(es, q, plan, vp, candidates, res)
 }
 
 // phase2 parses every candidate region, filters non-exact plans through the
@@ -278,7 +349,7 @@ func (e *Engine) executeSingle(q *xsql.Query, plan *compile.Plan, res *Result) e
 // per candidate, so the fan-out needs no locks: worker i writes only slot i.
 // The merge runs in document order afterwards, so results and statistics
 // are identical to the sequential evaluation.
-func (e *Engine) phase2(q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, candidates region.Set, res *Result) error {
+func (e *Engine) phase2(es *execEnv, q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, candidates region.Set, res *Result) error {
 	cands := candidates.Regions()
 	type candOut struct {
 		obj  db.Value
@@ -286,8 +357,27 @@ func (e *Engine) phase2(q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, 
 	}
 	outs := make([]candOut, len(cands))
 	doc := e.in.Document()
-	process := func(i int) error {
+	process := func(i int) (err error) {
+		// Isolate per-candidate panics (a grammar or filter bug, or an
+		// injected fault) so one poisoned candidate fails the query with a
+		// typed error instead of killing the process — essential in the
+		// parallel path, where workers are separate goroutines.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("engine: phase 2 panic on candidate %v: %v: %w",
+					cands[i], p, qerr.ErrInternal)
+			}
+		}()
+		if err := es.poll(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit(faultinject.Phase2); err != nil {
+			return fmt.Errorf("engine: phase 2: %w", err)
+		}
 		r := cands[i]
+		if err := es.chargeBytes(r.Len()); err != nil {
+			return err
+		}
 		node, err := e.cat.Grammar.ParseAs(doc, vp.NT, r.Start, r.End)
 		if err != nil {
 			return fmt.Errorf("engine: parsing candidate %v as %s: %w", r, vp.NT, err)
@@ -368,7 +458,7 @@ func (e *Engine) phase2(q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, 
 // hash-join the values per candidate. It requires candidates to be
 // non-nested (so every leaf has a unique container); ok=false means the
 // caller must fall back to parsing.
-func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.Set, res *Result) (region.Set, bool, error) {
+func (e *Engine) joinFastCandidates(es *execEnv, jf *compile.JoinFastPlan, candidates region.Set, res *Result) (region.Set, bool, error) {
 	cands := candidates.Regions()
 	for i := 1; i < len(cands); i++ {
 		if cands[i-1].End > cands[i].Start {
@@ -377,7 +467,7 @@ func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.
 	}
 	content := e.in.Document().Content()
 	groups := func(ch algebra.Expr) (map[int]map[string]bool, error) {
-		leaves, err := e.evalExpr(ch, res)
+		leaves, err := e.evalExpr(es, ch, res)
 		if err != nil {
 			return nil, err
 		}
@@ -418,23 +508,29 @@ func (e *Engine) joinFastCandidates(jf *compile.JoinFastPlan, candidates region.
 // executeMulti runs multi-variable queries with a nested-loop join over
 // per-variable candidates; comparisons are evaluated in the database
 // (Section 5.2: joins are beyond the indexing engine).
-func (e *Engine) executeMulti(q *xsql.Query, plan *compile.Plan, res *Result) error {
+func (e *Engine) executeMulti(es *execEnv, q *xsql.Query, plan *compile.Plan, res *Result) error {
 	type binding struct {
 		regions []region.Region
 		objects []db.Value
 	}
 	bindings := make([]binding, len(plan.Vars))
 	for i := range plan.Vars {
+		if err := es.poll(); err != nil {
+			return err
+		}
 		vp := &plan.Vars[i]
 		var cands region.Set
 		if vp.Candidates != nil {
 			var err error
-			cands, err = e.evalExpr(vp.Candidates, res)
+			cands, err = e.evalExpr(es, vp.Candidates, res)
 			if err != nil {
 				return fmt.Errorf("engine: candidates for %s: %w", vp.Var, err)
 			}
 		} else {
 			res.Stats.FullScan = true
+			if err := es.chargeBytes(e.in.Document().Len()); err != nil {
+				return err
+			}
 			tree, err := e.cat.Grammar.Parse(e.in.Document())
 			if err != nil {
 				return err
@@ -445,7 +541,7 @@ func (e *Engine) executeMulti(q *xsql.Query, plan *compile.Plan, res *Result) er
 		res.Stats.Candidates += cands.Len()
 		b := binding{regions: cands.Regions()}
 		for _, r := range cands.Regions() {
-			obj, err := e.parseRegion(vp.NT, r, &res.Stats)
+			obj, err := e.parseRegion(es, vp.NT, r, &res.Stats)
 			if err != nil {
 				return err
 			}
@@ -472,6 +568,11 @@ func (e *Engine) executeMulti(q *xsql.Query, plan *compile.Plan, res *Result) er
 				}
 			}
 			return nil
+		}
+		// Poll per assignment: the cross product can dwarf any single
+		// binding, so the join itself must be cancelable.
+		if err := es.poll(); err != nil {
+			return err
 		}
 		ok, err := xsql.EvalCond(env, q.Where)
 		if err != nil || !ok {
@@ -505,7 +606,10 @@ func (e *Engine) executeMulti(q *xsql.Query, plan *compile.Plan, res *Result) er
 
 // parseRegion parses one candidate region as the non-terminal and builds
 // its database value, updating statistics.
-func (e *Engine) parseRegion(nt string, r region.Region, st *Stats) (db.Value, error) {
+func (e *Engine) parseRegion(es *execEnv, nt string, r region.Region, st *Stats) (db.Value, error) {
+	if err := es.chargeBytes(r.Len()); err != nil {
+		return nil, err
+	}
 	doc := e.in.Document()
 	node, err := e.cat.Grammar.ParseAs(doc, nt, r.Start, r.End)
 	if err != nil {

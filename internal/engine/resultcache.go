@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"qof/internal/faultinject"
 	"qof/internal/region"
 )
 
@@ -49,7 +50,12 @@ func NewResultCache(capacity int) *ResultCache {
 }
 
 // Get returns the cached set for the key, marking it most recently used.
+// An injected resultcache.get fault degrades to a miss: the cache is an
+// accelerator, so losing it must never fail a query.
 func (rc *ResultCache) Get(key string) (region.Set, bool) {
+	if err := faultinject.Hit(faultinject.ResultCacheGet); err != nil {
+		return region.Empty, false
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	el, ok := rc.m[key]
@@ -63,8 +69,12 @@ func (rc *ResultCache) Get(key string) (region.Set, bool) {
 }
 
 // Put inserts (or refreshes) the set under the key, evicting the least
-// recently used entry when the cache is full.
+// recently used entry when the cache is full. An injected resultcache.put
+// fault drops the entry — an incomplete or torn set is never published.
 func (rc *ResultCache) Put(key string, s region.Set) {
+	if err := faultinject.Hit(faultinject.ResultCachePut); err != nil {
+		return
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if el, ok := rc.m[key]; ok {

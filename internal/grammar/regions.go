@@ -1,6 +1,10 @@
 package grammar
 
 import (
+	"context"
+	"fmt"
+
+	"qof/internal/faultinject"
 	"qof/internal/index"
 	"qof/internal/region"
 	"qof/internal/text"
@@ -93,8 +97,25 @@ func (g *Grammar) FullIndexSpec() IndexSpec {
 // provides). It returns the instance and the parse tree, which callers use
 // for the full-scan baseline and for loading candidate objects.
 func (g *Grammar) BuildInstance(doc *text.Document, spec IndexSpec) (*index.Instance, *Node, error) {
+	return g.BuildInstanceContext(context.Background(), doc, spec)
+}
+
+// BuildInstanceContext is BuildInstance under a context: cancellation is
+// checked at stage boundaries (before the parse, before region extraction,
+// and between index definitions), so an abandoned build stops promptly
+// without ever publishing a partially defined instance.
+func (g *Grammar) BuildInstanceContext(ctx context.Context, doc *text.Document, spec IndexSpec) (*index.Instance, *Node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := faultinject.Hit(faultinject.IndexBuild); err != nil {
+		return nil, nil, fmt.Errorf("grammar: building index for %s: %w", doc.Name(), err)
+	}
 	tree, err := g.Parse(doc)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	in := index.NewInstance(doc)
@@ -103,9 +124,15 @@ func (g *Grammar) BuildInstance(doc *text.Document, spec IndexSpec) (*index.Inst
 		names = g.FullIndexSpec().Names
 	}
 	for name, set := range ExtractRegions(tree, names...) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		in.Define(name, set)
 	}
 	for _, sc := range spec.Scoped {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		in.DefineScoped(sc.Name, sc.Within, ExtractScopedRegions(tree, sc.Name, sc.Within))
 	}
 	return in, tree, nil

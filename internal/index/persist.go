@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"qof/internal/faultinject"
 	"qof/internal/region"
 	"qof/internal/text"
 )
@@ -34,6 +35,9 @@ var (
 
 // Save writes the instance (word tokens and all region indices) to w.
 func (in *Instance) Save(w io.Writer) error {
+	if err := faultinject.Hit(faultinject.PersistSave); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(indexMagic); err != nil {
 		return err
@@ -73,6 +77,9 @@ func (in *Instance) Save(w io.Writer) error {
 // doc. It returns ErrIndexMismatch if doc differs from the document the
 // index was built over.
 func Load(r io.Reader, doc *text.Document) (*Instance, error) {
+	if err := faultinject.Hit(faultinject.PersistLoad); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {

@@ -204,23 +204,36 @@ func (x *WordIndex) PrefixWords(prefix string) []string {
 // where containment means the whole word lies within the region. It runs in
 // O(|s| log occ(w)).
 func (x *WordIndex) SelectContaining(s region.Set, w string) region.Set {
+	out, _ := x.SelectContainingCtl(s, w, nil)
+	return out
+}
+
+// SelectContainingCtl is SelectContaining with cooperative cancellation:
+// check is polled periodically during the selection sweep.
+func (x *WordIndex) SelectContainingCtl(s region.Set, w string, check region.Checker) (region.Set, error) {
 	occ := x.Occurrences(w)
 	if len(occ) == 0 {
-		return region.Empty
+		return region.Empty, nil
 	}
-	return s.Filter(func(r region.Region) bool {
+	return s.FilterCtl(func(r region.Region) bool {
 		i := sort.Search(len(occ), func(i int) bool { return occ[i].Start >= r.Start })
 		return i < len(occ) && occ[i].End <= r.End
-	})
+	}, check)
 }
 
 // SelectPrefix returns the regions of s whose text starts with p. As with
 // SelectEquals, the compiler emits it only for faithful leaf regions.
 func (x *WordIndex) SelectPrefix(s region.Set, p string) region.Set {
+	out, _ := x.SelectPrefixCtl(s, p, nil)
+	return out
+}
+
+// SelectPrefixCtl is SelectPrefix with cooperative cancellation.
+func (x *WordIndex) SelectPrefixCtl(s region.Set, p string, check region.Checker) (region.Set, error) {
 	content := x.doc.Content()
-	return s.Filter(func(r region.Region) bool {
+	return s.FilterCtl(func(r region.Region) bool {
 		return strings.HasPrefix(content[r.Start:r.End], p)
-	})
+	}, check)
 }
 
 // SelectEquals returns the regions of s whose text is exactly w. The query
@@ -228,8 +241,14 @@ func (x *WordIndex) SelectPrefix(s region.Set, p string) region.Set {
 // value (bare-terminal productions); for other regions it falls back to
 // word containment plus filtering.
 func (x *WordIndex) SelectEquals(s region.Set, w string) region.Set {
+	out, _ := x.SelectEqualsCtl(s, w, nil)
+	return out
+}
+
+// SelectEqualsCtl is SelectEquals with cooperative cancellation.
+func (x *WordIndex) SelectEqualsCtl(s region.Set, w string, check region.Checker) (region.Set, error) {
 	content := x.doc.Content()
-	return s.Filter(func(r region.Region) bool {
+	return s.FilterCtl(func(r region.Region) bool {
 		return content[r.Start:r.End] == w
-	})
+	}, check)
 }

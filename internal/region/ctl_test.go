@@ -1,0 +1,119 @@
+package region
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomCtlSets builds two overlapping region sets large enough that every
+// kernel's sweep crosses several poll strides.
+func randomCtlSets(t *testing.T, n int, seed int64) (Set, Set) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mk := func() Set {
+		rs := make([]Region, n)
+		for i := range rs {
+			start := rng.Intn(10 * n)
+			rs[i] = Region{Start: start, End: start + 1 + rng.Intn(50)}
+		}
+		return FromRegions(rs)
+	}
+	return mk(), mk()
+}
+
+func TestCtlNilCheckerMatchesPlain(t *testing.T) {
+	R, S := randomCtlSets(t, 3000, 1)
+	if got, err := R.IncludingCtl(S, nil); err != nil || !got.Equal(R.Including(S)) {
+		t.Fatalf("IncludingCtl(nil) diverges (err=%v)", err)
+	}
+	if got, err := R.IncludedCtl(S, nil); err != nil || !got.Equal(R.Included(S)) {
+		t.Fatalf("IncludedCtl(nil) diverges (err=%v)", err)
+	}
+	u := NewUniverse(R, S)
+	if got, err := u.DirectlyIncludingCtl(R, S, nil); err != nil || !got.Equal(u.DirectlyIncluding(R, S)) {
+		t.Fatalf("DirectlyIncludingCtl(nil) diverges (err=%v)", err)
+	}
+	if got, err := u.DirectlyIncludedCtl(R, S, nil); err != nil || !got.Equal(u.DirectlyIncluded(R, S)) {
+		t.Fatalf("DirectlyIncludedCtl(nil) diverges (err=%v)", err)
+	}
+	keep := func(r Region) bool { return r.Len() > 10 }
+	got, err := R.FilterCtl(keep, nil)
+	if err != nil || !got.Equal(R.Filter(keep)) {
+		t.Fatalf("FilterCtl(nil) diverges (err=%v)", err)
+	}
+}
+
+func TestCtlAborts(t *testing.T) {
+	R, S := randomCtlSets(t, 100, 2)
+	u := NewUniverse(R, S)
+	boom := errors.New("boom")
+	fail := func() error { return boom }
+	kernels := map[string]func() (Set, error){
+		"IncludingCtl":         func() (Set, error) { return R.IncludingCtl(S, fail) },
+		"IncludedCtl":          func() (Set, error) { return R.IncludedCtl(S, fail) },
+		"DirectlyIncludingCtl": func() (Set, error) { return u.DirectlyIncludingCtl(R, S, fail) },
+		"DirectlyIncludedCtl":  func() (Set, error) { return u.DirectlyIncludedCtl(R, S, fail) },
+		"FilterCtl":            func() (Set, error) { return R.FilterCtl(func(Region) bool { return true }, fail) },
+	}
+	for name, k := range kernels {
+		got, err := k()
+		if !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want boom", name, err)
+		}
+		if !got.IsEmpty() {
+			t.Errorf("%s: aborted kernel returned %d regions, want none", name, got.Len())
+		}
+	}
+}
+
+// TestPollStride proves the poll cadence: a counting checker is consulted on
+// iteration 0 and then once per stride, so a sweep over n regions polls
+// ceil(n/pollStride) times — not n times (hot-path cost) and not once
+// (cancellation latency).
+func TestPollStride(t *testing.T) {
+	n := 3*pollStride + 10
+	rs := make([]Region, n)
+	for i := range rs {
+		rs[i] = Region{Start: 2 * i, End: 2*i + 1}
+	}
+	s := FromRegions(rs)
+	polls := 0
+	count := func() error { polls++; return nil }
+	if _, err := s.FilterCtl(func(Region) bool { return true }, count); err != nil {
+		t.Fatal(err)
+	}
+	if want := 4; polls != want { // iterations 0, 1024, 2048, 3072
+		t.Fatalf("polled %d times over %d regions, want %d", polls, n, want)
+	}
+}
+
+// TestCtlAbortMidSweep trips the checker only after the first stride,
+// proving the abort also works from the middle of a sweep (the pooled
+// scratch buffers must be released on that path; poolescape in qoflint
+// checks the release ordering statically, this checks behavior).
+func TestCtlAbortMidSweep(t *testing.T) {
+	R, S := randomCtlSets(t, 3*pollStride, 3)
+	boom := errors.New("late boom")
+	calls := 0
+	late := func() error {
+		calls++
+		if calls >= 2 {
+			return boom
+		}
+		return nil
+	}
+	if _, err := R.IncludingCtl(S, late); !errors.Is(err, boom) {
+		t.Fatalf("IncludingCtl: err = %v, want late boom", err)
+	}
+	calls = 0
+	if _, err := R.IncludedCtl(S, late); !errors.Is(err, boom) {
+		t.Fatalf("IncludedCtl: err = %v, want late boom", err)
+	}
+	// The sweep is reusable after an abort: the next call sees fresh
+	// pooled buffers and computes the full answer.
+	got, err := R.IncludingCtl(S, nil)
+	if err != nil || !got.Equal(R.Including(S)) {
+		t.Fatalf("IncludingCtl after abort diverges (err=%v)", err)
+	}
+}

@@ -28,13 +28,24 @@ import "math/bits"
 // of R also occurs in S, where ruling out the self-match may scan the
 // candidate range.
 func (s Set) Including(t Set) Set {
+	out, _ := s.IncludingCtl(t, nil)
+	return out
+}
+
+// IncludingCtl is Including with cooperative cancellation: check is polled
+// every pollStride regions of R and a non-nil return aborts the sweep.
+func (s Set) IncludingCtl(t Set, check Checker) (Set, error) {
 	R, S := s, t
 	if R.IsEmpty() || S.IsEmpty() {
-		return Empty
+		return Empty, nil
 	}
 	rmq := newMinTable(S.regions)
 	out := make([]Region, 0, len(R.regions))
-	for _, r := range R.regions {
+	var abort error
+	for i, r := range R.regions {
+		if abort = poll(check, i); abort != nil {
+			break
+		}
 		// Candidates s have s.Start in [r.Start, r.End]; since the set
 		// is sorted primarily by Start this is a contiguous index
 		// range, and r includes one of them iff the minimum end in the
@@ -53,7 +64,10 @@ func (s Set) Including(t Set) Set {
 		}
 	}
 	rmq.release()
-	return trimmed(out)
+	if abort != nil {
+		return Empty, abort
+	}
+	return trimmed(out), nil
 }
 
 // strictBesides reports whether some region in cands other than r is
@@ -72,9 +86,16 @@ func strictBesides(cands []Region, r Region) bool {
 // over the end positions of S, with the same self-match caveat as
 // Including.
 func (s Set) Included(t Set) Set {
+	out, _ := s.IncludedCtl(t, nil)
+	return out
+}
+
+// IncludedCtl is Included with cooperative cancellation: check is polled
+// every pollStride regions of R and a non-nil return aborts the sweep.
+func (s Set) IncludedCtl(t Set, check Checker) (Set, error) {
 	R, S := s, t
 	if R.IsEmpty() || S.IsEmpty() {
-		return Empty
+		return Empty, nil
 	}
 	// prefMax[i] = max end among S.regions[0:i] (those starts are ≤ any
 	// later start).
@@ -85,7 +106,11 @@ func (s Set) Included(t Set) Set {
 		prefMax[i+1] = max(prefMax[i], sr.End)
 	}
 	out := make([]Region, 0, len(R.regions))
-	for _, r := range R.regions {
+	var abort error
+	for i, r := range R.regions {
+		if abort = poll(check, i); abort != nil {
+			break
+		}
 		// Containers s have s.Start ≤ r.Start, a prefix of S; one of
 		// them contains r iff the maximum end in the prefix is ≥ r.End.
 		hi := upperBoundStart(S.regions, r.Start)
@@ -99,7 +124,10 @@ func (s Set) Included(t Set) Set {
 		}
 	}
 	putIntBuf(buf)
-	return trimmed(out)
+	if abort != nil {
+		return Empty, abort
+	}
+	return trimmed(out), nil
 }
 
 // containerBesides reports whether some region in cands other than r
@@ -374,24 +402,46 @@ func (u *Universe) directContainers(s Region) []Region {
 // region of S with no other universe region strictly between them — i.e. R's
 // regions that are direct containers of an S region.
 func (u *Universe) DirectlyIncluding(R, S Set) Set {
+	out, _ := u.DirectlyIncludingCtl(R, S, nil)
+	return out
+}
+
+// DirectlyIncludingCtl is DirectlyIncluding with cooperative cancellation:
+// check is polled every pollStride regions of S. On non-nested universes one
+// iteration scans the containers of s, so this is the poll that bounds the
+// O(n²) worst case the paper warns about.
+func (u *Universe) DirectlyIncludingCtl(R, S Set, check Checker) (Set, error) {
 	if R.IsEmpty() || S.IsEmpty() {
-		return Empty
+		return Empty, nil
 	}
 	var cand []Region
-	for _, s := range S.regions {
+	for i, s := range S.regions {
+		if err := poll(check, i); err != nil {
+			return Empty, err
+		}
 		cand = append(cand, u.directContainers(s)...)
 	}
-	return FromRegions(cand).Intersect(R)
+	return FromRegions(cand).Intersect(R), nil
 }
 
 // DirectlyIncluded returns R ⊂d S: the regions of R whose direct container
 // is a region of S.
 func (u *Universe) DirectlyIncluded(R, S Set) Set {
+	out, _ := u.DirectlyIncludedCtl(R, S, nil)
+	return out
+}
+
+// DirectlyIncludedCtl is DirectlyIncluded with cooperative cancellation:
+// check is polled every pollStride regions of R.
+func (u *Universe) DirectlyIncludedCtl(R, S Set, check Checker) (Set, error) {
 	if R.IsEmpty() || S.IsEmpty() {
-		return Empty
+		return Empty, nil
 	}
 	var out []Region
-	for _, r := range R.regions {
+	for i, r := range R.regions {
+		if err := poll(check, i); err != nil {
+			return Empty, err
+		}
 		for _, t := range u.directContainers(r) {
 			if S.Contains(t) {
 				out = append(out, r)
@@ -399,5 +449,5 @@ func (u *Universe) DirectlyIncluded(R, S Set) Set {
 			}
 		}
 	}
-	return fromSorted(out)
+	return fromSorted(out), nil
 }

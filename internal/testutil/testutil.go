@@ -6,6 +6,7 @@
 package testutil
 
 import (
+	"fmt"
 	"testing"
 
 	"qof/internal/bibtex"
@@ -75,4 +76,19 @@ func NewBibInstance(t testing.TB, n int, spec grammar.IndexSpec) (*compile.Catal
 		t.Fatal(err)
 	}
 	return cat, in
+}
+
+// BibCorpusDocs generates files distinct BibTeX documents of refs
+// references each (distinct seeds, so contents differ), for corpus-level
+// tests.
+func BibCorpusDocs(t testing.TB, files, refs int) []*text.Document {
+	t.Helper()
+	docs := make([]*text.Document, files)
+	for i := range docs {
+		i := i
+		docs[i], _ = BibDoc(t, fmt.Sprintf("file%02d.bib", i), refs, func(cfg *bibtex.Config) {
+			cfg.Seed = int64(1000 + i)
+		})
+	}
+	return docs
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package qof_test
+
+import "time"
+
+// The race detector multiplies per-iteration cost by 5-10x, so the
+// cancellation-latency bound the acceptance criterion states for normal
+// builds is scaled accordingly here.
+const deadlineLatencyBound = 400 * time.Millisecond

@@ -1,0 +1,150 @@
+package qof_test
+
+// End-to-end robustness acceptance tests: deadline behavior on the X2
+// stress corpus, facade-level resource budgets, per-file timeouts with
+// partial results, and attributed AddAll failures. The fault matrix lives
+// in faultmatrix_test.go; engine-internal cancellation tests in
+// internal/engine/cancel_test.go.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"qof"
+	"qof/internal/bibtex"
+	"qof/internal/engine"
+	"qof/internal/experiments"
+	"qof/internal/grammar"
+	"qof/internal/xsql"
+)
+
+// TestDeadlineOnStressCorpus is the headline acceptance criterion: on the
+// X2 stress corpus (the 20k-reference bibliography the concurrency
+// experiment sweeps to), a query under a 1ms deadline comes back with
+// context.DeadlineExceeded well inside 50ms — cancellation takes effect
+// mid-evaluation, not after the query would have finished anyway — and the
+// engine keeps serving correct answers afterward.
+func TestDeadlineOnStressCorpus(t *testing.T) {
+	setup, err := experiments.NewBibtexSetup(20000, grammar.IndexSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := setup.Engine
+	join := xsql.MustParse(`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`)
+
+	// The query is far too big for 1ms: unconstrained it parses thousands
+	// of candidates. The deadline must interrupt it mid-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = eng.ExecuteContext(ctx, join, engine.Limits{})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1ms deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > deadlineLatencyBound {
+		t.Errorf("deadline honored after %v, want < %v", elapsed, deadlineLatencyBound)
+	}
+
+	// The killed run poisoned nothing: the same engine answers both the
+	// interrupted query and an unrelated one with ground-truth counts.
+	res, err := eng.Execute(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != setup.Stats.SelfEditedByAuth {
+		t.Errorf("join after deadline: %d results, want %d", res.Stats.Results, setup.Stats.SelfEditedByAuth)
+	}
+	author := xsql.MustParse(`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
+	res, err = eng.Execute(author)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Results != setup.Stats.TargetAsAuthor {
+		t.Errorf("author query after deadline: %d results, want %d", res.Stats.Results, setup.Stats.TargetAsAuthor)
+	}
+}
+
+func TestFacadeQueryBudgets(t *testing.T) {
+	f, err := qof.BibTeX().Index("b.bib", bibtex.SampleEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.QueryContext(t.Context(), matrixQuery, qof.WithMaxRegions(1)); !errors.Is(err, qof.ErrBudgetExceeded) {
+		t.Errorf("WithMaxRegions(1): err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, err := f.QueryContext(t.Context(), matrixQuery, qof.WithMaxEvalBytes(1)); !errors.Is(err, qof.ErrBudgetExceeded) {
+		t.Errorf("WithMaxEvalBytes(1): err = %v, want ErrBudgetExceeded", err)
+	}
+	// Generous budgets do not interfere, and the budget-killed runs were
+	// never cached as wrong answers.
+	res, err := f.QueryContext(t.Context(), matrixQuery,
+		qof.WithMaxRegions(1_000_000), qof.WithMaxEvalBytes(1<<30))
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("generous budgets: res = %v, err = %v", res, err)
+	}
+}
+
+func TestFacadeCorpusFileTimeout(t *testing.T) {
+	c := qof.BibTeX().NewCorpus()
+	files := map[string]string{"a.bib": bibtex.SampleEntry, "b.bib": bibtex.SampleEntry}
+	if err := c.AddAll(files); err != nil {
+		t.Fatal(err)
+	}
+	// Partial mode: every file blows its (instantly expired) budget and is
+	// reported in Degraded with its own deadline error; the call succeeds.
+	res, err := c.ExecuteContext(t.Context(), matrixQuery,
+		qof.WithFileTimeout(time.Nanosecond), qof.WithPartialResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) != 2 {
+		t.Fatalf("Degraded = %v, want both files", res.Degraded)
+	}
+	for _, fe := range res.Degraded {
+		if !errors.Is(fe.Err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want DeadlineExceeded", fe.File, fe.Err)
+		}
+	}
+	if err := res.DegradedError(); !errors.Is(err, context.DeadlineExceeded) || !strings.Contains(err.Error(), "b.bib") {
+		t.Errorf("DegradedError = %v", err)
+	}
+	// Without partial mode the same failure fails the call, still naming
+	// every file.
+	if _, err := c.ExecuteContext(t.Context(), matrixQuery, qof.WithFileTimeout(time.Nanosecond)); err == nil ||
+		!errors.Is(err, context.DeadlineExceeded) || !strings.Contains(err.Error(), "a.bib") {
+		t.Errorf("non-partial: err = %v", err)
+	}
+	// And with a sane timeout the corpus serves in full.
+	res, err = c.ExecuteContext(t.Context(), matrixQuery, qof.WithFileTimeout(time.Minute))
+	if err != nil || len(res.Hits) != 2 || len(res.Degraded) != 0 {
+		t.Fatalf("sane timeout: res = %+v, err = %v", res, err)
+	}
+}
+
+func TestFacadeAddAllContextCancel(t *testing.T) {
+	c := qof.BibTeX().NewCorpus()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	files := map[string]string{"a.bib": bibtex.SampleEntry, "b.bib": bibtex.SampleEntry}
+	err := c.AddAllContext(ctx, files)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AddAllContext on canceled ctx: %v", err)
+	}
+	for name := range files {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not attribute %s", err, name)
+		}
+	}
+	// Nothing was added; the corpus is intact and a clean AddAll works.
+	if err := c.AddAllContext(context.Background(), files); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := c.Query(matrixQuery)
+	if err != nil || len(hits) != 2 {
+		t.Fatalf("after recovery: hits = %v, err = %v", hits, err)
+	}
+}
