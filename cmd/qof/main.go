@@ -221,7 +221,11 @@ func cmdQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
 	maxRegions := fs.Int("max-regions", 0, "abort after producing this many index regions (0 = unlimited)")
 	maxBytes := fs.Int("max-bytes", 0, "abort after parsing this many document bytes (0 = unlimited)")
+	exec := fs.String("exec", "streaming", "executor: streaming (default) or materializing (the reference)")
 	fs.Parse(args)
+	if *exec != "streaming" && *exec != "materializing" {
+		return fmt.Errorf("unknown -exec %q (want streaming or materializing)", *exec)
+	}
 	if fs.NArg() < 2 {
 		return fmt.Errorf("usage: qof query -domain D FILE [FILE...] 'SELECT ...'")
 	}
@@ -252,6 +256,7 @@ func cmdQuery(args []string) error {
 		}
 		corpus := engine.NewCorpus(d.catalog())
 		corpus.Parallelism = runtime.GOMAXPROCS(0)
+		corpus.Materializing = *exec == "materializing"
 		var docs []*text.Document
 		for _, path := range fs.Args()[:fs.NArg()-1] {
 			doc, err := readDoc(path)
@@ -295,6 +300,7 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	eng := engine.New(d.catalog(), in)
+	eng.Materializing = *exec == "materializing"
 	res, err := eng.ExecuteContext(ctx, q, lim)
 	if err != nil {
 		return err
@@ -322,8 +328,8 @@ func cmdQuery(args []string) error {
 		}
 	}
 	st := res.Stats
-	fmt.Printf("results=%d candidates=%d parsed=%d parsed_bytes=%d exact=%v index_only=%v full_scan=%v\n",
-		st.Results, st.Candidates, st.Parsed, st.ParsedBytes, st.Exact, st.IndexOnly, st.FullScan)
+	fmt.Printf("results=%d candidates=%d parsed=%d parsed_bytes=%d peak_bytes=%d exact=%v index_only=%v full_scan=%v\n",
+		st.Results, st.Candidates, st.Parsed, st.ParsedBytes, st.PeakBytes, st.Exact, st.IndexOnly, st.FullScan)
 	fmt.Printf("compile=%v index_eval=%v parse_filter=%v\n",
 		st.CompileTime.Round(time.Microsecond), st.Phase1Time.Round(time.Microsecond),
 		st.Phase2Time.Round(time.Microsecond))

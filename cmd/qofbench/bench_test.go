@@ -45,5 +45,27 @@ func TestRunJSONBench(t *testing.T) {
 		if d.Speedup <= 0 {
 			t.Errorf("%s: speedup not computed", d.Name)
 		}
+		if d.Baseline.PeakBytes <= 0 {
+			t.Errorf("%s: baseline pass recorded no peak bytes", d.Name)
+		}
+		if d.LimitKOpsSec <= 0 {
+			t.Errorf("%s: LIMIT workload not measured", d.Name)
+		}
+	}
+	s := r.Stress
+	if s.Refs <= 0 || s.LimitK != benchLimitK || s.Query == "" {
+		t.Errorf("stress header wrong: %+v", s)
+	}
+	if s.FullMaterializingMs <= 0 || s.LimitStreamingMs <= 0 {
+		t.Errorf("stress legs not timed: %+v", s)
+	}
+	if s.TimeRatio <= 0 {
+		t.Errorf("stress time ratio not computed: %+v", s)
+	}
+	// Peak accounting is deterministic, so the LIMIT leg's memory bar can
+	// be asserted even in the quick configuration; timing is left to the
+	// committed full-size report.
+	if s.PeakRatio <= 0 || s.PeakRatio > 0.2 {
+		t.Errorf("stress peak ratio %v outside (0, 0.2]: %+v", s.PeakRatio, s)
 	}
 }

@@ -53,8 +53,9 @@ func (s *Schema) RIG() string { return s.cat.RIG.String() }
 // indexConfig collects the effects of IndexOptions: the indexing choice
 // plus execution configuration for the resulting File or Corpus.
 type indexConfig struct {
-	spec        grammar.IndexSpec
-	parallelism int
+	spec          grammar.IndexSpec
+	parallelism   int
+	materializing bool
 }
 
 // IndexOption configures Index, Load and NewCorpus.
@@ -90,6 +91,16 @@ func WithParallelism(n int) IndexOption {
 	return func(c *indexConfig) { c.parallelism = n }
 }
 
+// WithMaterializing selects the materializing reference executor: phase 1
+// computes the complete candidate set before any candidate is parsed. The
+// default executor streams candidates through an iterator pipeline so that
+// LIMIT, budgets and cancellation stop the work early; results are
+// identical either way (see docs/STREAMING.md). The option exists for
+// differential testing and for peak-memory comparisons.
+func WithMaterializing() IndexOption {
+	return func(c *indexConfig) { c.materializing = true }
+}
+
 // File is an indexed document ready for querying.
 type File struct {
 	schema *Schema
@@ -112,13 +123,21 @@ func (s *Schema) Load(r io.Reader, name, content string, opts ...IndexOption) (f
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: s, eng: newEngine(s.cat, in, cfg.parallelism)}, nil
+	return &File{schema: s, eng: newEngine(s.cat, in, cfg)}, nil
 }
 
-func newEngine(cat *compile.Catalog, in *index.Instance, parallelism int) *engine.Engine {
+func newEngine(cat *compile.Catalog, in *index.Instance, cfg indexConfig) *engine.Engine {
 	eng := engine.New(cat, in)
-	eng.Parallelism = parallelism
+	eng.Parallelism = cfg.parallelism
+	eng.Materializing = cfg.materializing
 	return eng
+}
+
+// engineConfig recovers the execution configuration of an existing engine,
+// so edits (Replace, InsertAfter, Delete) produce Files that execute the
+// same way as the original.
+func engineConfig(eng *engine.Engine) indexConfig {
+	return indexConfig{parallelism: eng.Parallelism, materializing: eng.Materializing}
 }
 
 // Save persists the file's indexes.
@@ -215,7 +234,7 @@ func (f *File) Replace(regionName string, span Span, newText string) (*File, err
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, f.eng.Parallelism)}, nil
+	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, engineConfig(f.eng))}, nil
 }
 
 // InsertAfter inserts newText (a complete occurrence of regionName's
@@ -226,7 +245,7 @@ func (f *File) InsertAfter(regionName string, span Span, newText string) (*File,
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, f.eng.Parallelism)}, nil
+	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, engineConfig(f.eng))}, nil
 }
 
 // Delete removes the span (an indexed region of regionName) without any
@@ -236,7 +255,7 @@ func (f *File) Delete(regionName string, span Span) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, f.eng.Parallelism)}, nil
+	return &File{schema: f.schema, eng: newEngine(f.schema.cat, in, engineConfig(f.eng))}, nil
 }
 
 // Content returns the file's current text.
@@ -255,6 +274,7 @@ func (s *Schema) NewCorpus(opts ...IndexOption) *Corpus {
 	cfg := applyOptions(opts)
 	ec := engine.NewCorpus(s.cat)
 	ec.Parallelism = cfg.parallelism
+	ec.Materializing = cfg.materializing
 	return &Corpus{schema: s, c: ec}
 }
 

@@ -377,7 +377,7 @@ func TestLayeredDirectMatchesNaiveRandomNested(t *testing.T) {
 			sn := setNames[rng.Intn(len(setNames))]
 			R, S := in.MustRegion(rn), in.MustRegion(sn)
 			ev := NewEvaluator(in)
-			got, err := ev.layeredDirectlyIncluding(&evalCtx{}, R, S)
+			got, err := ev.layeredDirectlyIncluding(nil, R, S)
 			if err != nil {
 				t.Fatalf("trial %d: %s >d %s: %v", trial, rn, sn, err)
 			}

@@ -99,6 +99,23 @@ func EstimateCost(e Expr, st *stats.Stats) Estimate {
 	}
 }
 
+// StreamEstimate adapts the materializing estimate of e to the streaming
+// executor under a LIMIT: a consumer that stops after limit rows caps the
+// output cardinality, and pays only the per-row pipeline cost for the rows
+// it actually pulls. With no limit (or a limit the full answer doesn't
+// reach) the estimate is the materializing one — a full drain does the same
+// work. The cap models the executor's best case (candidates that all
+// survive phase 2); like every estimate it steers nothing correctness
+// depends on.
+func StreamEstimate(e Expr, st *stats.Stats, limit int) Estimate {
+	full := EstimateCost(e, st)
+	if limit <= 0 || full.Card <= limit {
+		return full
+	}
+	perRow := full.Cost / float64(full.Card)
+	return Estimate{Card: limit, Cost: perRow * float64(limit)}
+}
+
 // lg is a branch-free log2 estimate for cost formulas.
 func lg(n int) float64 {
 	bits := 0

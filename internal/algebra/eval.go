@@ -27,6 +27,7 @@ type Stats struct {
 	CacheHits       int // subexpressions answered from the CSE cache
 	ResultCacheHits int // subexpressions answered from the cross-query cache
 	ShortCircuits   int // binary operators skipped via a provably empty operand
+	PeakBytes       int // high-water mark of buffered region bytes (streaming evaluation)
 }
 
 // Evaluator evaluates region-algebra expressions against one index instance.
@@ -106,6 +107,15 @@ func NewBudget(maxRegions int) *Budget {
 		return nil
 	}
 	return &Budget{max: maxRegions, remaining: maxRegions}
+}
+
+// Used reports how many regions have been charged so far; 0 for a nil
+// (unlimited) budget.
+func (b *Budget) Used() int {
+	if b == nil {
+		return 0
+	}
+	return b.max - b.remaining
 }
 
 // charge deducts n regions, failing once the allowance is spent.
@@ -466,7 +476,7 @@ func (ev *Evaluator) apply(ctx *evalCtx, op BinOp, l, r region.Set) (region.Set,
 		return l.IncludedCtl(r, ctx.checker())
 	case OpDirIncluding:
 		if ev.UseLayeredDirect {
-			return ev.layeredDirectlyIncluding(ctx, l, r)
+			return ev.layeredDirectlyIncluding(ctx.checker(), l, r)
 		}
 		return ev.in.Universe().DirectlyIncludingCtl(l, r, ctx.checker())
 	case OpDirIncluded:
@@ -497,17 +507,19 @@ func (ctx *evalCtx) count(out region.Set, direct bool) {
 //
 // The program is exact on properly nested universes — the case the paper's
 // structuring schemas produce — and exists mainly to exhibit the cost of ⊃d
-// relative to ⊃. The while-loop polls the evaluation context at every layer
-// (and passes the checker into each inner sweep), so a deadline interrupts
-// even a deep ⊃d chain over a hostile document mid-operator.
-func (ev *Evaluator) layeredDirectlyIncluding(ctx *evalCtx, R, S region.Set) (region.Set, error) {
-	check := ctx.checker()
+// relative to ⊃. The while-loop polls check at every layer (and passes it
+// into each inner sweep), so a deadline interrupts even a deep ⊃d chain over
+// a hostile document mid-operator. Both the materializing and the streaming
+// executor call it, which is why it takes a bare Checker.
+func (ev *Evaluator) layeredDirectlyIncluding(check region.Checker, R, S region.Set) (region.Set, error) {
 	layer := R.Outermost()
 	rest := R.Diff(layer)
 	result := region.Empty
 	for {
-		if err := ctx.poll(); err != nil {
-			return region.Empty, err
+		if check != nil {
+			if err := check(); err != nil {
+				return region.Empty, err
+			}
 		}
 		cont, err := layer.IncludingCtl(S, check)
 		if err != nil {

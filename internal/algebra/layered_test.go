@@ -1,6 +1,7 @@
 package algebra_test
 
 import (
+	"context"
 	"testing"
 
 	"qof/internal/algebra"
@@ -199,11 +200,25 @@ func TestLayeredDirectEdgeCases(t *testing.T) {
 			if err != nil {
 				t.Fatalf("oracle eval: %v", err)
 			}
+			gotSU, err := universe.StreamEval(context.Background(), e, nil, nil)
+			if err != nil {
+				t.Fatalf("streaming universe eval: %v", err)
+			}
+			gotSL, err := layered.StreamEval(context.Background(), e, nil, nil)
+			if err != nil {
+				t.Fatalf("streaming layered eval: %v", err)
+			}
 			if !gotL.Equal(gotU) {
 				t.Errorf("layered %v != universe %v", gotL, gotU)
 			}
 			if !gotU.Equal(gotO) {
 				t.Errorf("universe %v != oracle %v", gotU, gotO)
+			}
+			if !gotSU.Equal(gotU) {
+				t.Errorf("streaming universe %v != materializing %v", gotSU, gotU)
+			}
+			if !gotSL.Equal(gotL) {
+				t.Errorf("streaming layered %v != materializing %v", gotSL, gotL)
 			}
 			if tc.want != nil && !gotO.Equal(*tc.want) {
 				t.Errorf("%s = %v, want %v", tc.expr, gotO, *tc.want)

@@ -1,0 +1,447 @@
+package algebra
+
+// Streaming evaluation: Stream compiles an expression into a pull-based
+// region.Iterator pipeline instead of materializing every operator result.
+// The set operators become sorted merge iterators, the inclusion operators
+// window/merge iterators with bounded lookahead, and the leaves stream off
+// the index postings, so a consumer that stops early (LIMIT, budget,
+// cancellation) pays only for the prefix it reads.
+//
+// The materializing evaluator (eval.go) is the reference implementation;
+// the streaming pipeline is verified against it by the differential harness
+// (internal/refeval/diff) and the property tests in stream_test.go.
+// Deliberate differences from the materializing path:
+//
+//   - No CSE memo and no subexpression result-cache reads: duplicated
+//     subexpressions are re-evaluated. The engine still serves whole
+//     queries from the cross-query cache via CachedResult and publishes
+//     fully drained streams with PublishResult.
+//   - Budget charging is per region as it flows through each operator — the
+//     per-region analogue of materializing's per-result charge. Totals for a
+//     full drain are close but not ordered: the memo and the empty-operand
+//     short-circuit can make materializing cheaper, while merge iterators
+//     that exhaust one operand early make streaming cheaper. A partially
+//     consumed stream charges only for the prefix actually pulled.
+//   - Stats.Ops/DirectOps count pipeline construction; RegionsTouched
+//     counts regions actually emitted; PeakBytes records the high-water
+//     mark of buffers the pipeline had to materialize (proximity targets,
+//     direct-operator right sides).
+//
+// A small number of operators have no streaming form, because they need a
+// whole operand to decide membership: Near materializes its target side,
+// and the direct operators (⊃d/⊂d) materialize their right side (plus, for
+// the layered variant, the left side). Those buffers are metered into
+// PeakBytes.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"qof/internal/region"
+)
+
+// regionBytes is the in-memory footprint of one region.Region (two ints),
+// the unit PeakBytes accounting uses.
+const regionBytes = 16
+
+// streamPollStride is how many Next calls each operator tap lets pass
+// between cancellation polls. The region package uses the same stride for
+// its materializing sweeps.
+const streamPollStride = 1024
+
+// streamCtx is the shared state of one streaming evaluation: cancellation,
+// budget, statistics, and the buffered-bytes meter. All iterators of one
+// pipeline share a single streamCtx; pipelines are single-consumer, so no
+// locking is needed.
+type streamCtx struct {
+	check  region.Checker
+	budget *Budget
+	stats  *Stats
+	live   int // bytes currently held in materialized buffers
+}
+
+// meter records n regions' worth of freshly materialized buffer and updates
+// the peak. Buffers live as long as the pipeline, so live never shrinks.
+func (sc *streamCtx) meter(n int) {
+	sc.live += n * regionBytes
+	if sc.stats != nil && sc.live > sc.stats.PeakBytes {
+		sc.stats.PeakBytes = sc.live
+	}
+}
+
+// Stream compiles e into a streaming iterator pipeline over the evaluator's
+// instance. The returned iterator emits the same region sequence the
+// materializing Eval would return, in canonical order; cancellation,
+// deadline expiry and budget exhaustion surface as errors from Next
+// (context errors, or an error wrapping qerr.ErrBudgetExceeded). Unindexed
+// region names are reported immediately, before any region flows.
+//
+// The caller owns the iterator and must Close it — also after errors —
+// to release pipeline buffers. Statistics accumulate into st when non-nil.
+func (ev *Evaluator) Stream(cctx context.Context, e Expr, st *Stats, b *Budget) (region.Iterator, error) {
+	// Name resolution is the only failure mode of building the pipeline;
+	// validating up front keeps error behavior aligned with materializing
+	// evaluation, which never skips an unindexed name either (safeToSkip
+	// blocks short-circuiting over unknown names).
+	var nameErr error
+	Walk(e, func(x Expr) {
+		if n, ok := x.(Name); ok && nameErr == nil && !ev.in.Has(n.Ident) {
+			nameErr = fmt.Errorf("algebra: region %q: %w", n.Ident, ErrNotIndexed)
+		}
+	})
+	if nameErr != nil {
+		return nil, nameErr
+	}
+	sc := &streamCtx{budget: b, stats: st}
+	if cctx != nil && cctx.Done() != nil {
+		sc.check = cctx.Err
+	}
+	it, err := ev.stream(sc, e)
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// StreamEval drains a streaming pipeline into a Set: Eval semantics with
+// iterator machinery, used by the differential harness to exercise the
+// streaming operators under full consumption.
+func (ev *Evaluator) StreamEval(cctx context.Context, e Expr, st *Stats, b *Budget) (region.Set, error) {
+	it, err := ev.Stream(cctx, e, st, b)
+	if err != nil {
+		return region.Empty, err
+	}
+	return region.Materialize(it)
+}
+
+// PublishResult offers a fully drained streaming result to the cross-query
+// result cache, under the same worthiness gates the materializing path
+// applies. The engine calls it only after a complete, successful,
+// un-truncated drain — a partial stream must never be published.
+func (ev *Evaluator) PublishResult(e Expr, s region.Set) {
+	if ev.Results == nil || !ev.cacheWorthy(e) {
+		return
+	}
+	switch e.(type) {
+	case Binary, Select, Unary, Near, Freq:
+		ev.Results.Put(ev.resultKey(e.String()), s)
+	}
+}
+
+// countOp records pipeline construction of one operator.
+func (sc *streamCtx) countOp(direct bool) {
+	if sc.stats == nil {
+		return
+	}
+	sc.stats.Ops++
+	if direct {
+		sc.stats.DirectOps++
+	}
+}
+
+// stream builds the iterator for e recursively. Operator nodes are wrapped
+// in a tap that polls cancellation, charges the budget per emitted region,
+// and accumulates RegionsTouched — the streaming analogue of the charges
+// the materializing eval applies per operator result.
+func (ev *Evaluator) stream(sc *streamCtx, e Expr) (region.Iterator, error) {
+	switch e := e.(type) {
+	case Name:
+		s, _ := ev.in.Region(e.Ident) // validated in Stream
+		return sc.tap(s.Iter(), false), nil
+	case Word:
+		s := ev.in.Words().MatchPoints(e.W)
+		sc.meter(s.Len())
+		return sc.tap(s.Iter(), false), nil
+	case Prefix:
+		s := ev.in.Words().PrefixMatchPoints(e.P)
+		sc.meter(s.Len())
+		return sc.tap(s.Iter(), false), nil
+	case Match:
+		s := ev.in.Words().SubstringMatchPoints(e.S)
+		sc.meter(s.Len())
+		return sc.tap(s.Iter(), false), nil
+	case Select:
+		arg, err := ev.stream(sc, e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		sc.countOp(false)
+		return sc.tap(ev.streamSelect(arg, e), true), nil
+	case Unary:
+		arg, err := ev.stream(sc, e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		sc.countOp(false)
+		if e.Op == OpInnermost {
+			return sc.tap(region.InnermostIter(arg), true), nil
+		}
+		return sc.tap(region.OutermostIter(arg), true), nil
+	case Near:
+		l, err := ev.stream(sc, e.E)
+		if err != nil {
+			return nil, err
+		}
+		// Proximity needs the whole target side: any target anywhere in
+		// the document can witness a region of E. Materialize it.
+		to, err := ev.streamMaterialize(sc, e.To)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		sc.countOp(false)
+		return sc.tap(streamNear(l, to, e.K), true), nil
+	case Freq:
+		arg, err := ev.stream(sc, e.Arg)
+		if err != nil {
+			return nil, err
+		}
+		sc.countOp(false)
+		return sc.tap(ev.streamFreq(arg, e), true), nil
+	case Binary:
+		l, err := ev.stream(sc, e.L)
+		if err != nil {
+			return nil, err
+		}
+		it, err := ev.streamBinary(sc, e, l)
+		if err != nil {
+			l.Close()
+			return nil, err
+		}
+		sc.countOp(e.Op.IsDirect())
+		return sc.tap(it, true), nil
+	default:
+		return nil, fmt.Errorf("algebra: unknown expression %T", e)
+	}
+}
+
+func (ev *Evaluator) streamBinary(sc *streamCtx, e Binary, l region.Iterator) (region.Iterator, error) {
+	switch e.Op {
+	case OpUnion, OpDiff, OpIntersect, OpIncluding, OpIncluded:
+		r, err := ev.stream(sc, e.R)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case OpUnion:
+			return region.UnionIter(l, r), nil
+		case OpDiff:
+			return region.DiffIter(l, r), nil
+		case OpIntersect:
+			return region.IntersectIter(l, r), nil
+		case OpIncluding:
+			return region.IncludingIter(l, r, sc.check), nil
+		default:
+			return region.IncludedIter(l, r), nil
+		}
+	case OpDirIncluding:
+		// The direct operators consult the universe forest per region; the
+		// right side must be complete before the first answer is known.
+		S, err := ev.streamMaterialize(sc, e.R)
+		if err != nil {
+			return nil, err
+		}
+		if ev.UseLayeredDirect {
+			// The layered program is a whole-set while-loop; run it over
+			// materialized operands and stream the result out.
+			L, err := region.Materialize(l)
+			if err != nil {
+				return nil, err
+			}
+			sc.meter(L.Len())
+			out, err := ev.layeredDirectlyIncluding(sc.check, L, S)
+			if err != nil {
+				return nil, err
+			}
+			sc.meter(out.Len())
+			return out.Iter(), nil
+		}
+		u := ev.in.Universe()
+		var cand []region.Region
+		for i, s := range S.Regions() {
+			if sc.check != nil && i%streamPollStride == 0 {
+				if err := sc.check(); err != nil {
+					return nil, err
+				}
+			}
+			cand = append(cand, u.DirectContainers(s)...)
+		}
+		candSet := region.FromRegions(cand)
+		sc.meter(candSet.Len())
+		return region.IntersectIter(l, candSet.Iter()), nil
+	case OpDirIncluded:
+		S, err := ev.streamMaterialize(sc, e.R)
+		if err != nil {
+			return nil, err
+		}
+		u := ev.in.Universe()
+		return region.FilterIter(l, func(r region.Region) bool {
+			for _, t := range u.DirectContainers(r) {
+				if S.Contains(t) {
+					return true
+				}
+			}
+			return false
+		}), nil
+	default:
+		return nil, fmt.Errorf("algebra: unknown operator %v", e.Op)
+	}
+}
+
+// streamMaterialize evaluates a subexpression to a full Set through its own
+// streaming pipeline (so budget, polling and stats still apply) and meters
+// the buffer.
+func (ev *Evaluator) streamMaterialize(sc *streamCtx, e Expr) (region.Set, error) {
+	it, err := ev.stream(sc, e)
+	if err != nil {
+		return region.Empty, err
+	}
+	s, err := region.Materialize(it)
+	if err != nil {
+		return region.Empty, err
+	}
+	sc.meter(s.Len())
+	return s, nil
+}
+
+// streamSelect applies σ as a filter over the streaming argument using the
+// same per-region predicates the WordIndex kernels use, so the two
+// executors agree region for region.
+func (ev *Evaluator) streamSelect(arg region.Iterator, e Select) region.Iterator {
+	words := ev.in.Words()
+	switch e.Mode {
+	case SelContains:
+		occ := words.Occurrences(e.W)
+		if len(occ) == 0 {
+			arg.Close()
+			return region.Empty.Iter()
+		}
+		return region.FilterIter(arg, func(r region.Region) bool {
+			i := sort.Search(len(occ), func(i int) bool { return occ[i].Start >= r.Start })
+			return i < len(occ) && occ[i].End <= r.End
+		})
+	case SelEquals:
+		content := words.Document().Content()
+		return region.FilterIter(arg, func(r region.Region) bool {
+			return content[r.Start:r.End] == e.W
+		})
+	default:
+		content := words.Document().Content()
+		return region.FilterIter(arg, func(r region.Region) bool {
+			return strings.HasPrefix(content[r.Start:r.End], e.W)
+		})
+	}
+}
+
+// streamFreq applies the frequency selection as a filter, mirroring
+// evalFreq's counting sweep per region.
+func (ev *Evaluator) streamFreq(arg region.Iterator, e Freq) region.Iterator {
+	if e.N <= 0 {
+		return arg
+	}
+	occ := ev.in.Words().Occurrences(e.W)
+	if len(occ) < e.N {
+		arg.Close()
+		return region.Empty.Iter()
+	}
+	return region.FilterIter(arg, func(r region.Region) bool {
+		lo := sort.Search(len(occ), func(i int) bool { return occ[i].Start >= r.Start })
+		count := 0
+		for i := lo; i < len(occ) && occ[i].End <= r.End; i++ {
+			count++
+			if count >= e.N {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// streamNear applies the proximity selection as a filter over the streaming
+// left side against materialized targets, with evalNear's two-directional
+// scan per region.
+func streamNear(l region.Iterator, to region.Set, k int) region.Iterator {
+	if to.IsEmpty() {
+		l.Close()
+		return region.Empty.Iter()
+	}
+	targets := to.Regions()
+	prefMaxEnd := make([]int, len(targets)+1)
+	prefMaxEnd[0] = -1 << 62
+	for i, t := range targets {
+		prefMaxEnd[i+1] = max(prefMaxEnd[i], t.End)
+	}
+	return region.FilterIter(l, func(r region.Region) bool {
+		i := sort.Search(len(targets), func(i int) bool { return targets[i].Start >= r.Start })
+		for j := i; j < len(targets); j++ {
+			if targets[j].Start-r.End > k {
+				break
+			}
+			if gap(r, targets[j]) <= k {
+				return true
+			}
+		}
+		for j := i - 1; j >= 0; j-- {
+			if prefMaxEnd[j+1] < r.Start-k {
+				break
+			}
+			if gap(r, targets[j]) <= k {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// tap wraps an iterator with the pipeline's cross-cutting concerns:
+// cancellation polling every streamPollStride emissions, per-region budget
+// charging, and RegionsTouched accounting (operator taps only, matching the
+// materializing count() which skips leaves).
+func (sc *streamCtx) tap(it region.Iterator, countRegions bool) region.Iterator {
+	return &tapIter{it: it, sc: sc, countRegions: countRegions}
+}
+
+type tapIter struct {
+	it           region.Iterator
+	sc           *streamCtx
+	countRegions bool
+	n            int
+	done         bool
+	err          error
+}
+
+func (t *tapIter) Next() (region.Region, bool, error) {
+	if t.done {
+		return region.Region{}, false, t.err
+	}
+	if t.sc.check != nil && t.n%streamPollStride == 0 {
+		if err := t.sc.check(); err != nil {
+			t.done, t.err = true, err
+			return region.Region{}, false, err
+		}
+	}
+	t.n++
+	r, ok, err := t.it.Next()
+	if err != nil || !ok {
+		t.done, t.err = true, err
+		return region.Region{}, false, err
+	}
+	// Every region flowing out of every operator charges the budget, the
+	// streaming counterpart of materializing's per-result cardinality
+	// charge: a full drain charges exactly the same total.
+	if err := t.sc.budget.charge(1); err != nil {
+		t.done, t.err = true, err
+		return region.Region{}, false, err
+	}
+	if t.countRegions && t.sc.stats != nil {
+		t.sc.stats.RegionsTouched++
+	}
+	return r, true, nil
+}
+
+func (t *tapIter) Close() {
+	t.done = true
+	t.it.Close()
+}

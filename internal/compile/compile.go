@@ -194,6 +194,11 @@ type VarPlan struct {
 	// Est holds the statistics-based cardinality/cost estimate for
 	// Candidates when the plan was compiled with CompileStats.
 	Est *algebra.Estimate
+	// StreamEst is the streaming-executor estimate under the query's
+	// LIMIT: cardinality capped at the limit, cost scaled to the rows a
+	// stopping consumer pulls. Set by CompileStats when the query has a
+	// LIMIT; nil otherwise (without a limit the estimates coincide).
+	StreamEst *algebra.Estimate
 }
 
 // ProjPlan describes how to produce the SELECT output.
@@ -259,7 +264,11 @@ func (p *Plan) Explain() string {
 		}
 		fmt.Fprintf(&sb, "  candidates: %s  (cost %d)\n", algebra.Pretty(v.Candidates), algebra.Cost(v.Candidates))
 		if v.Est != nil {
-			fmt.Fprintf(&sb, "  estimate: ≤%d regions, %.0f work units\n", v.Est.Card, v.Est.Cost)
+			fmt.Fprintf(&sb, "  estimate: ≤%d regions, %.0f work units (materializing)\n", v.Est.Card, v.Est.Cost)
+		}
+		if v.StreamEst != nil {
+			fmt.Fprintf(&sb, "  estimate: ≤%d regions, %.0f work units (streaming, stops at LIMIT %d)\n",
+				v.StreamEst.Card, v.StreamEst.Cost, p.Query.Limit)
 		}
 		for _, rw := range v.Rewrites {
 			fmt.Fprintf(&sb, "  rewrite: %s\n", rw)
@@ -378,6 +387,10 @@ func (c *Catalog) CompileStats(q *xsql.Query, in *index.Instance, st *stats.Stat
 				vp.Candidates = optimizer.OrderOperands(vp.Candidates, st)
 				est := algebra.EstimateCost(vp.Candidates, st)
 				vp.Est = &est
+				if q.Limit > 0 {
+					sest := algebra.StreamEstimate(vp.Candidates, st, q.Limit)
+					vp.StreamEst = &sest
+				}
 			}
 		}
 		plan.Vars = append(plan.Vars, vp)

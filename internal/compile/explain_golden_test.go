@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"qof/internal/qgen"
+	"qof/internal/stats"
 	"qof/internal/xsql"
 )
 
@@ -30,23 +31,29 @@ var explainWorkload = map[string][]string{
 		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = r.Editors.Name.Last_Name`,
 		`SELECT r FROM References r WHERE r.*X.Last_Name = "Tompa"`,
 		`SELECT r FROM References r WHERE r.Key.Authors = "x"`,
+		`SELECT r FROM References r LIMIT 3`,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang" LIMIT 1`,
 	},
 	"sgml": {
 		`SELECT s FROM Sections s WHERE s.Title = "section 1-1"`,
 		`SELECT s FROM Sections s WHERE s.*X.Para CONTAINS "needle"`,
 		`SELECT s.Title FROM Sections s WHERE s.Para CONTAINS "needle"`,
 		`SELECT d FROM Docs d WHERE d.Section.Title STARTS "section"`,
+		`SELECT s FROM Sections s WHERE s.*X.Para CONTAINS "needle" LIMIT 2`,
 	},
 	"logs": {
 		`SELECT e FROM Entries e WHERE e.Level = "ERROR"`,
 		`SELECT e FROM Entries e WHERE e.Level = "ERROR" AND e.Proc.Program = "nginx"`,
 		`SELECT e.Message FROM Entries e WHERE e.Proc.Program = "nginx"`,
 		`SELECT e FROM Entries e WHERE e.?X.Pid = "100"`,
+		`SELECT e FROM Entries e WHERE e.Level = "ERROR" LIMIT 5`,
 	},
 }
 
 // TestExplainGolden renders Plan.Explain for a fixed workload per domain
-// under every index specification and compares against golden files. Run
+// under every index specification and compares against golden files. Plans
+// are compiled with statistics so the goldens pin the estimate lines too —
+// including the streaming, limit-capped estimates of LIMIT queries. Run
 // with -update to regenerate them after an intentional planner change.
 func TestExplainGolden(t *testing.T) {
 	for _, d := range qgen.Domains(explainCorpusSeed) {
@@ -58,11 +65,12 @@ func TestExplainGolden(t *testing.T) {
 				if err != nil {
 					t.Fatalf("spec %d: %v", si, err)
 				}
+				st := stats.Collect(in)
 				fmt.Fprintf(&sb, "==== spec %d: %s\n", si, specLabel(spec.Names, spec.Scoped != nil))
 				for _, src := range explainWorkload[d.Name] {
-					plan, err := d.Cat.Compile(xsql.MustParse(src), in)
+					plan, err := d.Cat.CompileStats(xsql.MustParse(src), in, st)
 					if err != nil {
-						t.Fatalf("spec %d: Compile(%s): %v", si, src, err)
+						t.Fatalf("spec %d: CompileStats(%s): %v", si, src, err)
 					}
 					sb.WriteString(plan.Explain())
 					sb.WriteString("\n")

@@ -246,6 +246,75 @@ func TestCancelMidParallelPhase2(t *testing.T) {
 	waitGoroutines(t, base)
 }
 
+// TestLimitStopsParallelStream: a LIMIT query on the parallel streaming
+// pipeline stops the feeder and workers early — and when a cancel storm
+// overlaps the early stop, every run still either completes with the exact
+// document-order prefix or fails with a clean context.Canceled. No
+// goroutines may survive the storm. Run under -race.
+func TestLimitStopsParallelStream(t *testing.T) {
+	base := runtime.NumGoroutine()
+	f := testutil.NewBibFixture(t, 400, grammar.IndexSpec{Names: []string{"Reference"}}, nil)
+	f.Eng.Parallelism = 4
+	full, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 3
+	if full.Regions.Len() <= limit {
+		t.Fatalf("fixture too small: %d results, need > %d", full.Regions.Len(), limit)
+	}
+	wantPrefix := full.Regions.Regions()[:limit]
+	lq := xsql.MustParse(changAuthorQuery)
+	lq.Limit = limit
+
+	if err := faultinject.Configure("engine.phase2=delay:500us"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var canceledRuns, completedRuns int
+	for round := 0; round < 30; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(round%10) * 100 * time.Microsecond)
+			cancel()
+		}(round)
+		res, err := f.Eng.ExecuteContext(ctx, lq, engine.Limits{})
+		wg.Wait()
+		cancel()
+		switch {
+		case err == nil:
+			completedRuns++
+			got := res.Regions.Regions()
+			if len(got) != limit {
+				t.Fatalf("round %d: %d regions, want %d", round, len(got), limit)
+			}
+			for i, r := range got {
+				if r != wantPrefix[i] {
+					t.Fatalf("round %d: region %d = %v, want prefix %v", round, i, r, wantPrefix)
+				}
+			}
+		case errors.Is(err, context.Canceled):
+			canceledRuns++
+		default:
+			t.Fatalf("round %d: unexpected error: %v", round, err)
+		}
+	}
+	t.Logf("canceled=%d completed=%d", canceledRuns, completedRuns)
+	faultinject.Reset()
+	// Early-stopped and canceled runs left the engine fully usable.
+	res, err := f.Eng.Execute(xsql.MustParse(changAuthorQuery))
+	if err != nil {
+		t.Fatalf("execute after storm: %v", err)
+	}
+	if !res.Regions.Equal(full.Regions) {
+		t.Fatal("post-storm result diverged")
+	}
+	waitGoroutines(t, base)
+}
+
 // TestCancelMidAddAll cancels a parallel corpus ingest mid-build. The
 // corpus must either ingest everything or be left unchanged with every
 // unbuilt file attributed in the joined error; no goroutines may leak.

@@ -39,6 +39,10 @@ func maskNondet(st engine.Stats) engine.Stats {
 	st.PlanCached = false
 	st.ResultCached, st.ResultCacheHits = false, 0
 	st.CompileTime, st.Phase1Time, st.Phase2Time = 0, 0, 0
+	// PeakBytes depends on cache warmth (a cached candidate set skips the
+	// intermediate buffers), so it is as nondeterministic as the cache
+	// flags above under concurrent execution.
+	st.PeakBytes = 0
 	return st
 }
 

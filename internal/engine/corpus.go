@@ -32,6 +32,11 @@ type Corpus struct {
 	// locking. Set it before the corpus starts serving; Execute itself is
 	// safe to call from many goroutines at once.
 	Parallelism int
+
+	// Materializing selects the materializing reference executor for every
+	// file added afterwards (see Engine.Materializing). Set it before
+	// adding files.
+	Materializing bool
 }
 
 // NewCorpus creates an empty corpus over the catalog.
@@ -45,7 +50,9 @@ func (c *Corpus) Add(doc *text.Document, spec grammar.IndexSpec) error {
 	if err != nil {
 		return fmt.Errorf("engine: indexing %s: %w", doc.Name(), err)
 	}
-	c.engines = append(c.engines, New(c.cat, in))
+	eng := New(c.cat, in)
+	eng.Materializing = c.Materializing
+	c.engines = append(c.engines, eng)
 	return nil
 }
 
@@ -82,6 +89,7 @@ func (c *Corpus) AddAllContext(ctx context.Context, docs []*text.Document, spec 
 			return
 		}
 		engines[i] = New(c.cat, in)
+		engines[i].Materializing = c.Materializing
 	}
 	if c.Parallelism > 1 {
 		sem := make(chan struct{}, c.Parallelism)

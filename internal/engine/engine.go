@@ -58,6 +58,16 @@ type Engine struct {
 	// < 2 parse sequentially. Results and statistics are identical either
 	// way: candidates are merged back in document order.
 	Parallelism int
+
+	// Materializing selects the reference executor: phase 1 materializes
+	// every operator result before phase 2 starts, exactly as in the
+	// original implementation. The default (false) streams candidates
+	// through a pull-based iterator pipeline into phase 2, so LIMIT,
+	// budgets and cancellation stop the work early. Results are identical;
+	// the materializing path exists as the oracle for the differential
+	// harness and the peak-memory benchmarks. Configuration, like
+	// Parallelism: set it before the engine starts serving.
+	Materializing bool
 }
 
 // New creates an engine over the catalog and instance. Construction
@@ -124,13 +134,27 @@ type Stats struct {
 	ResultCached    bool
 	ResultCacheHits int
 
+	// PeakBytes approximates the high-water mark of region-buffer memory
+	// the execution held: materialized operator results (all of them on
+	// the materializing path, only the unavoidable buffers — proximity
+	// targets, direct-operator sides — on the streaming path) plus the
+	// engine's candidate and result buffers, at 16 bytes per region. The
+	// peak-memory benchmarks compare the two executors through it.
+	PeakBytes int
+
 	// Wall-clock breakdown: query compilation + optimization, index
 	// evaluation (phase 1), and candidate parsing + filtering +
-	// projection (phase 2).
+	// projection (phase 2). On the streaming path phase 1 is pipeline
+	// construction and the two phases overlap; Phase2Time then covers the
+	// interleaved drain.
 	CompileTime time.Duration
 	Phase1Time  time.Duration
 	Phase2Time  time.Duration
 }
+
+// regionBytes is the in-memory footprint of one region (two ints), the unit
+// of PeakBytes accounting.
+const regionBytes = 16
 
 // Result is the outcome of a query.
 type Result struct {
@@ -258,6 +282,9 @@ func (e *Engine) evalExpr(es *execEnv, x algebra.Expr, res *Result) (region.Set,
 	var ast algebra.Stats
 	s, err := e.ev.EvalContext(es.ctx, x, &ast, es.budget)
 	res.Stats.ResultCacheHits += ast.ResultCacheHits
+	// Materializing evaluation keeps every operator result in its memo
+	// until the call ends, so the regions touched are the buffer peak.
+	res.Stats.PeakBytes += ast.PeakBytes + regionBytes*ast.RegionsTouched
 	return s, err
 }
 
@@ -267,6 +294,16 @@ func (e *Engine) executeSingle(es *execEnv, q *xsql.Query, plan *compile.Plan, r
 	res.Stats.Exact = vp.Exact
 	phase1 := time.Now()
 	defer func() { res.Stats.Phase2Time = time.Since(phase1) - res.Stats.Phase1Time }()
+
+	// Streaming executor (the default): pull candidates off an iterator
+	// pipeline and parse them as they arrive, so LIMIT, budgets and
+	// cancellation stop the whole query early. The index-only projection
+	// and the fast join need the complete candidate set up front, so those
+	// plans keep the materializing phase 1 below.
+	indexOnly := res.Projected && vp.Exact && plan.Projection.Chain != nil && plan.Projection.Exact
+	if !e.Materializing && vp.Candidates != nil && plan.JoinFast == nil && !indexOnly {
+		return e.streamSingle(es, q, plan, vp, res, phase1)
+	}
 
 	// Phase 1: candidate regions from the index.
 	var candidates region.Set
@@ -317,6 +354,9 @@ func (e *Engine) executeSingle(es *execEnv, q *xsql.Query, plan *compile.Plan, r
 		within := projected.Included(candidates)
 		content := e.in.Document().Content()
 		for _, r := range within.Regions() {
+			if q.Limit > 0 && len(res.Strings) >= q.Limit {
+				break
+			}
 			// The projection plan is only exact for faithful leaves,
 			// whose region text is the database value verbatim.
 			res.Strings = append(res.Strings, content[r.Start:r.End])
@@ -356,43 +396,14 @@ func (e *Engine) phase2(es *execEnv, q *xsql.Query, plan *compile.Plan, vp *comp
 		keep bool
 	}
 	outs := make([]candOut, len(cands))
-	doc := e.in.Document()
-	process := func(i int) (err error) {
-		// Isolate per-candidate panics (a grammar or filter bug, or an
-		// injected fault) so one poisoned candidate fails the query with a
-		// typed error instead of killing the process — essential in the
-		// parallel path, where workers are separate goroutines.
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("engine: phase 2 panic on candidate %v: %v: %w",
-					cands[i], p, qerr.ErrInternal)
-			}
-		}()
-		if err := es.poll(); err != nil {
-			return err
-		}
-		if err := faultinject.Hit(faultinject.Phase2); err != nil {
-			return fmt.Errorf("engine: phase 2: %w", err)
-		}
-		r := cands[i]
-		if err := es.chargeBytes(r.Len()); err != nil {
-			return err
-		}
-		node, err := e.cat.Grammar.ParseAs(doc, vp.NT, r.Start, r.End)
+	process := func(i int) error {
+		obj, keep, err := e.processCandidate(es, q, vp, cands[i])
 		if err != nil {
-			return fmt.Errorf("engine: parsing candidate %v as %s: %w", r, vp.NT, err)
+			return err
 		}
-		obj := grammar.BuildValue(node, doc.Content())
-		if !vp.Exact {
-			ok, err := xsql.EvalCond(xsql.Env{vp.Var: obj}, q.Where)
-			if err != nil {
-				return fmt.Errorf("engine: filtering: %w", err)
-			}
-			if !ok {
-				return nil
-			}
+		if keep {
+			outs[i] = candOut{obj: obj, keep: true}
 		}
-		outs[i] = candOut{obj: obj, keep: true}
 		return nil
 	}
 
@@ -434,23 +445,308 @@ func (e *Engine) phase2(es *execEnv, q *xsql.Query, plan *compile.Plan, vp *comp
 		}
 	}
 
-	// Deterministic merge in document order.
-	var kept []region.Region
+	// Deterministic merge in document order. The reference semantics of
+	// LIMIT are "full evaluation, then clamp": every candidate is parsed
+	// and counted, and only the emission stops after k rows, truncating
+	// the kept regions at the same candidate where the streaming executor
+	// stops pulling — the two executors agree row for row and region for
+	// region.
+	em := newEmitter(q, plan, res)
 	for i, out := range outs {
 		res.Stats.Parsed++
 		res.Stats.ParsedBytes += cands[i].Len()
-		if !out.keep {
+		if !out.keep || em.full() {
 			continue
 		}
-		kept = append(kept, cands[i])
-		if res.Projected {
-			res.Strings = append(res.Strings, db.NavigateStrings(out.obj, plan.Projection.Steps)...)
-		} else {
-			res.Objects = append(res.Objects, out.obj)
+		em.emit(cands[i], out.obj)
+	}
+	em.finish()
+	return nil
+}
+
+// processCandidate does the per-candidate phase-2 work — poll, fault
+// injection, byte budget, parse, build, filter — shared by the sequential,
+// parallel, materializing and streaming paths. Per-candidate panics (a
+// grammar or filter bug, or an injected fault) are isolated into a typed
+// error so one poisoned candidate fails the query instead of killing the
+// process — essential when the caller is a worker goroutine.
+func (e *Engine) processCandidate(es *execEnv, q *xsql.Query, vp *compile.VarPlan, r region.Region) (obj db.Value, keep bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: phase 2 panic on candidate %v: %v: %w", r, p, qerr.ErrInternal)
+		}
+	}()
+	if err := es.poll(); err != nil {
+		return nil, false, err
+	}
+	if err := faultinject.Hit(faultinject.Phase2); err != nil {
+		return nil, false, fmt.Errorf("engine: phase 2: %w", err)
+	}
+	if err := es.chargeBytes(r.Len()); err != nil {
+		return nil, false, err
+	}
+	doc := e.in.Document()
+	node, err := e.cat.Grammar.ParseAs(doc, vp.NT, r.Start, r.End)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: parsing candidate %v as %s: %w", r, vp.NT, err)
+	}
+	obj = grammar.BuildValue(node, doc.Content())
+	if !vp.Exact {
+		ok, err := xsql.EvalCond(xsql.Env{vp.Var: obj}, q.Where)
+		if err != nil {
+			return nil, false, fmt.Errorf("engine: filtering: %w", err)
+		}
+		if !ok {
+			return obj, false, nil
 		}
 	}
-	res.Regions = region.FromRegions(kept)
+	return obj, true, nil
+}
+
+// emitter accumulates kept candidates into the result with uniform LIMIT
+// clamping: once the row count reaches the limit no further candidate is
+// admitted, and a projected candidate straddling the boundary keeps its
+// region with its strings clamped to exactly k. Both executors emit through
+// it, which is what makes a limited answer a prefix of the full one.
+type emitter struct {
+	plan  *compile.Plan
+	res   *Result
+	limit int
+	rows  int
+	kept  []region.Region
+}
+
+func newEmitter(q *xsql.Query, plan *compile.Plan, res *Result) *emitter {
+	return &emitter{plan: plan, res: res, limit: q.Limit}
+}
+
+// full reports that the limit is reached and emission has stopped.
+func (em *emitter) full() bool { return em.limit > 0 && em.rows >= em.limit }
+
+// emit admits one kept candidate. The caller checks full() first.
+func (em *emitter) emit(r region.Region, obj db.Value) {
+	em.kept = append(em.kept, r)
+	if em.res.Projected {
+		strs := db.NavigateStrings(obj, em.plan.Projection.Steps)
+		if em.limit > 0 && len(strs) > em.limit-em.rows {
+			strs = strs[:em.limit-em.rows]
+		}
+		em.res.Strings = append(em.res.Strings, strs...)
+		em.rows += len(strs)
+	} else {
+		em.res.Objects = append(em.res.Objects, obj)
+		em.rows++
+	}
+}
+
+// finish publishes the kept regions into the result.
+func (em *emitter) finish() {
+	em.res.Regions = region.FromRegions(em.kept)
+	em.res.Stats.PeakBytes += regionBytes * len(em.kept)
+}
+
+// streamSingle is the streaming single-variable executor: phase 1 is an
+// iterator pipeline over the index (algebra.Stream) and phase 2 pulls
+// candidates off it, parsing and filtering while phase 1 is still
+// producing. The pipeline stops as soon as the LIMIT is satisfied, a budget
+// trips, or the context is done; only a complete successful drain publishes
+// the candidate set to the cross-query result cache.
+func (e *Engine) streamSingle(es *execEnv, q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, res *Result, phase1 time.Time) error {
+	var ast algebra.Stats
+	var src region.Iterator
+	fromCache := false
+	// A region budget must meter the actual phase-1 work, so budgeted
+	// queries bypass the cross-query cache, exactly like the materializing
+	// path.
+	if es.budget == nil {
+		if s, ok := e.ev.CachedResult(vp.Candidates); ok {
+			res.Stats.ResultCached = true
+			res.Stats.ResultCacheHits++
+			src = s.Iter()
+			fromCache = true
+		}
+	}
+	if src == nil {
+		it, err := e.ev.Stream(es.ctx, vp.Candidates, &ast, es.budget)
+		if err != nil {
+			return fmt.Errorf("engine: evaluating candidates: %w", err)
+		}
+		src = it
+	}
+	defer src.Close()
+	res.Stats.Phase1Time = time.Since(phase1)
+
+	all, complete, err := e.streamPhase2(es, q, plan, vp, src, res)
+	res.Stats.ResultCacheHits += ast.ResultCacheHits
+	res.Stats.Candidates = len(all)
+	res.Stats.PeakBytes += ast.PeakBytes + regionBytes*(ast.RegionsTouched+len(all))
+	if err != nil {
+		return err
+	}
+	if complete && !fromCache {
+		// The stream was drained in full, so the accumulated candidates
+		// are the exact phase-1 answer — safe to publish. A limit-stopped
+		// or failed drain never reaches this point.
+		e.ev.PublishResult(vp.Candidates, region.FromRegions(all))
+	}
 	return nil
+}
+
+// streamPhase2 drains the candidate iterator through phase 2, sequentially
+// or with a worker pool, and reports the candidates pulled and whether the
+// stream was consumed to exhaustion (false when the LIMIT stopped it).
+func (e *Engine) streamPhase2(es *execEnv, q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, src region.Iterator, res *Result) (all []region.Region, complete bool, err error) {
+	em := newEmitter(q, plan, res)
+	defer em.finish()
+	if e.Parallelism > 1 {
+		return e.streamPhase2Parallel(es, q, plan, vp, src, res, em)
+	}
+	for !em.full() {
+		r, ok, err := src.Next()
+		if err != nil {
+			return all, false, fmt.Errorf("engine: evaluating candidates: %w", err)
+		}
+		if !ok {
+			return all, true, nil
+		}
+		all = append(all, r)
+		obj, keep, err := e.processCandidate(es, q, vp, r)
+		if err != nil {
+			return all, false, err
+		}
+		res.Stats.Parsed++
+		res.Stats.ParsedBytes += r.Len()
+		if keep {
+			em.emit(r, obj)
+		}
+	}
+	return all, false, nil
+}
+
+// streamPhase2Parallel overlaps candidate production and parsing: a feeder
+// goroutine (the iterator's only consumer) streams candidates to a worker
+// pool, and the collector merges worker output back in document order, so
+// results are identical to the sequential drain. Early termination closes
+// done; every goroutine selects on it, and the drain loops below join them
+// all before returning — no goroutine outlives the call.
+//
+// Under a LIMIT the feeder may have read ahead of the stop point, so the
+// Candidates/Parsed statistics of a limited parallel run can exceed the
+// sequential ones; results are still deterministic because emission is
+// strictly in document order.
+func (e *Engine) streamPhase2Parallel(es *execEnv, q *xsql.Query, plan *compile.Plan, vp *compile.VarPlan, src region.Iterator, res *Result, em *emitter) (all []region.Region, complete bool, err error) {
+	type feedItem struct {
+		i int
+		r region.Region
+	}
+	type outItem struct {
+		i    int
+		r    region.Region
+		obj  db.Value
+		keep bool
+		err  error
+	}
+	workers := e.Parallelism
+	feed := make(chan feedItem, workers)
+	outc := make(chan outItem, workers)
+	done := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(done) }) }
+	defer stop()
+
+	var feedErr error
+	feedComplete := false
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		defer close(feed)
+		for i := 0; ; i++ {
+			r, ok, err := src.Next()
+			if err != nil {
+				feedErr = err
+				return
+			}
+			if !ok {
+				feedComplete = true
+				return
+			}
+			all = append(all, r)
+			select {
+			case feed <- feedItem{i: i, r: r}:
+			case <-done:
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range feed {
+				obj, keep, err := e.processCandidate(es, q, vp, it.r)
+				select {
+				case outc <- outItem{i: it.i, r: it.r, obj: obj, keep: keep, err: err}:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(outc)
+	}()
+
+	// In-order collector: workers finish out of order, so completed items
+	// wait in pending until their document-order turn comes up.
+	pending := make(map[int]outItem)
+	nextIdx := 0
+	var procErr error
+collect:
+	for oi := range outc {
+		pending[oi.i] = oi
+		for {
+			cur, ok := pending[nextIdx]
+			if !ok {
+				continue collect
+			}
+			delete(pending, nextIdx)
+			nextIdx++
+			if cur.err != nil {
+				procErr = cur.err
+				break collect
+			}
+			res.Stats.Parsed++
+			res.Stats.ParsedBytes += cur.r.Len()
+			if cur.keep {
+				em.emit(cur.r, cur.obj)
+			}
+			if em.full() {
+				break collect
+			}
+		}
+	}
+	// Join everything: closing done releases blocked senders, draining outc
+	// lets the workers finish their in-flight items, and feederDone
+	// guarantees the iterator has no concurrent consumer once we return.
+	stop()
+	for range outc {
+	}
+	<-feederDone
+
+	if procErr != nil {
+		return all, false, procErr
+	}
+	if feedErr != nil {
+		return all, false, fmt.Errorf("engine: evaluating candidates: %w", feedErr)
+	}
+	if em.full() && q.Limit > 0 {
+		return all, false, nil
+	}
+	// No error and no early stop: the feeder ran to exhaustion and every
+	// item passed through the collector.
+	return all, feedComplete, nil
 }
 
 // joinFastCandidates implements Section 5.2's join strategy: locate the
@@ -554,7 +850,11 @@ func (e *Engine) executeMulti(es *execEnv, q *xsql.Query, plan *compile.Plan, re
 	// variable's distinct matches form the result.
 	selVar := q.Select.Var
 	seen := make(map[region.Region]bool)
-	var kept []region.Region
+	type match struct {
+		r   region.Region
+		obj db.Value
+	}
+	var matches []match
 	env := make(xsql.Env, len(plan.Vars))
 	idx := make([]int, len(plan.Vars))
 	var loop func(i int) error
@@ -587,20 +887,28 @@ func (e *Engine) executeMulti(es *execEnv, q *xsql.Query, plan *compile.Plan, re
 				continue
 			}
 			seen[r] = true
-			kept = append(kept, r)
-			obj := bindings[j].objects[idx[j]]
-			if res.Projected {
-				res.Strings = append(res.Strings, db.NavigateStrings(obj, plan.Projection.Steps)...)
-			} else {
-				res.Objects = append(res.Objects, obj)
-			}
+			matches = append(matches, match{r: r, obj: bindings[j].objects[idx[j]]})
 		}
 		return nil
 	}
 	if err := loop(0); err != nil {
 		return err
 	}
-	res.Regions = region.FromRegions(kept)
+	// A LIMIT on a join truncates in document order — the matches are
+	// re-sorted first, so the limited answer is a prefix of the full sorted
+	// answer regardless of nested-loop enumeration order. Without a limit,
+	// emission keeps the historical loop order.
+	if q.Limit > 0 {
+		sort.Slice(matches, func(i, j int) bool { return matches[i].r.Before(matches[j].r) })
+	}
+	em := newEmitter(q, plan, res)
+	for _, m := range matches {
+		if em.full() {
+			break
+		}
+		em.emit(m.r, m.obj)
+	}
+	em.finish()
 	return nil
 }
 

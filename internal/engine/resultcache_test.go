@@ -77,6 +77,64 @@ func TestResultCacheRepeatedQuery(t *testing.T) {
 	}
 }
 
+// TestLimitStoppedStreamNeverCached: a streaming execution that LIMIT stops
+// early drains only a prefix of the candidate stream, so it must never
+// publish to the cross-query result cache — only a complete drain is a
+// cacheable answer. A later full run still publishes, after which a limited
+// run may legitimately read the cached set (and clamp it).
+func TestLimitStoppedStreamNeverCached(t *testing.T) {
+	f := testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
+	full := xsql.MustParse(cacheProbeQuery)
+	probe, err := f.Eng.Execute(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Stats.Results < 2 {
+		t.Fatalf("fixture too small: %d results, need >= 2 for LIMIT to truncate", probe.Stats.Results)
+	}
+	// Fresh engine so the probe's published result doesn't serve the
+	// limited runs.
+	f = testutil.NewBibFixture(t, 40, grammar.IndexSpec{}, nil)
+	lq := *full
+	lq.Limit = 1
+	for run := 0; run < 3; run++ {
+		res, err := f.Eng.Execute(&lq)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if res.Stats.Results != 1 {
+			t.Fatalf("run %d: %d results, want 1", run, res.Stats.Results)
+		}
+		if res.Stats.ResultCached {
+			t.Errorf("run %d: truncated stream served from the result cache", run)
+		}
+	}
+	if _, _, hits, _ := f.Eng.CacheCounters(); hits != 0 {
+		t.Errorf("result cache served %d hits after only LIMIT-stopped runs", hits)
+	}
+	// A complete drain publishes as usual...
+	if _, err := f.Eng.Execute(full); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Eng.Execute(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ResultCached {
+		t.Error("full run after LIMIT runs did not publish to the result cache")
+	}
+	// ...and the warm cache legitimately serves a subsequent limited run,
+	// still clamped to the limit.
+	res, err = f.Eng.Execute(&lq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ResultCached || res.Stats.Results != 1 {
+		t.Errorf("limited run on warm cache: cached=%v results=%d, want cached 1 row",
+			res.Stats.ResultCached, res.Stats.Results)
+	}
+}
+
 // TestResultCacheInvalidation drives every index-mutating operation and
 // checks that the warm result cache is bypassed afterwards (the epoch in the
 // key changed) yet results stay correct, and that the recomputed set is

@@ -398,6 +398,12 @@ func (u *Universe) directContainers(s Region) []Region {
 	return minimal
 }
 
+// DirectContainers returns the universe regions that directly include s —
+// the minimal elements (under inclusion) of s's strict containers. It is
+// the exported seam the streaming executor uses to evaluate the direct
+// operators one region at a time.
+func (u *Universe) DirectContainers(s Region) []Region { return u.directContainers(s) }
+
 // DirectlyIncluding returns R ⊃d S: the regions of R strictly including some
 // region of S with no other universe region strictly between them — i.e. R's
 // regions that are direct containers of an S region.

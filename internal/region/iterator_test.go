@@ -1,0 +1,158 @@
+package region
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// collect drains an iterator into a Set via Materialize, failing on error.
+func collect(t *testing.T, it Iterator) Set {
+	t.Helper()
+	s, err := Materialize(it)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	return s
+}
+
+// TestIteratorsMatchSetOps is the kernel-level differential: every streaming
+// operator must reproduce its materializing counterpart exactly on random
+// overlapping sets (the hard cases for the inclusion windows).
+func TestIteratorsMatchSetOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 500; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(40), 2, 30)
+		R, S := sets[0], sets[1]
+		cases := []struct {
+			name string
+			want Set
+			got  Iterator
+		}{
+			{"union", R.Union(S), UnionIter(R.Iter(), S.Iter())},
+			{"intersect", R.Intersect(S), IntersectIter(R.Iter(), S.Iter())},
+			{"diff", R.Diff(S), DiffIter(R.Iter(), S.Iter())},
+			{"including", R.Including(S), IncludingIter(R.Iter(), S.Iter(), nil)},
+			{"included", R.Included(S), IncludedIter(R.Iter(), S.Iter())},
+			{"innermost", R.Innermost(), InnermostIter(R.Iter())},
+			{"outermost", R.Outermost(), OutermostIter(R.Iter())},
+			{"self-including", R.Including(R), IncludingIter(R.Iter(), R.Iter(), nil)},
+			{"self-included", R.Included(R), IncludedIter(R.Iter(), R.Iter())},
+		}
+		for _, c := range cases {
+			if got := collect(t, c.got); !got.Equal(c.want) {
+				t.Fatalf("trial %d %s: streaming %v, materializing %v\nR=%v\nS=%v",
+					trial, c.name, got.Regions(), c.want.Regions(), R.Regions(), S.Regions())
+			}
+		}
+	}
+}
+
+// TestIteratorTieCases pins the strictness ties the window iterators handle
+// specially: identical regions in both operands, and distinct regions
+// sharing a Start or an End.
+func TestIteratorTieCases(t *testing.T) {
+	R := mk(0, 10, 0, 4, 2, 10, 2, 4)
+	if got := collect(t, IncludingIter(R.Iter(), R.Iter(), nil)); !got.Equal(R.Including(R)) {
+		t.Errorf("⊃ ties: got %v, want %v", got.Regions(), R.Including(R).Regions())
+	}
+	if got := collect(t, IncludedIter(R.Iter(), R.Iter())); !got.Equal(R.Included(R)) {
+		t.Errorf("⊂ ties: got %v, want %v", got.Regions(), R.Included(R).Regions())
+	}
+	// A lone region never strictly includes itself.
+	one := mk(3, 7)
+	if got := collect(t, IncludingIter(one.Iter(), one.Iter(), nil)); !got.IsEmpty() {
+		t.Errorf("singleton ⊃ itself: got %v, want empty", got.Regions())
+	}
+	if got := collect(t, IncludedIter(one.Iter(), one.Iter())); !got.IsEmpty() {
+		t.Errorf("singleton ⊂ itself: got %v, want empty", got.Regions())
+	}
+}
+
+// TestIteratorExhaustionSticky: once an iterator reports exhaustion, every
+// later Next must report it again.
+func TestIteratorExhaustionSticky(t *testing.T) {
+	R, S := mk(0, 2, 4, 6), mk(1, 5)
+	its := []Iterator{
+		R.Iter(),
+		UnionIter(R.Iter(), S.Iter()),
+		IntersectIter(R.Iter(), S.Iter()),
+		DiffIter(R.Iter(), S.Iter()),
+		IncludingIter(R.Iter(), S.Iter(), nil),
+		IncludedIter(R.Iter(), S.Iter()),
+		InnermostIter(R.Iter()),
+		OutermostIter(R.Iter()),
+		FilterIter(R.Iter(), func(Region) bool { return true }),
+	}
+	for i, it := range its {
+		for {
+			if _, ok, err := it.Next(); err != nil {
+				t.Fatalf("iterator %d: %v", i, err)
+			} else if !ok {
+				break
+			}
+		}
+		for k := 0; k < 3; k++ {
+			if _, ok, err := it.Next(); ok || err != nil {
+				t.Fatalf("iterator %d: Next after exhaustion = (%v, %v)", i, ok, err)
+			}
+		}
+		it.Close()
+	}
+}
+
+// TestIteratorCloseAfterPartial: Close mid-stream is clean — idempotent,
+// and Next afterwards reports exhaustion rather than resuming.
+func TestIteratorCloseAfterPartial(t *testing.T) {
+	R, S := mk(0, 10, 1, 3, 5, 9), mk(1, 3, 6, 8)
+	it := UnionIter(InnermostIter(R.Iter()), IncludingIter(R.Iter(), S.Iter(), nil))
+	if _, ok, err := it.Next(); !ok || err != nil {
+		t.Fatalf("first Next: (%v, %v)", ok, err)
+	}
+	it.Close()
+	it.Close() // idempotent
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next after Close = (%v, %v), want exhausted", ok, err)
+	}
+}
+
+// TestIteratorErrorSticky: a checker failure aborts the stream and the error
+// is returned from every subsequent Next.
+func TestIteratorErrorSticky(t *testing.T) {
+	boom := errors.New("boom")
+	// Force the tie-scan path (min End == r.End with only r itself in the
+	// window) so the checker is consulted.
+	R := mk(0, 10, 0, 4)
+	it := IncludingIter(R.Iter(), R.Iter(), func() error { return boom })
+	var err error
+	for {
+		var ok bool
+		if _, ok, err = it.Next(); !ok || err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("checker error not surfaced: %v", err)
+	}
+	if _, ok, err2 := it.Next(); ok || !errors.Is(err2, boom) {
+		t.Fatalf("error not sticky: (%v, %v)", ok, err2)
+	}
+}
+
+// TestMaterializeCanonical: Materialize output must be canonical without
+// re-sorting, i.e. iterator order is the set order by construction.
+func TestMaterializeCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(40), 2, 25)
+		it := UnionIter(
+			IncludingIter(sets[0].Iter(), sets[1].Iter(), nil),
+			InnermostIter(sets[1].Iter()),
+		)
+		got := collect(t, it)
+		want := FromRegions(got.Regions()) // canonicalize a copy
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: non-canonical stream %v", trial, got.Regions())
+		}
+	}
+}

@@ -26,6 +26,14 @@ var fuzzSeeds = []string{
 	`SELECT r FROM`,
 	`"unterminated`,
 	`SELECT r FROM References r WHERE r.Title = "\x"`,
+	`SELECT r FROM References r LIMIT 10`,
+	`SELECT r.Key FROM References r WHERE r.Authors.Name.Last_Name = "Chang" LIMIT 1`,
+	`SELECT r FROM References r LIMIT 0`,
+	`SELECT r FROM References r LIMIT -3`,
+	`SELECT r FROM References r LIMIT`,
+	`SELECT r FROM References r LIMIT x`,
+	`SELECT r FROM References r LIMIT "2"`,
+	`SELECT r FROM References r LIMIT 2 LIMIT 3`,
 }
 
 // FuzzXSQLParse asserts two properties on arbitrary input: the parser

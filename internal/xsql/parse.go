@@ -205,6 +205,15 @@ func (p *parser) parseQuery() (*Query, error) {
 		}
 		q.Where = cond
 	}
+	if p.keyword("LIMIT") {
+		t := p.peek()
+		n, err := strconv.Atoi(t.text)
+		if t.str || err != nil || n < 1 {
+			return nil, fmt.Errorf("xsql: LIMIT expects a positive integer, got %q", t.text)
+		}
+		p.pos++
+		q.Limit = n
+	}
 	return q, nil
 }
 
@@ -335,7 +344,7 @@ func (p *parser) parsePath() (Path, error) {
 
 func isKeyword(s string) bool {
 	switch strings.ToUpper(s) {
-	case "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "CONTAINS", "STARTS":
+	case "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "CONTAINS", "STARTS", "LIMIT":
 		return true
 	}
 	return false

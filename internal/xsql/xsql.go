@@ -148,6 +148,7 @@ type Query struct {
 	Select Path
 	From   []FromClause
 	Where  Cond // nil when absent
+	Limit  int  // LIMIT k caps the result rows; 0 means unlimited
 }
 
 func (q *Query) String() string {
@@ -166,6 +167,10 @@ func (q *Query) String() string {
 	if q.Where != nil {
 		sb.WriteString(" WHERE ")
 		sb.WriteString(q.Where.String())
+	}
+	if q.Limit > 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(q.Limit))
 	}
 	return sb.String()
 }

@@ -216,6 +216,39 @@ func TestParseContains(t *testing.T) {
 	}
 }
 
+func TestParseLimit(t *testing.T) {
+	q := MustParse(`SELECT r FROM References r WHERE r.Key STARTS "C" LIMIT 7`)
+	if q.Limit != 7 {
+		t.Fatalf("Limit = %d, want 7", q.Limit)
+	}
+	if got := q.String(); !strings.HasSuffix(got, " LIMIT 7") {
+		t.Errorf("String = %q", got)
+	}
+	if MustParse(q.String()).String() != q.String() {
+		t.Error("round trip")
+	}
+	// LIMIT without WHERE.
+	if q := MustParse(`SELECT r FROM References r LIMIT 2`); q.Limit != 2 || q.Where != nil {
+		t.Errorf("bare LIMIT: %+v", q)
+	}
+	// No LIMIT leaves the zero value (unlimited).
+	if q := MustParse(`SELECT r FROM References r`); q.Limit != 0 {
+		t.Errorf("Limit = %d, want 0", q.Limit)
+	}
+	for _, bad := range []string{
+		`SELECT r FROM References r LIMIT 0`,
+		`SELECT r FROM References r LIMIT -1`,
+		`SELECT r FROM References r LIMIT x`,
+		`SELECT r FROM References r LIMIT "2"`,
+		`SELECT r FROM References r LIMIT`,
+		`SELECT r FROM References r LIMIT 2 3`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
 func TestEvalCondContains(t *testing.T) {
 	env := Env{"r": NewTestTuple()}
 	eval := func(src string) bool {

@@ -99,7 +99,7 @@ func (s *Schema) IndexContext(ctx context.Context, name, content string, opts ..
 	if err != nil {
 		return nil, err
 	}
-	return &File{schema: s, eng: newEngine(s.cat, in, cfg.parallelism)}, nil
+	return &File{schema: s, eng: newEngine(s.cat, in, cfg)}, nil
 }
 
 // QueryContext is Query under a context and per-query resource budgets.

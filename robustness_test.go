@@ -34,57 +34,81 @@ func TestDeadlineOnStressCorpus(t *testing.T) {
 	}
 	eng := setup.Engine
 	join := xsql.MustParse(`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = r.Authors.Name.Last_Name`)
-
-	// The query is far too big for 1ms: unconstrained it parses thousands
-	// of candidates. The deadline must interrupt it mid-flight.
-	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
-	defer cancel()
-	start := time.Now()
-	_, err = eng.ExecuteContext(ctx, join, engine.Limits{})
-	elapsed := time.Since(start)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("1ms deadline: err = %v, want context.DeadlineExceeded", err)
-	}
-	if elapsed > deadlineLatencyBound {
-		t.Errorf("deadline honored after %v, want < %v", elapsed, deadlineLatencyBound)
-	}
-
-	// The killed run poisoned nothing: the same engine answers both the
-	// interrupted query and an unrelated one with ground-truth counts.
-	res, err := eng.Execute(join)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Stats.Results != setup.Stats.SelfEditedByAuth {
-		t.Errorf("join after deadline: %d results, want %d", res.Stats.Results, setup.Stats.SelfEditedByAuth)
-	}
 	author := xsql.MustParse(`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`)
-	res, err = eng.Execute(author)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Stats.Results != setup.Stats.TargetAsAuthor {
-		t.Errorf("author query after deadline: %d results, want %d", res.Stats.Results, setup.Stats.TargetAsAuthor)
+
+	// Both executors must honor the deadline mid-flight: the streaming
+	// iterator pipeline polls inside Next, the materializing reference
+	// inside its kernels and per parsed candidate.
+	for _, mode := range []struct {
+		name          string
+		materializing bool
+	}{{"streaming", false}, {"materializing", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			eng.Materializing = mode.materializing
+
+			// The query is far too big for 1ms: unconstrained it parses
+			// thousands of candidates. The deadline must interrupt it
+			// mid-flight.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err = eng.ExecuteContext(ctx, join, engine.Limits{})
+			elapsed := time.Since(start)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("1ms deadline: err = %v, want context.DeadlineExceeded", err)
+			}
+			if elapsed > deadlineLatencyBound {
+				t.Errorf("deadline honored after %v, want < %v", elapsed, deadlineLatencyBound)
+			}
+
+			// The killed run poisoned nothing: the same engine answers both
+			// the interrupted query and an unrelated one with ground-truth
+			// counts.
+			res, err := eng.Execute(join)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Results != setup.Stats.SelfEditedByAuth {
+				t.Errorf("join after deadline: %d results, want %d", res.Stats.Results, setup.Stats.SelfEditedByAuth)
+			}
+			res, err = eng.Execute(author)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Results != setup.Stats.TargetAsAuthor {
+				t.Errorf("author query after deadline: %d results, want %d", res.Stats.Results, setup.Stats.TargetAsAuthor)
+			}
+		})
 	}
 }
 
 func TestFacadeQueryBudgets(t *testing.T) {
-	f, err := qof.BibTeX().Index("b.bib", bibtex.SampleEntry)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.QueryContext(t.Context(), matrixQuery, qof.WithMaxRegions(1)); !errors.Is(err, qof.ErrBudgetExceeded) {
-		t.Errorf("WithMaxRegions(1): err = %v, want ErrBudgetExceeded", err)
-	}
-	if _, err := f.QueryContext(t.Context(), matrixQuery, qof.WithMaxEvalBytes(1)); !errors.Is(err, qof.ErrBudgetExceeded) {
-		t.Errorf("WithMaxEvalBytes(1): err = %v, want ErrBudgetExceeded", err)
-	}
-	// Generous budgets do not interfere, and the budget-killed runs were
-	// never cached as wrong answers.
-	res, err := f.QueryContext(t.Context(), matrixQuery,
-		qof.WithMaxRegions(1_000_000), qof.WithMaxEvalBytes(1<<30))
-	if err != nil || res.Len() != 1 {
-		t.Fatalf("generous budgets: res = %v, err = %v", res, err)
+	for _, mode := range []struct {
+		name string
+		opts []qof.IndexOption
+	}{
+		{"streaming", nil},
+		{"materializing", []qof.IndexOption{qof.WithMaterializing()}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			f, err := qof.BibTeX().Index("b.bib", bibtex.SampleEntry, mode.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.QueryContext(t.Context(), matrixQuery, qof.WithMaxRegions(1)); !errors.Is(err, qof.ErrBudgetExceeded) {
+				t.Errorf("WithMaxRegions(1): err = %v, want ErrBudgetExceeded", err)
+			}
+			if _, err := f.QueryContext(t.Context(), matrixQuery, qof.WithMaxEvalBytes(1)); !errors.Is(err, qof.ErrBudgetExceeded) {
+				t.Errorf("WithMaxEvalBytes(1): err = %v, want ErrBudgetExceeded", err)
+			}
+			// Generous budgets do not interfere, and the budget-killed runs
+			// were never cached as wrong answers.
+			res, err := f.QueryContext(t.Context(), matrixQuery,
+				qof.WithMaxRegions(1_000_000), qof.WithMaxEvalBytes(1<<30))
+			if err != nil || res.Len() != 1 {
+				t.Fatalf("generous budgets: res = %v, err = %v", res, err)
+			}
+		})
 	}
 }
 
