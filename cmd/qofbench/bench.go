@@ -31,6 +31,9 @@ type benchReport struct {
 	// Stress compares a full materializing run against a streaming LIMIT
 	// run on the large bibtex corpus; the early-termination payoff.
 	Stress stressBench `json:"stress"`
+	// Serving storms the sharded HTTP daemon far past its admission limit
+	// and reports latency quantiles, shed rate and leak accounting.
+	Serving servingBench `json:"serving"`
 }
 
 // benchLimitK is the LIMIT used for the limit_k_ops_sec workload and the
@@ -140,6 +143,11 @@ func runJSONBench(path string, quick bool) error {
 		return fmt.Errorf("stress: %w", err)
 	}
 	report.Stress = stress
+	serving, err := runServing(quick)
+	if err != nil {
+		return fmt.Errorf("serving: %w", err)
+	}
+	report.Serving = serving
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -68,4 +68,25 @@ func TestRunJSONBench(t *testing.T) {
 	if s.PeakRatio <= 0 || s.PeakRatio > 0.2 {
 		t.Errorf("stress peak ratio %v outside (0, 0.2]: %+v", s.PeakRatio, s)
 	}
+	// The serving storm: every submission accounted for, shedding engaged,
+	// some queries served, bounded tail latency, nothing leaked.
+	sv := r.Serving
+	if sv.Ok+sv.Shed != sv.Submitted || sv.Submitted != sv.Clients*2 {
+		t.Errorf("serving books don't balance: %+v", sv)
+	}
+	if sv.Shed == 0 {
+		t.Errorf("serving storm never shed at %dx oversubscription: %+v", sv.Clients/sv.MaxInflight, sv)
+	}
+	if sv.Ok == 0 || sv.QPS <= 0 {
+		t.Errorf("serving storm served nothing: %+v", sv)
+	}
+	if sv.P999Ms <= 0 || sv.P999Ms > 30000 {
+		t.Errorf("serving p999 %v ms unbounded: %+v", sv.P999Ms, sv)
+	}
+	if sv.P50Ms > sv.P999Ms {
+		t.Errorf("serving quantiles inverted: %+v", sv)
+	}
+	if sv.GoroutineLeak != 0 {
+		t.Errorf("serving storm leaked %d goroutines", sv.GoroutineLeak)
+	}
 }

@@ -1,0 +1,178 @@
+// Command qofd is the sharded multi-tenant query daemon: it indexes a set
+// of files under one of the built-in schemas, hashes them across N engine
+// shards, and serves XSQL queries over HTTP/JSON with fair-share admission
+// control, per-tenant budgets, partial-answer degradation and hot reload.
+//
+// Usage:
+//
+//	qofd -domain bibtex [-addr :8080] [-shards 4] [flags] FILE...
+//	qofd -domain logs -dir /var/corpora/logs
+//
+// Endpoints:
+//
+//	POST /query    {"query": "SELECT ...", "tenant": "...", "timeout_ms": N,
+//	                "max_regions": N, "max_eval_bytes": N}
+//	GET  /query?q=SELECT+...&tenant=...
+//	GET  /healthz  liveness + current epoch
+//	GET  /metrics  counters, latency quantiles, per-tenant accounting
+//	POST /reload   re-read the sources and publish them as the next epoch
+//
+// A query answered by a sharded daemon is byte-identical to the same query
+// against a single corpus holding every file; see docs/SERVING.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"syscall"
+	"time"
+
+	"qof"
+	"qof/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "qofd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// schemaFor maps a -domain name onto its facade schema.
+func schemaFor(name string) (*qof.Schema, error) {
+	switch name {
+	case "bibtex":
+		return qof.BibTeX(), nil
+	case "logs":
+		return qof.Logs(), nil
+	case "sgml":
+		return qof.SGML(), nil
+	case "src":
+		return qof.SourceCode(), nil
+	}
+	return nil, fmt.Errorf("unknown domain %q (have bibtex, logs, sgml, src)", name)
+}
+
+// run is the daemon body, separated from main so tests can drive it with a
+// cancelable context and capture the startup line (which carries the bound
+// address when -addr picks port 0).
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qofd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	dom := fs.String("domain", "bibtex", "file format: bibtex, logs, sgml, src")
+	shards := fs.Int("shards", 1, "engine shards to hash documents across")
+	par := fs.Int("parallelism", runtime.GOMAXPROCS(0), "files evaluated concurrently within each shard")
+	maxInflight := fs.Int("max-inflight", 64, "queries executing at once before shedding")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-query deadline")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard deadline; a slow shard degrades instead of stalling the query (0 = none)")
+	fileTimeout := fs.Duration("file-timeout", 0, "per-file deadline within a shard (0 = none)")
+	maxRegions := fs.Int("max-regions", 0, "default per-file region budget (0 = unlimited)")
+	maxBytes := fs.Int("max-bytes", 0, "default per-file parsed-bytes budget (0 = unlimited)")
+	materializing := fs.Bool("materializing", false, "use the materializing reference executor")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	dir := fs.String("dir", "", "serve every regular file in this directory (instead of positional FILEs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	schema, err := schemaFor(*dom)
+	if err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if (*dir == "") == (len(paths) == 0) {
+		return errors.New("usage: qofd -domain D [flags] FILE...  |  qofd -domain D [flags] -dir DIR")
+	}
+
+	// load re-reads the corpus sources; it runs once at startup and again on
+	// every POST /reload, so edits to the files land as the next epoch.
+	load := func(ctx context.Context) (map[string]string, error) {
+		list := paths
+		if *dir != "" {
+			entries, err := os.ReadDir(*dir)
+			if err != nil {
+				return nil, err
+			}
+			list = nil
+			for _, e := range entries {
+				if e.Type().IsRegular() {
+					list = append(list, filepath.Join(*dir, e.Name()))
+				}
+			}
+			sort.Strings(list)
+		}
+		if len(list) == 0 {
+			return nil, fmt.Errorf("no files to serve")
+		}
+		files := make(map[string]string, len(list))
+		for _, p := range list {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			name := filepath.Base(p)
+			if _, dup := files[name]; dup {
+				return nil, fmt.Errorf("duplicate document name %q", name)
+			}
+			files[name] = string(data)
+		}
+		return files, nil
+	}
+
+	srv, err := serve.New(serve.Config{
+		Schema:         schema,
+		Shards:         *shards,
+		Parallelism:    *par,
+		Materializing:  *materializing,
+		MaxInflight:    *maxInflight,
+		DefaultTimeout: *timeout,
+		ShardTimeout:   *shardTimeout,
+		FileTimeout:    *fileTimeout,
+		DefaultLimits:  serve.Limits{MaxRegions: *maxRegions, MaxEvalBytes: *maxBytes},
+		RetryAfter:     *retryAfter,
+		Reload:         load,
+	})
+	if err != nil {
+		return err
+	}
+	files, err := load(ctx)
+	if err != nil {
+		return err
+	}
+	if _, err := srv.PublishContext(ctx, files); err != nil {
+		return fmt.Errorf("indexing corpus: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "qofd: %d files, %d shards, domain %s, epoch %d on http://%s\n",
+		len(files), *shards, *dom, srv.Epoch(), ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qof/internal/bibtex"
+)
+
+// syncBuffer lets the test poll run's startup line while run keeps writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`http://([0-9.:]+)`)
+
+// startDaemon runs the daemon on an ephemeral port over the given files and
+// returns its base URL; shutdown and error checking hook into t.Cleanup.
+func startDaemon(t *testing.T, args []string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run returned %v after shutdown", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1]
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited during startup: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed its address; output: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func writeCorpus(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		p := filepath.Join(dir, "doc-"+string(rune('a'+i))+".bib")
+		if err := os.WriteFile(p, []byte(bibtex.SampleEntry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const daemonQuery = `SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`
+
+// TestDaemonEndToEnd boots qofd over a directory corpus, queries it through
+// the real HTTP listener, reloads after editing a file on disk, and shuts
+// down cleanly on context cancellation.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := writeCorpus(t, 3)
+	base := startDaemon(t, []string{"-domain", "bibtex", "-shards", "2", "-dir", dir})
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+		Files  int    `json:"files"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Epoch != 1 || health.Files != 3 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	resp, err = http.Get(base + "/query?q=" + url.QueryEscape(daemonQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Complete bool `json:"complete"`
+		Hits     []struct {
+			File string `json:"file"`
+		} `json:"hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !env.Complete || len(env.Hits) != 3 {
+		t.Fatalf("query: status=%d complete=%v hits=%d", resp.StatusCode, env.Complete, len(env.Hits))
+	}
+
+	// Add a fourth file on disk; /reload publishes it as epoch 2.
+	if err := os.WriteFile(filepath.Join(dir, "doc-z.bib"), []byte(bibtex.SampleEntry), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status=%d body=%s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/query?q=" + url.QueryEscape(daemonQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env2 struct {
+		Epoch uint64 `json:"epoch"`
+		Hits  []any  `json:"hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if env2.Epoch != 2 || len(env2.Hits) != 4 {
+		t.Fatalf("post-reload query: epoch=%d hits=%d, want 2/4", env2.Epoch, len(env2.Hits))
+	}
+}
+
+// TestDaemonPositionalFiles serves explicit file arguments.
+func TestDaemonPositionalFiles(t *testing.T) {
+	dir := writeCorpus(t, 2)
+	base := startDaemon(t, []string{"-domain", "bibtex",
+		filepath.Join(dir, "doc-a.bib"), filepath.Join(dir, "doc-b.bib")})
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Files  int `json:"files"`
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Files != 2 || m.Shards != 1 {
+		t.Fatalf("metrics files=%d shards=%d, want 2/1", m.Files, m.Shards)
+	}
+}
+
+// TestDaemonBadInvocations: flag and corpus errors fail fast with a clear
+// message instead of starting a broken daemon.
+func TestDaemonBadInvocations(t *testing.T) {
+	dir := writeCorpus(t, 1)
+	for _, c := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown domain", []string{"-domain", "nope", "-dir", dir}, "unknown domain"},
+		{"no files", []string{"-domain", "bibtex"}, "usage"},
+		{"both sources", []string{"-domain", "bibtex", "-dir", dir, "extra.bib"}, "usage"},
+		{"missing file", []string{"-domain", "bibtex", "no-such-file.bib"}, "no-such-file"},
+		{"empty dir", []string{"-domain", "bibtex", "-dir", t.TempDir()}, "no files"},
+	} {
+		err := run(context.Background(), c.args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"qof/internal/index"
 	"qof/internal/qgen"
 	"qof/internal/refeval/diff"
+	"qof/internal/serve"
 	"qof/internal/xsql"
 )
 
@@ -141,7 +142,70 @@ func matrixCases() []matrixCase {
 				}
 				return op, check
 			}},
+		{point: faultinject.ServeShard,
+			setup: func(t *testing.T) (func() error, func() error) {
+				srv := serveFixture(t)
+				// A faulted scatter leg degrades rather than fails; the
+				// typed cause must survive through DegradedError.
+				op := func() error {
+					resp, err := srv.Execute(t.Context(), serve.Request{Query: matrixQuery})
+					if err != nil {
+						return err
+					}
+					return resp.DegradedError()
+				}
+				return op, func() error { return serveHealthy(t, srv) }
+			}},
+		{point: faultinject.ServePublish,
+			setup: func(t *testing.T) (func() error, func() error) {
+				srv := serveFixture(t)
+				op := func() error {
+					_, err := srv.Publish(map[string]string{
+						"a.bib": bibtex.SampleEntry, "b.bib": bibtex.SampleEntry, "c.bib": bibtex.SampleEntry,
+					})
+					return err
+				}
+				// A failed publish must leave the previous generation
+				// serving; a clean one must swap in the next epoch.
+				check := func() error {
+					if err := op(); err != nil {
+						return err
+					}
+					return serveHealthy(t, srv)
+				}
+				return op, check
+			}},
 	}
+}
+
+// serveFixture builds a published 2-shard daemon for the serve.* cases.
+func serveFixture(t *testing.T) *serve.Server {
+	t.Helper()
+	srv, err := serve.New(serve.Config{Schema: qof.BibTeX(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish(map[string]string{
+		"a.bib": bibtex.SampleEntry, "b.bib": bibtex.SampleEntry, "c.bib": bibtex.SampleEntry,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// serveHealthy asserts the daemon answers the known query completely.
+func serveHealthy(t *testing.T, srv *serve.Server) error {
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: matrixQuery})
+	if err != nil {
+		return err
+	}
+	if err := resp.DegradedError(); err != nil {
+		return err
+	}
+	if len(resp.Hits) != 3 {
+		return fmt.Errorf("got %d daemon hits, want 3", len(resp.Hits))
+	}
+	return nil
 }
 
 // runGuarded runs op on its own goroutine with a generous watchdog — an

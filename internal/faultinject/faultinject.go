@@ -68,6 +68,8 @@ const (
 	ResultCachePut = "resultcache.put" // engine.ResultCache.Put (fires = entry dropped)
 	Phase2         = "engine.phase2"   // per-candidate work in the phase-2 pool
 	CorpusFile     = "corpus.file"     // per-file evaluation in Corpus.Execute*
+	ServeShard     = "serve.shard"     // per-shard scatter leg in serve.Server.Execute
+	ServePublish   = "serve.publish"   // per-shard corpus build in serve.Server.Publish
 )
 
 // Catalog lists every failpoint name in stable order.
@@ -75,7 +77,7 @@ func Catalog() []string {
 	return []string{
 		IndexBuild, PersistSave, PersistLoad,
 		PlanCacheGet, PlanCachePut, ResultCacheGet, ResultCachePut,
-		Phase2, CorpusFile,
+		Phase2, CorpusFile, ServeShard, ServePublish,
 	}
 }
 

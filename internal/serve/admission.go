@@ -1,0 +1,71 @@
+package serve
+
+import "sync"
+
+// admission implements fair-share admission control with load shedding.
+//
+// The server admits at most max queries at once. While capacity remains,
+// any tenant may use it (the policy is work-conserving: a lone tenant gets
+// the whole server). As tenants contend, each is capped at its fair share
+// — max divided by the number of currently active tenants (tenants with at
+// least one query in flight) — or at its configured hard cap, whichever is
+// set. A query over either bound is shed immediately rather than queued:
+// under saturation, queueing only converts overload into latency, and the
+// client's Retry-After hint is cheaper than a server-side backlog.
+type admission struct {
+	mu        sync.Mutex
+	max       int
+	total     int            // guarded by mu
+	perTenant map[string]int // guarded by mu; tenants with inflight > 0
+}
+
+func newAdmission(max int) *admission {
+	return &admission{max: max, perTenant: make(map[string]int)}
+}
+
+// acquire admits one query for the tenant, returning its release func, or
+// reports shed=false without admitting. tenantCap > 0 is a hard per-tenant
+// bound; 0 means the dynamic fair share.
+func (a *admission) acquire(tenant string, tenantCap int) (release func(), ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total >= a.max {
+		return nil, false
+	}
+	active := len(a.perTenant)
+	if a.perTenant[tenant] == 0 {
+		active++ // this tenant is about to become active
+	}
+	share := tenantCap
+	if share <= 0 {
+		share = a.max / active
+		if share < 1 {
+			share = 1
+		}
+	}
+	if a.perTenant[tenant] >= share {
+		return nil, false
+	}
+	a.total++
+	a.perTenant[tenant]++
+	released := false
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		a.total--
+		if a.perTenant[tenant]--; a.perTenant[tenant] == 0 {
+			delete(a.perTenant, tenant)
+		}
+	}, true
+}
+
+// inflight reports the server-wide queries currently admitted.
+func (a *admission) inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}

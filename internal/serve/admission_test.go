@@ -1,0 +1,131 @@
+package serve
+
+import "testing"
+
+// TestAdmissionWorkConserving: a lone tenant may use the whole server —
+// fairness only bites when tenants contend.
+func TestAdmissionWorkConserving(t *testing.T) {
+	a := newAdmission(4)
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		r, ok := a.acquire("solo", 0)
+		if !ok {
+			t.Fatalf("query %d shed with capacity free", i)
+		}
+		releases = append(releases, r)
+	}
+	if _, ok := a.acquire("solo", 0); ok {
+		t.Fatal("admitted past MaxInflight")
+	}
+	if got := a.inflight(); got != 4 {
+		t.Fatalf("inflight = %d, want 4", got)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if got := a.inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+// TestAdmissionFairShare: once a second tenant is active, each is capped at
+// max / activeTenants, so a hog cannot starve a newcomer.
+func TestAdmissionFairShare(t *testing.T) {
+	a := newAdmission(8)
+	// Tenant a grabs its half-share of 4 while b is active.
+	rb, ok := a.acquire("b", 0)
+	if !ok {
+		t.Fatal("b shed on an empty server")
+	}
+	var ra []func()
+	for i := 0; i < 4; i++ {
+		r, ok := a.acquire("a", 0)
+		if !ok {
+			t.Fatalf("a shed at %d inflight, share should be 4", i)
+		}
+		ra = append(ra, r)
+	}
+	if _, ok := a.acquire("a", 0); ok {
+		t.Fatal("a admitted past its fair share of 8/2")
+	}
+	// b still has room up to its own share.
+	if _, ok := a.acquire("b", 0); !ok {
+		t.Fatal("b shed inside its fair share")
+	}
+	rb()
+	for _, r := range ra {
+		r()
+	}
+}
+
+// TestAdmissionHardCap: a configured per-tenant cap overrides the dynamic
+// share in both directions.
+func TestAdmissionHardCap(t *testing.T) {
+	a := newAdmission(8)
+	r1, ok := a.acquire("capped", 1)
+	if !ok {
+		t.Fatal("first query shed under cap 1")
+	}
+	if _, ok := a.acquire("capped", 1); ok {
+		t.Fatal("admitted past hard cap 1")
+	}
+	r1()
+	if _, ok := a.acquire("capped", 1); !ok {
+		t.Fatal("shed after release freed the cap")
+	}
+}
+
+// TestAdmissionReleaseIdempotent: calling a release func twice must not
+// free capacity twice.
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := newAdmission(2)
+	r1, _ := a.acquire("t", 0)
+	r2, _ := a.acquire("t", 0)
+	r1()
+	r1() // double release
+	if got := a.inflight(); got != 1 {
+		t.Fatalf("inflight = %d after double release, want 1", got)
+	}
+	r2()
+	if got := a.inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+// TestTighten covers the cap/request lattice: zero means no opinion, and
+// the stricter side always wins.
+func TestTighten(t *testing.T) {
+	cases := []struct{ cap, req, want int }{
+		{0, 0, 0}, {5, 0, 5}, {0, 5, 5}, {5, 3, 3}, {3, 5, 3}, {4, 4, 4},
+	}
+	for _, c := range cases {
+		if got := tighten(c.cap, c.req); got != c.want {
+			t.Errorf("tighten(%d, %d) = %d, want %d", c.cap, c.req, got, c.want)
+		}
+	}
+}
+
+// TestLatencyHistQuantile sanity-checks the log-bucketed histogram: a known
+// distribution reads back within the 2x bucket resolution.
+func TestLatencyHistQuantile(t *testing.T) {
+	var h latencyHist
+	if got := h.quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(1000000) // 1 ms → 1000 µs
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(100000000) // 100 ms
+	}
+	p50, p999 := h.quantile(0.5), h.quantile(0.999)
+	if p50 < 1 || p50 > 3 {
+		t.Errorf("p50 = %v ms, want ~1-2ms bucket", p50)
+	}
+	if p999 < 100 || p999 > 300 {
+		t.Errorf("p999 = %v ms, want ~100-200ms bucket", p999)
+	}
+	if p50 > p999 {
+		t.Errorf("p50 %v > p999 %v", p50, p999)
+	}
+}

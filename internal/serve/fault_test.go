@@ -1,0 +1,157 @@
+package serve_test
+
+// Satellite fault matrix for the serving layer: per-shard failpoints must
+// degrade the answer to a partial one with correct shard and file
+// attribution — never fail or hang the query — and the daemon must serve
+// complete answers again the moment the fault clears.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qof"
+	"qof/internal/faultinject"
+	"qof/internal/serve"
+)
+
+// TestShardFaultDegrades injects error and panic faults into exactly one
+// scatter leg (trigger @1: the first shard to reach the failpoint) and
+// asserts the partial-answer contract.
+func TestShardFaultDegrades(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2})
+	if _, err := srv.Publish(sampleFiles(6)); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"error", "panic"} {
+		if err := faultinject.Configure(faultinject.ServeShard + "=" + kind + "@1"); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+		faultinject.Reset()
+		if err != nil {
+			t.Fatalf("%s: shard fault failed the query outright: %v", kind, err)
+		}
+		if resp.Complete() || len(resp.Degraded) == 0 {
+			t.Fatalf("%s: faulted shard produced a complete answer", kind)
+		}
+		want := error(faultinject.ErrInjected)
+		if kind == "panic" {
+			want = qof.ErrInternal
+		}
+		// Every degraded file belongs to the one faulted shard, is placed
+		// there by the hash, and carries the typed cause.
+		faulted := resp.Degraded[0].Shard
+		for _, d := range resp.Degraded {
+			if d.Shard != faulted {
+				t.Errorf("%s: degradation spans shards %d and %d, want one", kind, faulted, d.Shard)
+			}
+			if got := serve.ShardOf(d.File, 2); got != d.Shard {
+				t.Errorf("%s: %s attributed to shard %d, hashes to %d", kind, d.File, d.Shard, got)
+			}
+			if !errors.Is(d.Err, want) {
+				t.Errorf("%s: %s failed with %v, want %v", kind, d.File, d.Err, want)
+			}
+		}
+		if got := len(resp.Hits) + len(resp.Degraded); got != 6 {
+			t.Errorf("%s: hits %d + degraded %d != 6 files", kind, len(resp.Hits), len(resp.Degraded))
+		}
+		// The surviving shard answered correctly: every hit has the known
+		// single result and hashes to the healthy shard.
+		for _, h := range resp.Hits {
+			if serve.ShardOf(h.File, 2) == faulted {
+				t.Errorf("%s: hit %s hashes to the faulted shard %d", kind, h.File, faulted)
+			}
+		}
+		if err := resp.DegradedError(); !errors.Is(err, want) {
+			t.Errorf("%s: DegradedError = %v, want %v", kind, err, want)
+		}
+		// Fault cleared: the very next query is complete.
+		resp, err = srv.Execute(t.Context(), serve.Request{Query: changQuery})
+		if err != nil || !resp.Complete() || len(resp.Hits) != 6 {
+			t.Fatalf("%s: post-fault query: hits=%d err=%v degraded=%v",
+				kind, len(resp.Hits), err, resp.DegradedError())
+		}
+	}
+}
+
+// TestShardDelayFault: a slow shard under no deadline just makes the query
+// slower — the answer stays complete.
+func TestShardDelayFault(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2})
+	if _, err := srv.Publish(sampleFiles(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure(faultinject.ServeShard + "=delay:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	faultinject.Reset()
+	if err != nil || !resp.Complete() || len(resp.Hits) != 4 {
+		t.Fatalf("delayed shard: hits=%d err=%v degraded=%v", len(resp.Hits), err, resp.DegradedError())
+	}
+}
+
+// TestShardDeadlineDegrades: per-file work slower than the shard deadline
+// degrades those files with context.DeadlineExceeded, while the query-level
+// call still succeeds — a slow shard is a partial answer, not a failed or
+// interrupted query.
+func TestShardDeadlineDegrades(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2, ShardTimeout: 20 * time.Millisecond})
+	if _, err := srv.Publish(sampleFiles(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure(faultinject.CorpusFile + "=delay:80ms"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	faultinject.Reset()
+	if err != nil {
+		t.Fatalf("shard deadline interrupted the query: %v", err)
+	}
+	if resp.Complete() {
+		t.Fatal("80ms/file under a 20ms shard deadline produced a complete answer")
+	}
+	for _, d := range resp.Degraded {
+		if !errors.Is(d.Err, context.DeadlineExceeded) {
+			t.Errorf("%s degraded with %v, want DeadlineExceeded", d.File, d.Err)
+		}
+		if got := serve.ShardOf(d.File, 2); got != d.Shard {
+			t.Errorf("%s attributed to shard %d, hashes to %d", d.File, d.Shard, got)
+		}
+	}
+	if got := len(resp.Hits) + len(resp.Degraded); got != 4 {
+		t.Errorf("hits %d + degraded %d != 4 files", len(resp.Hits), len(resp.Degraded))
+	}
+	// Deadlines cleared, the daemon is healthy.
+	resp, err = srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	if err != nil || !resp.Complete() || len(resp.Hits) != 4 {
+		t.Fatalf("post-deadline query: hits=%d err=%v", len(resp.Hits), err)
+	}
+}
+
+// TestQueryDeadlineInterrupts: unlike a shard deadline, the query-level
+// deadline expiring reports interruption to the caller (HTTP: 504), with
+// the partial answer attached.
+func TestQueryDeadlineInterrupts(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2})
+	if _, err := srv.Publish(sampleFiles(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure(faultinject.CorpusFile + "=delay:80ms"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery, Timeout: 20 * time.Millisecond})
+	faultinject.Reset()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if resp == nil {
+		t.Fatal("interrupted query returned no partial response")
+	}
+	resp, err = srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	if err != nil || !resp.Complete() {
+		t.Fatalf("post-interrupt query: err=%v degraded=%v", err, resp.DegradedError())
+	}
+}

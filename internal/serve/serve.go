@@ -1,0 +1,506 @@
+// Package serve implements qofd's serving layer: a stdlib-only, sharded,
+// multi-tenant HTTP/JSON query daemon over the qof facade.
+//
+// A published corpus is hashed by document name across N shards, each an
+// independent *qof.Corpus. A query is admitted (fair-share admission
+// control with load shedding under saturation), scattered to every shard
+// under per-shard deadlines, and the per-shard results are gathered back
+// into global document order — so a sharded answer is byte-identical to
+// the answer the direct facade gives over one corpus holding every file.
+// Per-shard failures degrade to partial answers with shard and file
+// attribution instead of failing the query.
+//
+// Corpora are hot-reloaded with the swap-on-publish pattern the result
+// cache already uses: Publish builds a complete new shard set off to the
+// side and atomically swaps it in under a bumped epoch; in-flight queries
+// keep the set they started with. See docs/SERVING.md for the full
+// contract.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qof"
+	"qof/internal/faultinject"
+	"qof/internal/qerr"
+	"qof/internal/xsql"
+)
+
+// Sentinel errors Execute returns; the HTTP layer maps them to statuses.
+var (
+	// ErrShed reports that admission control rejected the query because
+	// the server (or the tenant's fair share) is saturated. HTTP: 429.
+	ErrShed = errors.New("serve: saturated, query shed")
+	// ErrNoCorpus reports that nothing has been published yet. HTTP: 503.
+	ErrNoCorpus = errors.New("serve: no corpus published")
+	// ErrBadQuery wraps an XSQL parse error in the request. HTTP: 400.
+	ErrBadQuery = errors.New("serve: bad query")
+)
+
+// Limits are per-query resource budgets, mapped onto the facade's
+// WithMaxRegions / WithMaxEvalBytes knobs. Zero means unlimited.
+type Limits struct {
+	MaxRegions   int
+	MaxEvalBytes int
+}
+
+// Tenant configures one tenant's share of the server. The zero value means
+// "defaults": the server-wide limits and a fair share of MaxInflight.
+type Tenant struct {
+	// Limits override the server-wide default budgets where nonzero.
+	Limits Limits
+	// Timeout overrides the server-wide default query deadline when > 0.
+	Timeout time.Duration
+	// MaxInflight is a hard cap on the tenant's concurrent queries. 0
+	// means the dynamic fair share: MaxInflight / active tenants.
+	MaxInflight int
+}
+
+// Config configures a Server. Schema is required; everything else has a
+// serviceable default.
+type Config struct {
+	// Schema is the structuring schema every published file shares.
+	Schema *qof.Schema
+	// Shards is the number of engine shards documents are hashed across.
+	// Values < 1 mean one shard.
+	Shards int
+	// Parallelism is each shard's corpus parallelism (files evaluated
+	// concurrently within one shard, and concurrent index builds during
+	// Publish). Values < 2 are sequential.
+	Parallelism int
+	// Materializing selects the materializing reference executor for
+	// every shard, for differential testing against the streaming default.
+	Materializing bool
+
+	// MaxInflight bounds the queries executing at once, server-wide;
+	// admission beyond it sheds with ErrShed. Values < 1 mean 64.
+	MaxInflight int
+	// DefaultTimeout bounds each admitted query's wall time. Values <= 0
+	// mean 10s. Tenants and requests may tighten it, never loosen it.
+	DefaultTimeout time.Duration
+	// ShardTimeout bounds each shard's scatter leg separately; a shard
+	// exceeding it degrades to partial answers while the others complete.
+	// 0 means no per-shard deadline beyond the query deadline.
+	ShardTimeout time.Duration
+	// FileTimeout bounds each file within a shard separately (the
+	// facade's WithFileTimeout). 0 means no per-file deadline.
+	FileTimeout time.Duration
+	// DefaultLimits are the server-wide per-query budgets.
+	DefaultLimits Limits
+	// Tenants maps tenant names to their overrides. Unlisted tenants get
+	// the defaults and a fair share.
+	Tenants map[string]Tenant
+	// RetryAfter is the backoff hint attached to shed responses. Values
+	// <= 0 mean 1s.
+	RetryAfter time.Duration
+
+	// Reload, when set, enables POST /reload: it re-reads the corpus
+	// sources and the server publishes the result as the next epoch.
+	Reload func(context.Context) (map[string]string, error)
+}
+
+func (c *Config) shards() int {
+	if c.Shards < 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+func (c *Config) maxInflight() int {
+	if c.MaxInflight < 1 {
+		return 64
+	}
+	return c.MaxInflight
+}
+
+func (c *Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.DefaultTimeout
+}
+
+func (c *Config) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return time.Second
+	}
+	return c.RetryAfter
+}
+
+// shardSet is one published corpus generation: an immutable snapshot the
+// server swaps atomically on Publish. Queries load it once and use it for
+// their whole execution, so a concurrent reload never mixes generations
+// within one answer.
+type shardSet struct {
+	epoch   uint64
+	shards  []*qof.Corpus
+	files   []string   // every published file name, sorted (global order)
+	byShard [][]string // files of each shard, sorted (shard order)
+}
+
+// Server is the sharded multi-tenant query service. Create it with New,
+// publish a corpus with Publish, then serve queries via Execute or the
+// HTTP handler (Handler). All methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	set atomic.Pointer[shardSet]
+	adm *admission
+	met *metrics
+
+	publishMu sync.Mutex // serializes Publish; queries never take it
+}
+
+// New creates a Server. It serves ErrNoCorpus until the first Publish.
+func New(cfg Config) (*Server, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("serve: Config.Schema is required")
+	}
+	return &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.maxInflight()),
+		met: newMetrics(),
+	}, nil
+}
+
+// Epoch reports the currently published corpus generation (0 before the
+// first Publish).
+func (s *Server) Epoch() uint64 {
+	if set := s.set.Load(); set != nil {
+		return set.epoch
+	}
+	return 0
+}
+
+// Files reports the published file names in global document order.
+func (s *Server) Files() []string {
+	set := s.set.Load()
+	if set == nil {
+		return nil
+	}
+	return append([]string(nil), set.files...)
+}
+
+// ShardOf reports which of n shards the named document hashes to. It is
+// exported so tests and operators can predict placement.
+func ShardOf(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Publish indexes files into a fresh shard set and swaps it in under the
+// next epoch. See PublishContext.
+func (s *Server) Publish(files map[string]string) (uint64, error) {
+	return s.PublishContext(context.Background(), files)
+}
+
+// PublishContext builds the new generation completely before anything
+// becomes visible: per-shard corpora are built (concurrently, each with
+// the configured intra-shard parallelism), and only if every shard builds
+// does the swap happen — a failed publish leaves the previous generation
+// serving untouched. Every failing shard is reported, not just the first:
+// the returned error joins one attributed error per failed shard, and
+// each shard's own error joins one attributed error per failed file.
+func (s *Server) PublishContext(ctx context.Context, files map[string]string) (uint64, error) {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+
+	n := s.cfg.shards()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	byShard := make([][]string, n)
+	perShard := make([]map[string]string, n)
+	for i := range perShard {
+		perShard[i] = make(map[string]string)
+	}
+	for _, name := range names {
+		i := ShardOf(name, n)
+		byShard[i] = append(byShard[i], name)
+		perShard[i][name] = files[name]
+	}
+
+	shards := make([]*qof.Corpus, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("panic: %v: %w", p, qerr.ErrInternal)
+				}
+			}()
+			if err := faultinject.Hit(faultinject.ServePublish); err != nil {
+				errs[i] = err
+				return
+			}
+			opts := []qof.IndexOption{qof.WithParallelism(s.cfg.Parallelism)}
+			if s.cfg.Materializing {
+				opts = append(opts, qof.WithMaterializing())
+			}
+			c := s.cfg.Schema.NewCorpus(opts...)
+			if err := c.AddAllContext(ctx, perShard[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			shards[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			errs[i] = fmt.Errorf("serve: shard %d: %w", i, errs[i])
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return s.Epoch(), err
+	}
+
+	epoch := uint64(1)
+	if old := s.set.Load(); old != nil {
+		epoch = old.epoch + 1
+	}
+	s.set.Store(&shardSet{epoch: epoch, shards: shards, files: names, byShard: byShard})
+	return epoch, nil
+}
+
+// Request is one query submission.
+type Request struct {
+	// Query is the XSQL source.
+	Query string
+	// Tenant names the submitting tenant; empty means "anonymous".
+	Tenant string
+	// Timeout tightens the effective query deadline when > 0 (it can
+	// never loosen the tenant's or server's deadline).
+	Timeout time.Duration
+	// MaxRegions / MaxEvalBytes tighten the effective budgets when > 0.
+	MaxRegions   int
+	MaxEvalBytes int
+}
+
+// ShardFileError attributes one file's failure to the shard that served it.
+type ShardFileError struct {
+	File  string
+	Shard int
+	Err   error
+}
+
+// Response is a query outcome. Hits and Degraded are in global document
+// order, so the same corpus answers identically no matter how it is
+// sharded.
+type Response struct {
+	// Epoch is the corpus generation that served the query.
+	Epoch uint64
+	// Shards is the serving shard count.
+	Shards int
+	// Files is the number of published files.
+	Files int
+	// Hits lists the files with at least one result.
+	Hits []qof.CorpusHit
+	// Degraded lists per-file failures (shard faults, per-file or
+	// per-shard deadlines, budget violations) the rest of the answer
+	// survived. Empty means the answer is complete.
+	Degraded []ShardFileError
+	// Stats aggregates execution statistics over the succeeded files.
+	Stats qof.CorpusStats
+	// Elapsed is the server-side execution wall time.
+	Elapsed time.Duration
+}
+
+// Complete reports whether every published file contributed.
+func (r *Response) Complete() bool { return len(r.Degraded) == 0 }
+
+// DegradedError joins the per-file failures with shard and file
+// attribution, or returns nil when the response is complete. errors.Is
+// matches each underlying cause.
+func (r *Response) DegradedError() error {
+	if len(r.Degraded) == 0 {
+		return nil
+	}
+	errs := make([]error, len(r.Degraded))
+	for i, d := range r.Degraded {
+		errs[i] = fmt.Errorf("serve: shard %d: %s: %w", d.Shard, d.File, d.Err)
+	}
+	return errors.Join(errs...)
+}
+
+// tenant resolves the effective configuration for a tenant name.
+func (s *Server) tenant(name string) Tenant {
+	t := s.cfg.Tenants[name]
+	if t.Limits.MaxRegions == 0 {
+		t.Limits.MaxRegions = s.cfg.DefaultLimits.MaxRegions
+	}
+	if t.Limits.MaxEvalBytes == 0 {
+		t.Limits.MaxEvalBytes = s.cfg.DefaultLimits.MaxEvalBytes
+	}
+	if t.Timeout <= 0 {
+		t.Timeout = s.cfg.defaultTimeout()
+	}
+	return t
+}
+
+// tighten returns the stricter of a cap and a requested value; zero means
+// "no opinion" on either side.
+func tighten(cap, req int) int {
+	if req <= 0 {
+		return cap
+	}
+	if cap <= 0 || req < cap {
+		return req
+	}
+	return cap
+}
+
+// Execute admits, scatters and gathers one query. It returns ErrShed,
+// ErrNoCorpus or an error wrapping ErrBadQuery without touching the
+// shards; otherwise the response carries whatever completed, and the
+// error is only non-nil when the query-level context ended (the caller
+// learns the answer was cut short, with the partial answer attached).
+func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
+	set := s.set.Load()
+	if set == nil {
+		return nil, ErrNoCorpus
+	}
+	if _, err := xsql.Parse(req.Query); err != nil {
+		s.met.badQuery.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	ten := s.tenant(req.Tenant)
+	s.met.tenant(req.Tenant).queries.Add(1)
+	release, ok := s.adm.acquire(req.Tenant, ten.MaxInflight)
+	if !ok {
+		s.met.shed.Add(1)
+		s.met.tenant(req.Tenant).shed.Add(1)
+		return nil, ErrShed
+	}
+	defer release()
+	s.met.queries.Add(1)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+	start := time.Now()
+	defer func() { s.met.hist.observe(time.Since(start)) }()
+
+	timeout := ten.Timeout
+	if req.Timeout > 0 && req.Timeout < timeout {
+		timeout = req.Timeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	opts := []qof.QueryOption{qof.WithPartialResults()}
+	if n := tighten(ten.Limits.MaxRegions, req.MaxRegions); n > 0 {
+		opts = append(opts, qof.WithMaxRegions(n))
+	}
+	if n := tighten(ten.Limits.MaxEvalBytes, req.MaxEvalBytes); n > 0 {
+		opts = append(opts, qof.WithMaxEvalBytes(n))
+	}
+	if s.cfg.FileTimeout > 0 {
+		opts = append(opts, qof.WithFileTimeout(s.cfg.FileTimeout))
+	}
+
+	// Scatter: one goroutine per shard (shard counts are small). Each leg
+	// is panic-isolated and deadline-bounded on its own, so one bad shard
+	// degrades the answer instead of failing or hanging it.
+	type shardOut struct {
+		res *qof.CorpusResults
+		err error
+	}
+	outs := make([]shardOut, len(set.shards))
+	var wg sync.WaitGroup
+	for i := range set.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					outs[i] = shardOut{err: fmt.Errorf("panic: %v: %w", p, qerr.ErrInternal)}
+				}
+			}()
+			if err := faultinject.Hit(faultinject.ServeShard); err != nil {
+				outs[i] = shardOut{err: err}
+				return
+			}
+			sctx := ctx
+			if s.cfg.ShardTimeout > 0 {
+				var scancel context.CancelFunc
+				sctx, scancel = context.WithTimeout(ctx, s.cfg.ShardTimeout)
+				defer scancel()
+			}
+			res, err := set.shards[i].ExecuteContext(sctx, req.Query, opts...)
+			outs[i] = shardOut{res: res, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	// Gather: merge per-shard hits and failures back into global document
+	// order. A leg that failed wholesale (injected fault, panic, its
+	// deadline before any file ran) degrades every file it owned.
+	resp := &Response{Epoch: set.epoch, Shards: len(set.shards), Files: len(set.files)}
+	hits := make(map[string]qof.CorpusHit)
+	degraded := make(map[string]ShardFileError)
+	var interrupted error
+	for i, o := range outs {
+		if o.res == nil {
+			err := o.err
+			if err == nil {
+				err = errors.New("serve: shard returned no result")
+			}
+			for _, f := range set.byShard[i] {
+				degraded[f] = ShardFileError{File: f, Shard: i, Err: err}
+			}
+			continue
+		}
+		for _, h := range o.res.Hits {
+			hits[h.File] = h
+		}
+		for _, fe := range o.res.Degraded {
+			degraded[fe.File] = ShardFileError{File: fe.File, Shard: i, Err: fe.Err}
+		}
+		resp.Stats.Results += o.res.Stats.Results
+		resp.Stats.Candidates += o.res.Stats.Candidates
+		resp.Stats.Parsed += o.res.Stats.Parsed
+		resp.Stats.ParsedBytes += o.res.Stats.ParsedBytes
+		resp.Stats.Exact = resp.Stats.Exact || o.res.Stats.Exact
+		resp.Stats.FullScan = resp.Stats.FullScan || o.res.Stats.FullScan
+	}
+	// Partial mode returns an error alongside results when the context it
+	// ran under ended. A shard-local deadline is already reflected in that
+	// shard's per-file degradation; only the query-level context ending
+	// makes the whole call report interruption.
+	if err := ctx.Err(); err != nil {
+		interrupted = err
+	}
+	for _, f := range set.files {
+		if h, ok := hits[f]; ok {
+			resp.Hits = append(resp.Hits, h)
+		}
+		if d, ok := degraded[f]; ok {
+			resp.Degraded = append(resp.Degraded, d)
+		}
+	}
+	resp.Elapsed = time.Since(start)
+	if len(resp.Degraded) > 0 {
+		s.met.degraded.Add(1)
+	}
+	if interrupted != nil {
+		if errors.Is(interrupted, context.Canceled) {
+			s.met.canceled.Add(1)
+		}
+		return resp, interrupted
+	}
+	s.met.ok.Add(1)
+	return resp, nil
+}

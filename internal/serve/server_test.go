@@ -1,0 +1,455 @@
+package serve_test
+
+// Unit tests for the serving layer: publish/epoch lifecycle, admission and
+// shedding over HTTP, the request decoder, and the metrics surface. The
+// differential harness in diff_test.go proves answer correctness; these
+// tests pin down the daemon's operational contract.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qof"
+	"qof/internal/bibtex"
+	"qof/internal/faultinject"
+	"qof/internal/serve"
+)
+
+const changQuery = `SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`
+
+func sampleFiles(n int) map[string]string {
+	files := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		files[fmt.Sprintf("doc-%02d.bib", i)] = bibtex.SampleEntry
+	}
+	return files
+}
+
+func newServer(t *testing.T, cfg serve.Config) *serve.Server {
+	t.Helper()
+	if cfg.Schema == nil {
+		cfg.Schema = qof.BibTeX()
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestServerRequiresSchema(t *testing.T) {
+	if _, err := serve.New(serve.Config{}); err == nil {
+		t.Fatal("New accepted a config without a schema")
+	}
+}
+
+// TestNoCorpus: before the first publish, Execute refuses with ErrNoCorpus
+// and /healthz reports 503.
+func TestNoCorpus(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	if _, err := srv.Execute(t.Context(), serve.Request{Query: changQuery}); !errors.Is(err, serve.ErrNoCorpus) {
+		t.Fatalf("Execute = %v, want ErrNoCorpus", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d before publish, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/query?q=" + url.QueryEscape(changQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/query = %d before publish, want 503", resp.StatusCode)
+	}
+}
+
+// TestPublishEpochs: every successful publish bumps the epoch by one, and
+// queries answer from the generation current when they were admitted.
+func TestPublishEpochs(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2})
+	for want := uint64(1); want <= 3; want++ {
+		epoch, err := srv.Publish(sampleFiles(int(want) + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != want {
+			t.Fatalf("publish %d: epoch = %d", want, epoch)
+		}
+		resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Epoch != want || resp.Files != int(want)+1 || len(resp.Hits) != int(want)+1 {
+			t.Fatalf("epoch %d: got epoch=%d files=%d hits=%d", want, resp.Epoch, resp.Files, len(resp.Hits))
+		}
+		if !resp.Complete() {
+			t.Fatalf("epoch %d: degraded answer on a healthy corpus: %v", want, resp.DegradedError())
+		}
+	}
+}
+
+// TestPublishReportsEveryShard is the AddAll-style error-reporting fix at
+// the shard level: when several shards fail to build, the publish error
+// attributes every one of them, not just the first, and the previous
+// generation keeps serving untouched.
+func TestPublishReportsEveryShard(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 4})
+	if _, err := srv.Publish(sampleFiles(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure(faultinject.ServePublish + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Publish(sampleFiles(8))
+	faultinject.Reset()
+	if err == nil {
+		t.Fatal("publish succeeded with every shard build faulted")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("publish error %v does not wrap ErrInjected", err)
+	}
+	for i := 0; i < 4; i++ {
+		if want := fmt.Sprintf("shard %d", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("publish error lacks %q attribution: %v", want, err)
+		}
+	}
+	// The failed publish must be invisible: old epoch, old answers.
+	if got := srv.Epoch(); got != 1 {
+		t.Fatalf("failed publish moved the epoch to %d", got)
+	}
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	if err != nil || !resp.Complete() || len(resp.Hits) != 8 {
+		t.Fatalf("previous generation no longer serves: hits=%d err=%v", len(resp.Hits), err)
+	}
+}
+
+// TestPublishPartialShardFailure: when only one shard build fails, exactly
+// that shard is attributed and the swap still does not happen.
+func TestPublishPartialShardFailure(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 3})
+	if err := faultinject.Configure(faultinject.ServePublish + "=error@2"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Publish(sampleFiles(6))
+	faultinject.Reset()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("publish error = %v, want ErrInjected", err)
+	}
+	if n := strings.Count(err.Error(), "shard "); n != 1 {
+		t.Errorf("error attributes %d shards, want exactly 1: %v", n, err)
+	}
+	if got := srv.Epoch(); got != 0 {
+		t.Fatalf("failed first publish set epoch %d", got)
+	}
+}
+
+// TestExecuteBadQuery: a parse error is rejected before admission, typed
+// ErrBadQuery, mapped to 400 over HTTP.
+func TestExecuteBadQuery(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	if _, err := srv.Publish(sampleFiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Execute(t.Context(), serve.Request{Query: "SELECT FROM WHERE"}); !errors.Is(err, serve.ErrBadQuery) {
+		t.Fatalf("Execute = %v, want ErrBadQuery", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"SELECT FROM"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query = %d, want 400", resp.StatusCode)
+	}
+	if got := srv.Metrics().BadQueryTotal; got != 2 {
+		t.Fatalf("bad_query_total = %d, want 2", got)
+	}
+}
+
+// TestHTTPDecoding exercises the request decoder's surface: GET parameter
+// mapping, the tenant header fallback, empty queries, bad numbers, and
+// unsupported methods.
+func TestHTTPDecoding(t *testing.T) {
+	srv := newServer(t, serve.Config{})
+	if _, err := srv.Publish(sampleFiles(2)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// GET with parameters answers like POST.
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(changQuery) + "&tenant=alice&timeout_ms=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env serve.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(env.Hits) != 2 {
+		t.Fatalf("GET query: status=%d hits=%d", resp.StatusCode, len(env.Hits))
+	}
+
+	// The tenant header is the fallback when the body names none.
+	body, err := json.Marshal(serve.QueryRequest{Query: changQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(string(body)))
+	req.Header.Set("X-Qofd-Tenant", "header-tenant")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("header-tenant query = %d", resp.StatusCode)
+	}
+	if _, ok := srv.Metrics().Tenants["header-tenant"]; !ok {
+		t.Error("X-Qofd-Tenant header did not attribute the query")
+	}
+
+	for _, c := range []struct {
+		method, url, body string
+		want              int
+	}{
+		{http.MethodGet, "/query", "", http.StatusBadRequest},                                                      // empty query
+		{http.MethodGet, "/query?q=" + url.QueryEscape(changQuery) + "&timeout_ms=abc", "", http.StatusBadRequest}, // bad number
+		{http.MethodPost, "/query", "{not json", http.StatusBadRequest},                                            // bad body
+		{http.MethodDelete, "/query", "", http.StatusMethodNotAllowed},                                             // bad method
+		{http.MethodGet, "/reload", "", http.StatusNotFound},                                                       // no Reload configured
+	} {
+		var body io.Reader
+		if c.body != "" {
+			body = strings.NewReader(c.body)
+		}
+		req, _ := http.NewRequest(c.method, ts.URL+c.url, body)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.url, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestHTTPShed saturates a MaxInflight=1 server with a held query and
+// asserts the second request is shed with 429 and the Retry-After hint.
+func TestHTTPShed(t *testing.T) {
+	srv := newServer(t, serve.Config{MaxInflight: 1, RetryAfter: 2 * time.Second})
+	if _, err := srv.Publish(sampleFiles(2)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := faultinject.Configure(faultinject.ServeShard + "=delay:400ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(changQuery))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the held query is admitted, then submit the one to shed.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().AdmittedInflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("held query never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(changQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated query = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	wg.Wait()
+	faultinject.Reset()
+
+	m := srv.Metrics()
+	if m.ShedTotal == 0 {
+		t.Error("shed_total = 0 after a shed response")
+	}
+	// The server is immediately healthy again.
+	resp, err = http.Get(ts.URL + "/query?q=" + url.QueryEscape(changQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-shed query = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestTenantHardCapShedsOnlyThatTenant: a capped tenant sheds at its bound
+// while another tenant still gets in.
+func TestTenantHardCapShedsOnlyThatTenant(t *testing.T) {
+	srv := newServer(t, serve.Config{
+		MaxInflight: 8,
+		Tenants:     map[string]serve.Tenant{"capped": {MaxInflight: 1}},
+	})
+	if _, err := srv.Publish(sampleFiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Configure(faultinject.ServeShard + "=delay:300ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Execute(t.Context(), serve.Request{Query: changQuery, Tenant: "capped"})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().AdmittedInflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("held query never admitted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := srv.Execute(t.Context(), serve.Request{Query: changQuery, Tenant: "capped"}); !errors.Is(err, serve.ErrShed) {
+		t.Fatalf("capped tenant: err = %v, want ErrShed", err)
+	}
+	if _, err := srv.Execute(t.Context(), serve.Request{Query: changQuery, Tenant: "other"}); err != nil {
+		t.Fatalf("other tenant shed with capacity free: %v", err)
+	}
+	wg.Wait()
+	m := srv.Metrics()
+	if m.Tenants["capped"].Shed != 1 {
+		t.Errorf("capped tenant shed count = %d, want 1", m.Tenants["capped"].Shed)
+	}
+	if m.Tenants["other"].Shed != 0 {
+		t.Errorf("other tenant shed count = %d, want 0", m.Tenants["other"].Shed)
+	}
+}
+
+// TestReloadEndpoint: POST /reload pulls the new corpus through
+// Config.Reload and publishes it as the next epoch; GET is rejected.
+func TestReloadEndpoint(t *testing.T) {
+	generation := 0
+	srv := newServer(t, serve.Config{
+		Shards: 2,
+		Reload: func(ctx context.Context) (map[string]string, error) {
+			generation++
+			return sampleFiles(generation + 1), nil
+		},
+	})
+	if _, err := srv.Publish(sampleFiles(1)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /reload = %d", resp.StatusCode)
+	}
+	if got := srv.Epoch(); got != 2 {
+		t.Fatalf("epoch after reload = %d, want 2", got)
+	}
+	if got := len(srv.Files()); got != 2 {
+		t.Fatalf("files after reload = %d, want 2", got)
+	}
+}
+
+// TestMetricsEndpoint spot-checks the counter plumbing end to end.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2})
+	if _, err := srv.Publish(sampleFiles(3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Execute(t.Context(), serve.Request{Query: changQuery, Tenant: "m"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m serve.MetricsBody
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.QueriesTotal != 3 || m.OkTotal != 3 || m.ShedTotal != 0 {
+		t.Fatalf("metrics = queries:%d ok:%d shed:%d, want 3/3/0", m.QueriesTotal, m.OkTotal, m.ShedTotal)
+	}
+	if m.Epoch != 1 || m.Shards != 2 || m.Files != 3 {
+		t.Fatalf("metrics corpus = epoch:%d shards:%d files:%d", m.Epoch, m.Shards, m.Files)
+	}
+	if m.Tenants["m"].Queries != 3 {
+		t.Fatalf("tenant queries = %d, want 3", m.Tenants["m"].Queries)
+	}
+	if m.LatencyMs["p50"] <= 0 {
+		t.Error("p50 latency missing after 3 queries")
+	}
+}
+
+// TestShardOf pins the placement function: deterministic, in range, and
+// the single-shard case is always shard 0.
+func TestShardOf(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("doc-%02d.bib", i)
+		if got := serve.ShardOf(name, 1); got != 0 {
+			t.Fatalf("ShardOf(%q, 1) = %d", name, got)
+		}
+		got := serve.ShardOf(name, 4)
+		if got < 0 || got > 3 {
+			t.Fatalf("ShardOf(%q, 4) = %d out of range", name, got)
+		}
+		if again := serve.ShardOf(name, 4); again != got {
+			t.Fatalf("ShardOf(%q, 4) unstable: %d then %d", name, got, again)
+		}
+	}
+}

@@ -167,6 +167,25 @@ type FileError struct {
 	Err  error
 }
 
+// CorpusStats aggregates execution statistics over the files of a corpus
+// query. Every field is partition-invariant: splitting the same files
+// across several corpora (as the qofd shards do) and summing per-corpus
+// stats yields the same totals as one corpus holding them all.
+type CorpusStats struct {
+	// Results is the total number of result rows across files.
+	Results int
+	// Candidates is the total number of candidate regions phase 1 produced.
+	Candidates int
+	// Parsed is the total number of regions parsed in phase 2.
+	Parsed int
+	// ParsedBytes is the total number of document bytes parsed.
+	ParsedBytes int
+	// Exact reports that at least one file's answer needed no filtering.
+	Exact bool
+	// FullScan reports that the index offered no narrowing on some file.
+	FullScan bool
+}
+
 // CorpusResults is the outcome of a corpus query run with ExecuteContext.
 type CorpusResults struct {
 	// Hits lists the files with at least one result, in corpus order.
@@ -175,6 +194,8 @@ type CorpusResults struct {
 	// with WithPartialResults; Hits then covers only the files that
 	// succeeded. Empty means the result is complete.
 	Degraded []FileError
+	// Stats aggregates execution statistics over the files that succeeded.
+	Stats CorpusStats
 }
 
 // DegradedError joins the per-file failures into one attributed error, or
@@ -212,7 +233,14 @@ func (c *Corpus) ExecuteContext(ctx context.Context, src string, opts ...QueryOp
 	if res == nil {
 		return nil, err
 	}
-	out = &CorpusResults{}
+	out = &CorpusResults{Stats: CorpusStats{
+		Results:     res.Stats.Results,
+		Candidates:  res.Stats.Candidates,
+		Parsed:      res.Stats.Parsed,
+		ParsedBytes: res.Stats.ParsedBytes,
+		Exact:       res.Stats.Exact,
+		FullScan:    res.Stats.FullScan,
+	}}
 	for _, h := range res.Hits {
 		hit := CorpusHit{File: h.File, Values: append([]string(nil), h.Strings...)}
 		for _, r := range h.Regions.Regions() {
