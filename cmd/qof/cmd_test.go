@@ -1,0 +1,157 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorpus generates a small bibtex corpus into dir and returns its path.
+func writeCorpus(t *testing.T, dir string, n int, seed int64) string {
+	t.Helper()
+	d, err := lookupDomain("bibtex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "corpus.bib")
+	if err := os.WriteFile(path, []byte(d.generate(n, seed)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdGen(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "gen.bib")
+	if err := cmdGen([]string{"-domain", "bibtex", "-n", "5", "-seed", "7", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "AUTHOR") {
+		t.Errorf("generated corpus lacks entries:\n%.200s", data)
+	}
+	// -sample writes the built-in sample document instead.
+	sample := filepath.Join(dir, "sample.bib")
+	if err := cmdGen([]string{"-domain", "bibtex", "-sample", "-o", sample}); err != nil {
+		t.Fatal(err)
+	}
+	if sd, _ := os.ReadFile(sample); len(sd) == 0 {
+		t.Error("sample output empty")
+	}
+	if err := cmdGen([]string{"-domain", "nope"}); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestCmdIndexAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	corpus := writeCorpus(t, dir, 20, 5)
+	idx := filepath.Join(dir, "corpus.qidx")
+	if err := cmdIndex([]string{"-domain", "bibtex", "-o", idx, corpus}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(idx); err != nil || st.Size() == 0 {
+		t.Fatalf("index file: %v, %v", st, err)
+	}
+	// Query against the persisted index and against an in-memory build, on
+	// both executors, projected and unprojected, text and JSON output.
+	q := `SELECT r.Key FROM References r WHERE r.Year STARTS "19"`
+	for _, args := range [][]string{
+		{"-domain", "bibtex", "-index", idx, corpus, q},
+		{"-domain", "bibtex", "-explain", corpus, q},
+		{"-domain", "bibtex", "-exec", "materializing", corpus, q},
+		{"-domain", "bibtex", "-format", "json", corpus, q},
+		{"-domain", "bibtex", "-quiet", corpus, `SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`},
+	} {
+		if err := cmdQuery(args); err != nil {
+			t.Errorf("cmdQuery(%v): %v", args, err)
+		}
+	}
+	// Error paths: bad executor, bad format, missing args, unparsable query.
+	for _, args := range [][]string{
+		{"-domain", "bibtex", "-exec", "bogus", corpus, q},
+		{"-domain", "bibtex", "-format", "bogus", corpus, q},
+		{"-domain", "bibtex", corpus},
+		{"-domain", "bibtex", corpus, "SELECT nonsense"},
+	} {
+		if err := cmdQuery(args); err == nil {
+			t.Errorf("cmdQuery(%v) succeeded, want error", args)
+		}
+	}
+	if err := cmdIndex([]string{"-domain", "bibtex", corpus}); err == nil {
+		t.Error("cmdIndex without -o accepted")
+	}
+}
+
+func TestCmdQueryCorpus(t *testing.T) {
+	dir := t.TempDir()
+	a := writeCorpus(t, dir, 10, 1)
+	d, _ := lookupDomain("bibtex")
+	b := filepath.Join(dir, "second.bib")
+	if err := os.WriteFile(b, []byte(d.generate(10, 2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT r.Key FROM References r WHERE r.Year STARTS "19"`
+	if err := cmdQuery([]string{"-domain", "bibtex", a, b, q}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-domain", "bibtex", "-quiet", a, b,
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`}); err != nil {
+		t.Fatal(err)
+	}
+	// -index is single-file only.
+	if err := cmdQuery([]string{"-domain", "bibtex", "-index", "x.qidx", a, b, q}); err == nil {
+		t.Error("-index accepted on a multi-file query")
+	}
+}
+
+func TestCmdEvalTreeRIGDotStatsAdvise(t *testing.T) {
+	dir := t.TempDir()
+	corpus := writeCorpus(t, dir, 10, 3)
+	if err := cmdEval([]string{"-domain", "bibtex", corpus, "outermost(Reference)"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-domain", "bibtex", "-text", corpus, `Reference > contains(Last_Name, "Chang")`}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-domain", "bibtex", corpus, "bogus("}); err == nil {
+		t.Error("bad expression accepted")
+	}
+	if err := cmdTree([]string{"-domain", "bibtex", corpus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRIG([]string{"-domain", "bibtex"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRIG([]string{"-domain", "bibtex", "-names", "Reference,Last_Name"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDot([]string{"-domain", "bibtex"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-domain", "bibtex", corpus}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdvise([]string{"-domain", "bibtex",
+		`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdvise([]string{"-domain", "bibtex"}); err == nil {
+		t.Error("cmdAdvise with no queries accepted")
+	}
+	if err := cmdAdvise([]string{"-domain", "bibtex", "SELECT nonsense"}); err == nil {
+		t.Error("cmdAdvise with a bad query accepted")
+	}
+	// Missing-file errors surface instead of panicking.
+	missing := filepath.Join(dir, "missing.bib")
+	if err := cmdStats([]string{"-domain", "bibtex", missing}); err == nil {
+		t.Error("cmdStats on a missing file accepted")
+	}
+	if err := cmdTree([]string{"-domain", "bibtex", missing}); err == nil {
+		t.Error("cmdTree on a missing file accepted")
+	}
+}

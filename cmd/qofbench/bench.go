@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"qof/internal/engine"
@@ -31,6 +32,9 @@ type benchReport struct {
 	// Stress compares a full materializing run against a streaming LIMIT
 	// run on the large bibtex corpus; the early-termination payoff.
 	Stress stressBench `json:"stress"`
+	// Concurrent is the shared-execution thundering-herd comparison on a
+	// large partially-indexed corpus.
+	Concurrent concurrentBench `json:"concurrent"`
 	// Serving storms the sharded HTTP daemon far past its admission limit
 	// and reports latency quantiles, shed rate and leak accounting.
 	Serving servingBench `json:"serving"`
@@ -45,8 +49,12 @@ type domainBench struct {
 	Baseline benchPass `json:"baseline"`
 	Cached   benchPass `json:"cached"`
 	// Speedup is cached ops/sec over baseline ops/sec for the repeated
-	// workload; the result cache's contribution.
-	Speedup float64 `json:"speedup"`
+	// workload; the result cache's contribution. SpeedupRegression flags a
+	// domain where caching made the workload slower — the miss path costs
+	// more than the hits recover — so regressions are machine-checkable
+	// from the JSON instead of eyeballed.
+	Speedup           float64 `json:"speedup"`
+	SpeedupRegression bool    `json:"speedup_regression"`
 	// LimitKOpsSec is the baseline workload rerun with LIMIT benchLimitK on
 	// every query, on the streaming executor with the result cache off
 	// (truncated streams never publish to it anyway). Comparing against
@@ -61,6 +69,10 @@ type domainBench struct {
 }
 
 type benchPass struct {
+	// roundOps is the per-round throughput series behind OpsPerSec, kept
+	// for paired speedup ratios; not part of the report.
+	roundOps []float64
+
 	OpsPerSec          float64 `json:"ops_per_sec"`
 	AllocsPerOp        float64 `json:"allocs_per_op"`
 	PlanCacheHitRate   float64 `json:"plan_cache_hit_rate"`
@@ -94,9 +106,9 @@ type stressBench struct {
 // runJSONBench writes the benchmark report to path. quick shrinks the
 // workload for CI smoke runs.
 func runJSONBench(path string, quick bool) error {
-	rounds, nQueries := 8, 60
+	rounds, nQueries := 20, 60
 	if quick {
-		rounds, nQueries = 4, 25
+		rounds, nQueries = 6, 25
 	}
 	report := benchReport{Quick: quick, Rounds: rounds, Queries: nQueries}
 	for _, d := range qgen.Domains(1994) {
@@ -110,24 +122,16 @@ func runJSONBench(path string, quick bool) error {
 			return fmt.Errorf("domain %s: %w", d.Name, err)
 		}
 		db := domainBench{Name: d.Name}
-		for _, cached := range []bool{false, true} {
-			eng := engine.New(d.Cat, in)
-			if !cached {
-				eng.DisableResultCache()
-			}
-			pass, err := runPass(eng, queries, rounds)
-			if err != nil {
-				return fmt.Errorf("domain %s: %w", d.Name, err)
-			}
-			if cached {
-				db.Cached = pass
-			} else {
-				db.Baseline = pass
-			}
+		baseline := engine.New(d.Cat, in)
+		baseline.DisableResultCache()
+		cached := engine.New(d.Cat, in)
+		passes, err := runPaired([]*engine.Engine{baseline, cached}, queries, rounds)
+		if err != nil {
+			return fmt.Errorf("domain %s: %w", d.Name, err)
 		}
-		if db.Baseline.OpsPerSec > 0 {
-			db.Speedup = db.Cached.OpsPerSec / db.Baseline.OpsPerSec
-		}
+		db.Baseline, db.Cached = passes[0], passes[1]
+		db.Speedup = pairedSpeedup(db.Baseline.roundOps, db.Cached.roundOps)
+		db.SpeedupRegression = db.Speedup > 0 && db.Speedup < 1
 		db.LimitKOpsSec, err = limitPass(d, in, queries, rounds)
 		if err != nil {
 			return fmt.Errorf("domain %s: %w", d.Name, err)
@@ -143,6 +147,10 @@ func runJSONBench(path string, quick bool) error {
 		return fmt.Errorf("stress: %w", err)
 	}
 	report.Stress = stress
+	report.Concurrent, err = runConcurrent(quick)
+	if err != nil {
+		return fmt.Errorf("concurrent: %w", err)
+	}
 	serving, err := runServing(quick)
 	if err != nil {
 		return fmt.Errorf("serving: %w", err)
@@ -290,6 +298,114 @@ func benchQueries(d *qgen.Domain, n int) []*xsql.Query {
 		out = append(out, q)
 	}
 	return out
+}
+
+// runPaired measures several engines over the same workload with their
+// rounds interleaved — engine A round 1, engine B round 1, engine A round 2,
+// … — so scheduler and frequency drift hits every engine alike. Sequential
+// whole-pass timing made the per-domain speedups swing ±15% run to run,
+// drowning the real cache effect.
+func runPaired(engines []*engine.Engine, queries []*xsql.Query, rounds int) ([]benchPass, error) {
+	// Warm-up round per engine: fault in lazy index structures (universe,
+	// sistring array) so the timed rounds measure steady-state serving.
+	for _, eng := range engines {
+		for _, q := range queries {
+			if _, err := eng.Execute(q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	type acc struct {
+		roundOps []float64 // per-round throughput
+		ops      int
+		mallocs  uint64
+		peak     int
+	}
+	accs := make([]acc, len(engines))
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < rounds; r++ {
+		for k := range engines {
+			// Alternate the leg order every round so any cost of going
+			// first (cold branch predictors, a pending GC) is split evenly.
+			i := k
+			if r%2 == 1 {
+				i = len(engines) - 1 - k
+			}
+			eng := engines[i]
+			a := &accs[i]
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			// Several sweeps per timed round: the round must be long enough
+			// that a few milliseconds of preemption by a noisy neighbour
+			// cannot swing its throughput.
+			const sweeps = 3
+			for s := 0; s < sweeps; s++ {
+				for _, q := range queries {
+					res, err := eng.Execute(q)
+					if err != nil {
+						return nil, err
+					}
+					if res.Stats.PeakBytes > a.peak {
+						a.peak = res.Stats.PeakBytes
+					}
+					a.ops++
+				}
+			}
+			if elapsed := time.Since(start); elapsed > 0 {
+				a.roundOps = append(a.roundOps, float64(sweeps*len(queries))/elapsed.Seconds())
+			}
+			runtime.ReadMemStats(&ms1)
+			a.mallocs += ms1.Mallocs - ms0.Mallocs
+		}
+	}
+	passes := make([]benchPass, len(engines))
+	for i, eng := range engines {
+		a := accs[i]
+		pass := benchPass{PeakBytes: a.peak, roundOps: a.roundOps}
+		// Median over the rounds: a GC cycle or scheduler stall landing in
+		// one leg's round must not decide a whole domain's speedup.
+		pass.OpsPerSec = median(a.roundOps)
+		pass.AllocsPerOp = float64(a.mallocs) / float64(a.ops)
+		ph, pm, rh, rm := eng.CacheCounters()
+		if ph+pm > 0 {
+			pass.PlanCacheHitRate = float64(ph) / float64(ph+pm)
+		}
+		if rh+rm > 0 {
+			pass.ResultCacheHitRate = float64(rh) / float64(rh+rm)
+		}
+		passes[i] = pass
+	}
+	return passes, nil
+}
+
+// pairedSpeedup estimates cached-over-baseline throughput as the median of
+// the per-round ratios. The rounds of the two engines are interleaved in
+// time, so each ratio compares near-simultaneous measurements and slow
+// drift (frequency scaling, a noisy neighbour) cancels; the median then
+// discards rounds where a GC cycle landed in one leg.
+func pairedSpeedup(base, cached []float64) float64 {
+	n := min(len(base), len(cached))
+	ratios := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if base[i] > 0 {
+			ratios = append(ratios, cached[i]/base[i])
+		}
+	}
+	return median(ratios)
+}
+
+// median returns the middle value (or midpoint of the middle pair) of xs.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // runPass executes the query list rounds times and measures throughput,

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qof/internal/bibtex"
+	"qof/internal/engine"
+	"qof/internal/experiments"
+	"qof/internal/grammar"
+	"qof/internal/xsql"
+)
+
+// The concurrent benchmark: a thundering herd — every client issues the
+// same query at the same instant, query after query — against a large
+// corpus indexed only at the Reference level, so every query pays for
+// phase-2 parsing. Run twice, with shared execution off and on.
+// Simultaneous arrival is the case the result cache cannot help with (it
+// only serves executions that start after the first one completes;
+// in-flight duplicates each pay full price) and exactly the case the
+// shared-execution layer exists for: one client leads the evaluation and
+// the parses while the rest wait for its answer. Every round rebuilds the
+// engine so the herd always hits cold caches.
+
+// concurrentQueries is the hot workload. Only Reference is indexed, so the
+// field predicates all force candidate parsing; the CONTAINS atoms are the
+// shape the batched multi-pattern scan answers from postings.
+var concurrentHotQueries = []string{
+	`SELECT r.Key FROM References r`,
+	`SELECT r FROM References r WHERE r.Authors.Name.Last_Name = "Chang"`,
+	`SELECT r FROM References r WHERE r.Editors.Name.Last_Name = "Corliss"`,
+	`SELECT r FROM References r WHERE r.Abstract CONTAINS "taylor"`,
+	`SELECT r FROM References r WHERE r.Abstract CONTAINS "system"`,
+	`SELECT r.Key FROM References r WHERE r.Publisher = "SIAM"`,
+	`SELECT r FROM References r WHERE r.Title CONTAINS "Convergence"`,
+}
+
+// concurrentBench is the shared-vs-unshared herd comparison.
+type concurrentBench struct {
+	Refs    int      `json:"refs"`
+	Clients int      `json:"clients"`
+	Rounds  int      `json:"rounds"`
+	Queries []string `json:"queries"`
+	// Aggregate throughput across all clients and rounds, engine rebuilt
+	// (cold caches) every round.
+	UnsharedOpsSec float64 `json:"unshared_ops_sec"`
+	SharedOpsSec   float64 `json:"shared_ops_sec"`
+	// Speedup is shared over unshared aggregate throughput; the acceptance
+	// bar for this section is ≥ 5.
+	Speedup float64 `json:"speedup"`
+	// The sharing the herd actually got (summed over all queries of the
+	// shared leg): word atoms answered from batched scans, candidate sets
+	// and subexpressions received from another query's in-flight
+	// evaluation, and phase-2 parses deduplicated.
+	SharedScans int64 `json:"shared_scans"`
+	CSEHits     int64 `json:"cse_hits"`
+	ParseDedups int64 `json:"parse_dedups"`
+}
+
+// runConcurrent measures the stampede.
+func runConcurrent(quick bool) (concurrentBench, error) {
+	refs, clients, rounds := 400, 16, 3
+	if quick {
+		refs, clients, rounds = 120, 12, 2
+	}
+	// Long abstracts make candidate parsing the dominant per-query cost —
+	// the serving regime where duplicated in-flight work actually hurts.
+	setup, err := experiments.NewBibtexSetup(refs, grammar.IndexSpec{Names: []string{bibtex.NTReference}},
+		func(cfg *bibtex.Config) { cfg.AbstractWords = 150 })
+	if err != nil {
+		return concurrentBench{}, err
+	}
+	cb := concurrentBench{Refs: refs, Clients: clients, Rounds: rounds, Queries: concurrentHotQueries}
+	queries := make([]*xsql.Query, len(concurrentHotQueries))
+	for i, src := range concurrentHotQueries {
+		q, err := xsql.Parse(src)
+		if err != nil {
+			return cb, err
+		}
+		if _, err := setup.Engine.Execute(q); err != nil {
+			return cb, fmt.Errorf("hot query %q: %w", src, err)
+		}
+		queries[i] = q
+	}
+	for _, shared := range []bool{false, true} {
+		var elapsed time.Duration
+		var ops, scans, cse, dedups int64
+		for r := 0; r < rounds; r++ {
+			eng := engine.New(setup.Cat, setup.Instance)
+			eng.Parallelism = 4
+			if shared {
+				eng.EnableSharedExecution()
+			}
+			errc := make(chan error, 1)
+			start := time.Now()
+			for _, q := range queries {
+				var wg sync.WaitGroup
+				gate := make(chan struct{})
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-gate
+						res, err := eng.Execute(q)
+						if err != nil {
+							select {
+							case errc <- err:
+							default:
+							}
+							return
+						}
+						atomic.AddInt64(&ops, 1)
+						atomic.AddInt64(&scans, int64(res.Stats.SharedScans))
+						atomic.AddInt64(&cse, int64(res.Stats.CSEHits))
+						atomic.AddInt64(&dedups, int64(res.Stats.ParseDedups))
+					}()
+				}
+				close(gate)
+				wg.Wait()
+			}
+			elapsed += time.Since(start)
+			select {
+			case err := <-errc:
+				return cb, fmt.Errorf("concurrent (shared=%v) round %d: %w", shared, r, err)
+			default:
+			}
+		}
+		opsSec := 0.0
+		if elapsed > 0 {
+			opsSec = float64(ops) / elapsed.Seconds()
+		}
+		if shared {
+			cb.SharedOpsSec = opsSec
+			cb.SharedScans, cb.CSEHits, cb.ParseDedups = scans, cse, dedups
+		} else {
+			cb.UnsharedOpsSec = opsSec
+		}
+	}
+	if cb.UnsharedOpsSec > 0 {
+		cb.Speedup = cb.SharedOpsSec / cb.UnsharedOpsSec
+	}
+	return cb, nil
+}

@@ -81,6 +81,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxRegions := fs.Int("max-regions", 0, "default per-file region budget (0 = unlimited)")
 	maxBytes := fs.Int("max-bytes", 0, "default per-file parsed-bytes budget (0 = unlimited)")
 	materializing := fs.Bool("materializing", false, "use the materializing reference executor")
+	shared := fs.Bool("shared", false, "share work across concurrent queries (batched scans, cross-query CSE, parse dedup)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 	dir := fs.String("dir", "", "serve every regular file in this directory (instead of positional FILEs)")
 	if err := fs.Parse(args); err != nil {
@@ -134,17 +135,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Schema:         schema,
-		Shards:         *shards,
-		Parallelism:    *par,
-		Materializing:  *materializing,
-		MaxInflight:    *maxInflight,
-		DefaultTimeout: *timeout,
-		ShardTimeout:   *shardTimeout,
-		FileTimeout:    *fileTimeout,
-		DefaultLimits:  serve.Limits{MaxRegions: *maxRegions, MaxEvalBytes: *maxBytes},
-		RetryAfter:     *retryAfter,
-		Reload:         load,
+		Schema:          schema,
+		Shards:          *shards,
+		Parallelism:     *par,
+		Materializing:   *materializing,
+		SharedExecution: *shared,
+		MaxInflight:     *maxInflight,
+		DefaultTimeout:  *timeout,
+		ShardTimeout:    *shardTimeout,
+		FileTimeout:     *fileTimeout,
+		DefaultLimits:   serve.Limits{MaxRegions: *maxRegions, MaxEvalBytes: *maxBytes},
+		RetryAfter:      *retryAfter,
+		Reload:          load,
 	})
 	if err != nil {
 		return err

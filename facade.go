@@ -56,6 +56,7 @@ type indexConfig struct {
 	spec          grammar.IndexSpec
 	parallelism   int
 	materializing bool
+	shared        bool
 }
 
 // IndexOption configures Index, Load and NewCorpus.
@@ -101,6 +102,17 @@ func WithMaterializing() IndexOption {
 	return func(c *indexConfig) { c.materializing = true }
 }
 
+// WithSharedExecution enables cross-query work sharing: the word literals of
+// concurrently executing queries are answered by one batched multi-pattern
+// scan, identical cache-worthy subexpressions evaluate once (cross-query
+// CSE), and a candidate region needed by several in-flight queries is parsed
+// once. Sharing never changes any query's results or its result-facing
+// statistics, and a query arriving at an idle file runs immediately — the
+// batching window is work-conserving. See docs/SHARED_EXECUTION.md.
+func WithSharedExecution() IndexOption {
+	return func(c *indexConfig) { c.shared = true }
+}
+
 // File is an indexed document ready for querying.
 type File struct {
 	schema *Schema
@@ -130,6 +142,9 @@ func newEngine(cat *compile.Catalog, in *index.Instance, cfg indexConfig) *engin
 	eng := engine.New(cat, in)
 	eng.Parallelism = cfg.parallelism
 	eng.Materializing = cfg.materializing
+	if cfg.shared {
+		eng.EnableSharedExecution()
+	}
 	return eng
 }
 
@@ -137,7 +152,11 @@ func newEngine(cat *compile.Catalog, in *index.Instance, cfg indexConfig) *engin
 // so edits (Replace, InsertAfter, Delete) produce Files that execute the
 // same way as the original.
 func engineConfig(eng *engine.Engine) indexConfig {
-	return indexConfig{parallelism: eng.Parallelism, materializing: eng.Materializing}
+	return indexConfig{
+		parallelism:   eng.Parallelism,
+		materializing: eng.Materializing,
+		shared:        eng.SharedExecution(),
+	}
 }
 
 // Save persists the file's indexes.
@@ -275,6 +294,7 @@ func (s *Schema) NewCorpus(opts ...IndexOption) *Corpus {
 	ec := engine.NewCorpus(s.cat)
 	ec.Parallelism = cfg.parallelism
 	ec.Materializing = cfg.materializing
+	ec.Shared = cfg.shared
 	return &Corpus{schema: s, c: ec}
 }
 

@@ -309,6 +309,29 @@ func TestNamesAndWalk(t *testing.T) {
 	}
 }
 
+// TestCostAtLeast checks the early-exit threshold walk against the full
+// Cost walk at every threshold around each expression's true cost.
+func TestCostAtLeast(t *testing.T) {
+	exprs := []string{
+		`Reference`,
+		`contains(Reference, "Chang")`,
+		`Reference > Authors > contains(Last_Name, "Chang")`,
+		`Reference >d Authors >d Name >d contains(Last_Name, "Chang")`,
+		`Reference > Authors + Reference > Editors - contains(Reference, "Chang")`,
+		`near(Reference > Authors, Editors, 5)`,
+		`freq(Reference, "Chang", 2)`,
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		full := Cost(e)
+		for min := 0; min <= full+3; min++ {
+			if got, want := CostAtLeast(e, min), full >= min; got != want {
+				t.Errorf("CostAtLeast(%s, %d) = %v, want %v (Cost=%d)", src, min, got, want, full)
+			}
+		}
+	}
+}
+
 func TestCostModel(t *testing.T) {
 	cheap := MustParse(`Reference > Authors > contains(Last_Name, "Chang")`)
 	costly := MustParse(`Reference >d Authors >d Name >d contains(Last_Name, "Chang")`)

@@ -44,6 +44,61 @@ func Cost(e Expr) int {
 	return total
 }
 
+// CostAtLeast reports whether Cost(e) >= min without always walking the
+// whole expression: the recursion stops the moment the running total
+// reaches min. The result-cache worthiness check runs on every operator
+// node of every evaluation, so it must not pay a full subtree walk just to
+// learn that the very first inclusion already clears the threshold.
+func CostAtLeast(e Expr, min int) bool {
+	return costUpTo(e, min) >= min
+}
+
+// costUpTo accumulates cost depth-first but returns as soon as the total
+// reaches limit.
+func costUpTo(e Expr, limit int) int {
+	total := 0
+	switch e := e.(type) {
+	case Binary:
+		if e.Op.IsDirect() {
+			total = CostDirect
+		} else if e.Op.IsInclusion() {
+			total = CostInclusion
+		} else {
+			total = CostSetOp
+		}
+		if total < limit {
+			total += costUpTo(e.L, limit-total)
+		}
+		if total < limit {
+			total += costUpTo(e.R, limit-total)
+		}
+	case Unary:
+		total = CostNest
+		if total < limit {
+			total += costUpTo(e.Arg, limit-total)
+		}
+	case Select:
+		total = CostSelect
+		if total < limit {
+			total += costUpTo(e.Arg, limit-total)
+		}
+	case Near:
+		total = CostInclusion
+		if total < limit {
+			total += costUpTo(e.E, limit-total)
+		}
+		if total < limit {
+			total += costUpTo(e.To, limit-total)
+		}
+	case Freq:
+		total = CostSelect
+		if total < limit {
+			total += costUpTo(e.Arg, limit-total)
+		}
+	}
+	return total
+}
+
 // OpCounts summarises the operator mix of an expression, for EXPLAIN output.
 type OpCounts struct {
 	SetOps     int

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
+	"qof/internal/faultinject"
 	"qof/internal/index"
+	"qof/internal/mpm"
 	"qof/internal/qerr"
 	"qof/internal/region"
 	"qof/internal/stats"
@@ -24,10 +27,12 @@ type Stats struct {
 	Ops             int // operator applications
 	DirectOps       int // of which ⊃d/⊂d
 	RegionsTouched  int // total regions in intermediate results
-	CacheHits       int // subexpressions answered from the CSE cache
+	CacheHits       int // subexpressions answered from the per-call CSE memo
 	ResultCacheHits int // subexpressions answered from the cross-query cache
 	ShortCircuits   int // binary operators skipped via a provably empty operand
 	PeakBytes       int // high-water mark of buffered region bytes (streaming evaluation)
+	SharedScans     int // word leaves answered from a batched multi-pattern scan
+	CSEHits         int // subexpressions received from another query's in-flight evaluation
 }
 
 // Evaluator evaluates region-algebra expressions against one index instance.
@@ -67,6 +72,13 @@ type Evaluator struct {
 	// the side estimated cheaper (or provably empty) evaluates first so
 	// an empty outcome can skip the other side entirely.
 	CostStats *stats.Stats
+
+	// Shared, when non-nil, enables cross-query common-subexpression
+	// elimination: cache-worthy subexpressions join the engine's in-flight
+	// table so concurrent queries evaluate each one once (see inflight.go).
+	// Budgeted evaluations bypass it for the same reason they bypass cache
+	// reads.
+	Shared *Inflight
 }
 
 // ResultCache is the cross-query result cache interface the engine
@@ -166,6 +178,24 @@ type evalCtx struct {
 	// a failed evaluation discards them (see satellite: canceled, timed
 	// out or budget-killed evaluations must never be cached).
 	pending []pendingPut
+
+	// scan, when non-nil, is the batch's multi-pattern scan result; Word
+	// leaves it covers are answered from it instead of probing the index.
+	scan *mpm.Result
+
+	// rkPrefix memoizes the epoch prefix of result-cache keys for one
+	// evaluation — the epoch is stable within a call, so the strconv
+	// formatting runs once instead of once per cache-worthy node.
+	rkPrefix string
+}
+
+// resultKey returns the epoch-prefixed cross-query key for exprKey,
+// memoizing the epoch prefix across the call.
+func (ctx *evalCtx) resultKey(ev *Evaluator, exprKey string) string {
+	if ctx.rkPrefix == "" {
+		ctx.rkPrefix = strconv.FormatUint(ev.in.Epoch(), 36) + "|"
+	}
+	return ctx.rkPrefix + exprKey
 }
 
 // poll returns the context error once the evaluation's context is done.
@@ -222,6 +252,7 @@ func (ev *Evaluator) EvalContext(cctx context.Context, e Expr, st *Stats, b *Bud
 		ctx.cctx = cctx
 	}
 	ctx.budget = b
+	ctx.scan = mpm.FromContext(cctx)
 	out, err := ev.eval(ctx, e)
 	if err == nil && ev.Results != nil {
 		for _, p := range ctx.pending {
@@ -233,7 +264,8 @@ func (ev *Evaluator) EvalContext(cctx context.Context, e Expr, st *Stats, b *Bud
 		ctx.pending[i] = pendingPut{}
 	}
 	ctx.pending = ctx.pending[:0]
-	ctx.stats, ctx.cctx, ctx.budget = nil, nil, nil
+	ctx.stats, ctx.cctx, ctx.budget, ctx.scan = nil, nil, nil, nil
+	ctx.rkPrefix = ""
 	ctxPool.Put(ctx)
 	return out, err
 }
@@ -242,7 +274,8 @@ func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 	if err := ctx.poll(); err != nil {
 		return region.Empty, err
 	}
-	var key string
+	var key, rkey string
+	worthy := false
 	switch e.(type) {
 	case Binary, Select, Unary, Near, Freq:
 		key = e.String()
@@ -252,19 +285,40 @@ func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 			}
 			return cached, nil
 		}
-		// Budgeted evaluations bypass cache reads (writes still happen):
-		// a cached subexpression skips the very work the budget meters,
-		// which would make budget enforcement depend on cache state.
-		if ctx.budget == nil && ev.Results != nil && ev.cacheWorthy(e) {
-			if s, ok := ev.Results.Get(ev.resultKey(key)); ok {
-				if ctx.stats != nil {
-					ctx.stats.ResultCacheHits++
+		// Worthiness and the epoch-prefixed key are computed once here and
+		// shared by the cache read, the CSE join and the deferred write —
+		// the miss path used to pay the Cost walk and the key allocation
+		// twice per node.
+		if ev.Results != nil && ev.cacheWorthy(e) {
+			worthy = true
+			rkey = ctx.resultKey(ev, key)
+			// Budgeted evaluations bypass cache reads (writes still happen):
+			// a cached subexpression skips the very work the budget meters,
+			// which would make budget enforcement depend on cache state.
+			// They bypass the CSE join for the same reason.
+			if ctx.budget == nil {
+				if s, ok := ev.Results.Get(rkey); ok {
+					if ctx.stats != nil {
+						ctx.stats.ResultCacheHits++
+					}
+					ctx.memo[key] = s
+					return s, nil
 				}
-				ctx.memo[key] = s
-				return s, nil
+				if ev.Shared != nil {
+					if ferr := faultinject.Hit(faultinject.EngineCSE); ferr == nil {
+						return ev.evalShared(ctx, e, key, rkey)
+					}
+					// Injected fault: bypass sharing, evaluate solo.
+				}
 			}
 		}
 	}
+	return ev.evalTail(ctx, e, key, rkey, worthy)
+}
+
+// evalTail is the uncached remainder of eval: compute, charge, memoize,
+// and defer the cross-query cache write.
+func (ev *Evaluator) evalTail(ctx *evalCtx, e Expr, key, rkey string, worthy bool) (region.Set, error) {
 	out, err := ev.evalUncached(ctx, e)
 	if err != nil {
 		return out, err
@@ -276,13 +330,61 @@ func (ev *Evaluator) eval(ctx *evalCtx, e Expr) (region.Set, error) {
 	}
 	if key != "" {
 		ctx.memo[key] = out
-		if ev.Results != nil && ev.cacheWorthy(e) {
+		if worthy {
 			// Held back until the whole evaluation succeeds: a killed
 			// evaluation must never publish cache entries.
-			ctx.pending = append(ctx.pending, pendingPut{key: ev.resultKey(key), set: out})
+			ctx.pending = append(ctx.pending, pendingPut{key: rkey, set: out})
 		}
 	}
 	return out, nil
+}
+
+// evalShared evaluates e through the cross-query in-flight table: the first
+// query to need this subexpression leads and evaluates it, concurrent
+// queries wait and share the finished set.
+func (ev *Evaluator) evalShared(ctx *evalCtx, e Expr, key, rkey string) (region.Set, error) {
+	for {
+		fl, leader := ev.Shared.Join(rkey)
+		if leader {
+			return ev.evalLead(ctx, e, key, rkey, fl)
+		}
+		s, err := fl.Wait(ctx.cctx)
+		if err == nil {
+			if ctx.stats != nil {
+				ctx.stats.CSEHits++
+			}
+			ctx.memo[key] = s
+			// Waiters pend the write too: the set is complete (flights only
+			// succeed with fully evaluated sets), so a surviving waiter may
+			// publish it even if the leader's query is later killed.
+			ctx.pending = append(ctx.pending, pendingPut{key: rkey, set: s})
+			return s, nil
+		}
+		if ctx.cctx != nil && ctx.cctx.Err() != nil {
+			return region.Empty, ctx.cctx.Err()
+		}
+		if !retryableLead(err) {
+			return region.Empty, err
+		}
+		// The leader died of its own cancellation (or panic unwind) while
+		// this waiter is live: loop and take over as the new leader.
+	}
+}
+
+// evalLead runs the leader side of one flight. The flight always completes
+// — with the result, the leader's error, or errLeaderAborted on panic
+// unwind — so waiters can never hang on it.
+func (ev *Evaluator) evalLead(ctx *evalCtx, e Expr, key, rkey string, fl *Flight) (out region.Set, err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			ev.Shared.Complete(rkey, fl, region.Empty, errLeaderAborted)
+		}
+	}()
+	out, err = ev.evalTail(ctx, e, key, rkey, true)
+	completed = true
+	ev.Shared.Complete(rkey, fl, out, err)
+	return out, err
 }
 
 // cacheWorthy reports whether e is expensive enough for the cross-query
@@ -292,7 +394,7 @@ func (ev *Evaluator) cacheWorthy(e Expr) bool {
 	if minCost == 0 {
 		minCost = DefaultResultMinCost
 	}
-	return Cost(e) >= minCost
+	return CostAtLeast(e, minCost)
 }
 
 // resultKey embeds the instance epoch so mutations (Define/Drop/Splice)
@@ -301,20 +403,47 @@ func (ev *Evaluator) resultKey(exprKey string) string {
 	return strconv.FormatUint(ev.in.Epoch(), 36) + "|" + exprKey
 }
 
-// CachedResult returns the cross-query cached result for e when present,
-// letting the engine skip evaluation setup entirely on repeated queries.
-func (ev *Evaluator) CachedResult(e Expr) (region.Set, bool) {
+// SharedKey returns the epoch-prefixed cross-query key for e and whether e
+// is worth caching/sharing at all, computing both exactly once for callers
+// that need the key for more than one operation (a cache read, a CSE join
+// and a publish share one Cost walk and one key allocation).
+func (ev *Evaluator) SharedKey(e Expr) (string, bool) {
+	switch e.(type) {
+	case Binary, Select, Unary, Near, Freq:
+		if ev.Results == nil || !ev.cacheWorthy(e) {
+			return "", false
+		}
+		return ev.resultKey(e.String()), true
+	}
+	return "", false
+}
+
+// CachedResultKey reads the cross-query cache under a key obtained from
+// SharedKey.
+func (ev *Evaluator) CachedResultKey(key string) (region.Set, bool) {
 	if ev.Results == nil {
 		return region.Empty, false
 	}
-	switch e.(type) {
-	case Binary, Select, Unary, Near, Freq:
-		if !ev.cacheWorthy(e) {
-			return region.Empty, false
-		}
-		return ev.Results.Get(ev.resultKey(e.String()))
+	return ev.Results.Get(key)
+}
+
+// PublishResultKey writes a complete result under a key obtained from
+// SharedKey. Callers uphold the publish invariant: only fully drained,
+// successful results.
+func (ev *Evaluator) PublishResultKey(key string, s region.Set) {
+	if ev.Results != nil {
+		ev.Results.Put(key, s)
 	}
-	return region.Empty, false
+}
+
+// CachedResult returns the cross-query cached result for e when present,
+// letting the engine skip evaluation setup entirely on repeated queries.
+func (ev *Evaluator) CachedResult(e Expr) (region.Set, bool) {
+	key, ok := ev.SharedKey(e)
+	if !ok {
+		return region.Empty, false
+	}
+	return ev.Results.Get(key)
 }
 
 func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
@@ -326,6 +455,12 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 		}
 		return s, nil
 	case Word:
+		if s, ok := ctx.scan.Lookup(e.W); ok {
+			if ctx.stats != nil {
+				ctx.stats.SharedScans++
+			}
+			return s, nil
+		}
 		return ev.in.Words().MatchPoints(e.W), nil
 	case Prefix:
 		return ev.in.Words().PrefixMatchPoints(e.P), nil
@@ -339,7 +474,18 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 		var out region.Set
 		switch e.Mode {
 		case SelContains:
-			out, err = ev.in.Words().SelectContainingCtl(arg, e.W, ctx.checker())
+			if pts, ok := ctx.scan.Lookup(e.W); ok {
+				// The batch scan already produced w's whole-word occurrences;
+				// the containment filter below is exactly the one
+				// SelectContainingCtl applies to the postings, so the result
+				// is identical.
+				if ctx.stats != nil {
+					ctx.stats.SharedScans++
+				}
+				out, err = selectContainingIn(arg, pts.Regions(), ctx.checker())
+			} else {
+				out, err = ev.in.Words().SelectContainingCtl(arg, e.W, ctx.checker())
+			}
 		case SelEquals:
 			out, err = ev.in.Words().SelectEqualsCtl(arg, e.W, ctx.checker())
 		default:
@@ -430,6 +576,21 @@ func (ev *Evaluator) evalUncached(ctx *evalCtx, e Expr) (region.Set, error) {
 	default:
 		return region.Empty, fmt.Errorf("algebra: unknown expression %T", e)
 	}
+}
+
+// selectContainingIn is the σ_w containment filter over occurrences that
+// came from a batched scan instead of the postings list: the regions of s
+// containing at least one occurrence. The predicate is byte-for-byte the one
+// index.WordIndex.SelectContainingCtl applies, and both sources produce the
+// occurrences sorted by start, so the result is identical.
+func selectContainingIn(s region.Set, occ []region.Region, check region.Checker) (region.Set, error) {
+	if len(occ) == 0 {
+		return region.Empty, nil
+	}
+	return s.FilterCtl(func(r region.Region) bool {
+		i := sort.Search(len(occ), func(i int) bool { return occ[i].Start >= r.Start })
+		return i < len(occ) && occ[i].End <= r.End
+	}, check)
 }
 
 // emptyAnnihilates reports whether op's result is necessarily empty when

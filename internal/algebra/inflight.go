@@ -1,0 +1,116 @@
+package algebra
+
+// Cross-query common-subexpression elimination: a singleflight-style
+// in-flight table keyed on the same epoch-prefixed canonical-expression
+// keys the cross-query result cache uses. When several concurrent queries
+// need the same (cache-worthy) subexpression, exactly one — the leader —
+// evaluates it; the rest wait on the flight and receive the finished set.
+//
+// Cancellation semantics preserve the PR 5/6 invariants:
+//
+//   - A canceled leader completes its flight with its context error; live
+//     waiters treat that as a handoff, re-join, and the first to re-join
+//     becomes the new leader. A waiter whose own context dies just leaves.
+//   - Killed runs never publish: a flight only completes successfully with
+//     a fully evaluated set, and result-cache writes remain deferred
+//     pendingPuts flushed only when the whole evaluation succeeds.
+//   - A leader that panics completes its flight with errLeaderAborted on
+//     unwind, so waiters never hang; they retry exactly as for a cancel.
+//
+// Deadlock freedom: a leader only ever waits on flights for strict
+// subexpressions of the one it leads, and strict subexpressions have
+// strictly shorter canonical strings, so wait-for edges are acyclic.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"qof/internal/region"
+)
+
+// errLeaderAborted completes a flight whose leader panicked out of its
+// evaluation; waiters treat it like leader cancellation and take over.
+var errLeaderAborted = errors.New("algebra: in-flight leader aborted")
+
+// Inflight is the per-engine table of subexpression evaluations currently
+// in flight. Safe for concurrent use; the zero value is not usable,
+// construct with NewInflight.
+type Inflight struct {
+	mu sync.Mutex
+	m  map[string]*Flight // guarded by mu
+}
+
+// NewInflight creates an empty in-flight table.
+func NewInflight() *Inflight {
+	return &Inflight{m: make(map[string]*Flight)}
+}
+
+// Flight is one in-flight evaluation. set and err are written exactly once,
+// before done is closed; waiters read them only after done, so the channel
+// provides the necessary happens-before edge.
+type Flight struct {
+	done chan struct{}
+	set  region.Set
+	err  error
+}
+
+// Join returns the flight for key, creating it when none is in flight. The
+// second result is true for the caller that created it — the leader, which
+// must evaluate and Complete the flight — and false for waiters.
+func (inf *Inflight) Join(key string) (*Flight, bool) {
+	inf.mu.Lock()
+	defer inf.mu.Unlock()
+	if fl, ok := inf.m[key]; ok {
+		return fl, false
+	}
+	fl := &Flight{done: make(chan struct{})}
+	inf.m[key] = fl
+	return fl, true
+}
+
+// Complete finishes a flight: the key is retired first (so late joiners
+// start a fresh flight instead of reading a completed one), then the result
+// is published to every waiter. Must be called exactly once per flight, by
+// its leader.
+func (inf *Inflight) Complete(key string, fl *Flight, s region.Set, err error) {
+	inf.mu.Lock()
+	if inf.m[key] == fl {
+		delete(inf.m, key)
+	}
+	inf.mu.Unlock()
+	fl.set, fl.err = s, err
+	close(fl.done)
+}
+
+// Abort completes a flight as failed-by-leader (panic unwind, or any exit
+// that produced no complete set); waiters treat it like leader cancellation
+// and take over.
+func (inf *Inflight) Abort(key string, fl *Flight) {
+	inf.Complete(key, fl, region.Empty, errLeaderAborted)
+}
+
+// Wait blocks until the flight completes or ctx is done, whichever first.
+// A nil or never-canceled ctx waits unconditionally.
+func (fl *Flight) Wait(ctx context.Context) (region.Set, error) {
+	if ctx == nil || ctx.Done() == nil {
+		<-fl.done
+	} else {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return region.Empty, ctx.Err()
+		}
+	}
+	return fl.set, fl.err
+}
+
+// retryableLead reports whether a flight error is specific to the leader
+// that produced it — cancellation, deadline expiry, or panic unwind — so a
+// live waiter should take over rather than inherit it. Anything else
+// (an unindexed name, say) is deterministic and fails every query alike.
+func retryableLead(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, errLeaderAborted)
+}

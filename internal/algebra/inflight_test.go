@@ -1,0 +1,286 @@
+package algebra
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"qof/internal/region"
+)
+
+// lockedCache is a concurrency-safe ResultCache for shared-execution tests
+// (mapCache is deliberately unsynchronized, like the tests that use it).
+type lockedCache struct {
+	mu   sync.Mutex
+	m    map[string]region.Set
+	puts int
+}
+
+func newLockedCache() *lockedCache {
+	return &lockedCache{m: make(map[string]region.Set)}
+}
+
+func (c *lockedCache) Get(key string) (region.Set, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.m[key]
+	return s, ok
+}
+
+func (c *lockedCache) Put(key string, s region.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = s
+	c.puts++
+}
+
+// TestInflightLeaderWaiter checks the basic singleflight protocol: one
+// leader, one waiter, the waiter receives exactly the completed set.
+func TestInflightLeaderWaiter(t *testing.T) {
+	inf := NewInflight()
+	fl, leader := inf.Join("k")
+	if !leader {
+		t.Fatal("first Join is not the leader")
+	}
+	fl2, leader2 := inf.Join("k")
+	if leader2 || fl2 != fl {
+		t.Fatalf("second Join = (%p, %v), want the leader's flight and false", fl2, leader2)
+	}
+	want := region.FromRegions([]region.Region{{Start: 1, End: 5}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s, err := fl2.Wait(context.Background())
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		if !s.Equal(want) {
+			t.Errorf("Wait = %v, want %v", s, want)
+		}
+	}()
+	inf.Complete("k", fl, want, nil)
+	<-done
+
+	// The key is retired: the next Join starts a fresh flight.
+	if _, leader := inf.Join("k"); !leader {
+		t.Error("Join after Complete did not start a fresh flight")
+	}
+}
+
+// TestInflightHandoff is the leader-cancel handoff: a canceled leader
+// completes with its context error, both waiters treat that as retryable,
+// exactly one re-joins as the new leader, and the remaining waiter receives
+// the new leader's set.
+func TestInflightHandoff(t *testing.T) {
+	inf := NewInflight()
+	fl, _ := inf.Join("k")
+	want := region.FromRegions([]region.Region{{Start: 2, End: 9}})
+
+	const waiters = 2
+	results := make(chan region.Set, waiters)
+	var leadersTaken sync.WaitGroup
+	leadersTaken.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			w, leader := inf.Join("k")
+			if leader {
+				t.Error("waiter joined as leader before the cancel")
+			}
+			leadersTaken.Done()
+			for {
+				s, err := w.Wait(context.Background())
+				if err == nil {
+					results <- s
+					return
+				}
+				if !retryableLead(err) {
+					t.Errorf("waiter got non-retryable %v", err)
+					results <- region.Empty
+					return
+				}
+				var leader bool
+				w, leader = inf.Join("k")
+				if leader {
+					// The handoff: this waiter evaluates and publishes.
+					inf.Complete("k", w, want, nil)
+					results <- want
+					return
+				}
+			}
+		}()
+	}
+	leadersTaken.Wait()
+	// The original leader is canceled mid-evaluation.
+	inf.Complete("k", fl, region.Empty, context.Canceled)
+	for i := 0; i < waiters; i++ {
+		if s := <-results; !s.Equal(want) {
+			t.Errorf("waiter %d got %v, want %v", i, s, want)
+		}
+	}
+}
+
+// TestInflightAbort checks the panic-unwind path: waiters see a retryable
+// error, never a hang.
+func TestInflightAbort(t *testing.T) {
+	inf := NewInflight()
+	fl, _ := inf.Join("k")
+	w, _ := inf.Join("k")
+	go inf.Abort("k", fl)
+	_, err := w.Wait(context.Background())
+	if !errors.Is(err, errLeaderAborted) {
+		t.Fatalf("Wait after Abort = %v, want errLeaderAborted", err)
+	}
+	if !retryableLead(err) {
+		t.Error("errLeaderAborted is not retryable")
+	}
+}
+
+// TestInflightWaiterContext checks that a waiter whose own context dies
+// leaves immediately with its context error, without waiting for the leader.
+func TestInflightWaiterContext(t *testing.T) {
+	inf := NewInflight()
+	_, _ = inf.Join("k") // leader never completes
+	w, _ := inf.Join("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait with dead ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestInflightDeterministicError checks that a leader's deterministic
+// failure (not cancellation) propagates to waiters as-is: retrying would
+// fail identically.
+func TestInflightDeterministicError(t *testing.T) {
+	inf := NewInflight()
+	fl, _ := inf.Join("k")
+	w, _ := inf.Join("k")
+	detErr := errors.New("unknown name")
+	go inf.Complete("k", fl, region.Empty, detErr)
+	_, err := w.Wait(context.Background())
+	if !errors.Is(err, detErr) {
+		t.Fatalf("Wait = %v, want the deterministic error", err)
+	}
+	if retryableLead(err) {
+		t.Error("deterministic error classified retryable")
+	}
+}
+
+// waitNoGoroutineLeak fails the test when the goroutine count does not
+// return to (roughly) its pre-test level: a leaked CSE waiter would park on
+// a flight channel forever.
+func waitNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestEvalSharedStress hammers one shared evaluator from many goroutines —
+// some with contexts that cancel mid-flight — and checks that every
+// uncanceled evaluation returns exactly the sequential answer and that no
+// waiter goroutine is left parked on a flight. Run under -race this is the
+// CSE concurrency gate.
+func TestEvalSharedStress(t *testing.T) {
+	in := fixture(t)
+	baseline, err := NewEvaluator(in).Eval(MustParse(changChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := NewEvaluator(in)
+	ev.Results = newLockedCache()
+	ev.Shared = NewInflight()
+
+	before := runtime.NumGoroutine()
+	const goroutines = 24
+	const rounds = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for r := 0; r < rounds; r++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if g%3 == 0 {
+					// A third of the clients cancel at a random point,
+					// exercising the leader-cancel handoff and the
+					// waiter-leaves paths.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+				}
+				var st Stats
+				got, err := ev.EvalContext(ctx, MustParse(changChain), &st, nil)
+				cancel()
+				if err != nil {
+					if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+						t.Errorf("goroutine %d: %v", g, err)
+					}
+					continue
+				}
+				if !got.Equal(baseline) {
+					t.Errorf("goroutine %d: shared result %v, want %v", g, got, baseline)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitNoGoroutineLeak(t, before)
+}
+
+// TestEvalSharedCounts checks the CSEHits accounting on a deterministic
+// two-party flight: a leader parked inside its evaluation (via a cache Get
+// that blocks the second arrival until the first passes) is joined by a
+// waiter which must report a CSE hit.
+func TestEvalSharedCounts(t *testing.T) {
+	in := fixture(t)
+	ev := NewEvaluator(in)
+	cache := newLockedCache()
+	ev.Results = cache
+	ev.Shared = NewInflight()
+
+	// Prime: a solo evaluation populates the cache; clear it but keep the
+	// evaluator, then run two evaluations back to back — the second joins
+	// the first only if they overlap, so force overlap with a flight held
+	// open by hand.
+	key := MustParse(changChain).String()
+	rkey := ev.resultKey(key)
+	fl, leader := ev.Shared.Join(rkey)
+	if !leader {
+		t.Fatal("test holds the flight but was not its leader")
+	}
+	want, err := NewEvaluator(in).Eval(MustParse(changChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Stats, 1)
+	go func() {
+		var st Stats
+		got, err := ev.EvalContext(context.Background(), MustParse(changChain), &st, nil)
+		if err != nil {
+			t.Errorf("waiter: %v", err)
+		} else if !got.Equal(want) {
+			t.Errorf("waiter got %v, want %v", got, want)
+		}
+		done <- st
+	}()
+	// The waiter is now (or will be) parked on the flight; publish it.
+	time.Sleep(2 * time.Millisecond)
+	ev.Shared.Complete(rkey, fl, want, nil)
+	st := <-done
+	if st.CSEHits == 0 {
+		t.Errorf("waiter reported no CSE hit: %+v", st)
+	}
+}

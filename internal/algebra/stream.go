@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strings"
 
+	"qof/internal/mpm"
 	"qof/internal/region"
 )
 
@@ -60,6 +61,10 @@ type streamCtx struct {
 	budget *Budget
 	stats  *Stats
 	live   int // bytes currently held in materialized buffers
+
+	// scan, when non-nil, is the batch's multi-pattern scan result; Word
+	// leaves it covers stream off it instead of probing the index.
+	scan *mpm.Result
 }
 
 // meter records n regions' worth of freshly materialized buffer and updates
@@ -94,7 +99,7 @@ func (ev *Evaluator) Stream(cctx context.Context, e Expr, st *Stats, b *Budget) 
 	if nameErr != nil {
 		return nil, nameErr
 	}
-	sc := &streamCtx{budget: b, stats: st}
+	sc := &streamCtx{budget: b, stats: st, scan: mpm.FromContext(cctx)}
 	if cctx != nil && cctx.Done() != nil {
 		sc.check = cctx.Err
 	}
@@ -151,7 +156,14 @@ func (ev *Evaluator) stream(sc *streamCtx, e Expr) (region.Iterator, error) {
 		s, _ := ev.in.Region(e.Ident) // validated in Stream
 		return sc.tap(s.Iter(), false), nil
 	case Word:
-		s := ev.in.Words().MatchPoints(e.W)
+		s, ok := sc.scan.Lookup(e.W)
+		if ok {
+			if sc.stats != nil {
+				sc.stats.SharedScans++
+			}
+		} else {
+			s = ev.in.Words().MatchPoints(e.W)
+		}
 		sc.meter(s.Len())
 		return sc.tap(s.Iter(), false), nil
 	case Prefix:
@@ -168,7 +180,7 @@ func (ev *Evaluator) stream(sc *streamCtx, e Expr) (region.Iterator, error) {
 			return nil, err
 		}
 		sc.countOp(false)
-		return sc.tap(ev.streamSelect(arg, e), true), nil
+		return sc.tap(ev.streamSelect(sc, arg, e), true), nil
 	case Unary:
 		arg, err := ev.stream(sc, e.Arg)
 		if err != nil {
@@ -309,10 +321,26 @@ func (ev *Evaluator) streamMaterialize(sc *streamCtx, e Expr) (region.Set, error
 // streamSelect applies σ as a filter over the streaming argument using the
 // same per-region predicates the WordIndex kernels use, so the two
 // executors agree region for region.
-func (ev *Evaluator) streamSelect(arg region.Iterator, e Select) region.Iterator {
+func (ev *Evaluator) streamSelect(sc *streamCtx, arg region.Iterator, e Select) region.Iterator {
 	words := ev.in.Words()
 	switch e.Mode {
 	case SelContains:
+		if pts, ok := sc.scan.Lookup(e.W); ok {
+			// The batch scan already produced w's whole-word occurrences;
+			// the filter below is the same one the postings path applies.
+			if sc.stats != nil {
+				sc.stats.SharedScans++
+			}
+			occ := pts.Regions()
+			if len(occ) == 0 {
+				arg.Close()
+				return region.Empty.Iter()
+			}
+			return region.FilterIter(arg, func(r region.Region) bool {
+				i := sort.Search(len(occ), func(i int) bool { return occ[i].Start >= r.Start })
+				return i < len(occ) && occ[i].End <= r.End
+			})
+		}
 		occ := words.Occurrences(e.W)
 		if len(occ) == 0 {
 			arg.Close()

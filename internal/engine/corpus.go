@@ -37,6 +37,11 @@ type Corpus struct {
 	// file added afterwards (see Engine.Materializing). Set it before
 	// adding files.
 	Materializing bool
+
+	// Shared enables shared execution (batched scans, cross-query CSE,
+	// phase-2 parse dedup; see shared.go) on every file added afterwards.
+	// Set it before adding files.
+	Shared bool
 }
 
 // NewCorpus creates an empty corpus over the catalog.
@@ -52,6 +57,9 @@ func (c *Corpus) Add(doc *text.Document, spec grammar.IndexSpec) error {
 	}
 	eng := New(c.cat, in)
 	eng.Materializing = c.Materializing
+	if c.Shared {
+		eng.EnableSharedExecution()
+	}
 	c.engines = append(c.engines, eng)
 	return nil
 }
@@ -90,6 +98,9 @@ func (c *Corpus) AddAllContext(ctx context.Context, docs []*text.Document, spec 
 		}
 		engines[i] = New(c.cat, in)
 		engines[i].Materializing = c.Materializing
+		if c.Shared {
+			engines[i].EnableSharedExecution()
+		}
 	}
 	if c.Parallelism > 1 {
 		sem := make(chan struct{}, c.Parallelism)
@@ -278,6 +289,9 @@ func (c *Corpus) ExecuteContext(ctx context.Context, q *xsql.Query, opts ExecOpt
 		out.Stats.PlanCached = out.Stats.PlanCached || st.PlanCached
 		out.Stats.ResultCached = out.Stats.ResultCached || st.ResultCached
 		out.Stats.ResultCacheHits += st.ResultCacheHits
+		out.Stats.SharedScans += st.SharedScans
+		out.Stats.CSEHits += st.CSEHits
+		out.Stats.ParseDedups += st.ParseDedups
 		if st.Results == 0 {
 			continue
 		}

@@ -27,6 +27,7 @@ import (
 	"qof/internal/faultinject"
 	"qof/internal/grammar"
 	"qof/internal/index"
+	"qof/internal/mpm"
 	"qof/internal/qerr"
 	"qof/internal/region"
 	"qof/internal/stats"
@@ -68,6 +69,11 @@ type Engine struct {
 	// harness and the peak-memory benchmarks. Configuration, like
 	// Parallelism: set it before the engine starts serving.
 	Materializing bool
+
+	// shared, when non-nil, is the cross-query shared-execution
+	// coordinator (batched scans, CSE, parse dedup); see shared.go.
+	// Enabled by EnableSharedExecution before serving starts.
+	shared *sharedState
 }
 
 // New creates an engine over the catalog and instance. Construction
@@ -134,6 +140,17 @@ type Stats struct {
 	ResultCached    bool
 	ResultCacheHits int
 
+	// Shared-execution counters (zero unless EnableSharedExecution):
+	// SharedScans counts word leaves answered from a batched multi-pattern
+	// scan, CSEHits subexpressions (or whole candidate sets) received from
+	// another query's in-flight evaluation, and ParseDedups phase-2 parses
+	// served by the shared parse table. Purely observational — the fields
+	// above (Candidates, Parsed, ParsedBytes, Results) are unchanged by
+	// sharing.
+	SharedScans int
+	CSEHits     int
+	ParseDedups int
+
 	// PeakBytes approximates the high-water mark of region-buffer memory
 	// the execution held: materialized operator results (all of them on
 	// the materializing path, only the unavoidable buffers — proximity
@@ -193,7 +210,8 @@ type execEnv struct {
 	lim    Limits
 	budget *algebra.Budget // phase-1 region budget; nil = unlimited
 
-	bytesUsed atomic.Int64 // phase-2 parsed bytes so far
+	bytesUsed   atomic.Int64 // phase-2 parsed bytes so far
+	parseDedups atomic.Int64 // phase-2 parses served by the shared table
 }
 
 // poll returns the context error once the execution's context is done.
@@ -258,6 +276,14 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *xsql.Query, lim Limits) 
 	if plan.Trivial {
 		return res, nil
 	}
+	if e.shared != nil {
+		scan, release := e.shared.enter(ctx, plan)
+		defer release()
+		if scan != nil {
+			es.ctx = mpm.NewContext(ctx, scan)
+		}
+		defer func() { res.Stats.ParseDedups = int(es.parseDedups.Load()) }()
+	}
 	if len(q.From) == 1 {
 		if err := e.executeSingle(es, q, plan, res); err != nil {
 			return nil, err
@@ -282,6 +308,8 @@ func (e *Engine) evalExpr(es *execEnv, x algebra.Expr, res *Result) (region.Set,
 	var ast algebra.Stats
 	s, err := e.ev.EvalContext(es.ctx, x, &ast, es.budget)
 	res.Stats.ResultCacheHits += ast.ResultCacheHits
+	res.Stats.SharedScans += ast.SharedScans
+	res.Stats.CSEHits += ast.CSEHits
 	// Materializing evaluation keeps every operator result in its memo
 	// until the call ends, so the regions touched are the buffer peak.
 	res.Stats.PeakBytes += ast.PeakBytes + regionBytes*ast.RegionsTouched
@@ -485,12 +513,10 @@ func (e *Engine) processCandidate(es *execEnv, q *xsql.Query, vp *compile.VarPla
 	if err := es.chargeBytes(r.Len()); err != nil {
 		return nil, false, err
 	}
-	doc := e.in.Document()
-	node, err := e.cat.Grammar.ParseAs(doc, vp.NT, r.Start, r.End)
+	obj, err = e.parseValue(es, vp.NT, r)
 	if err != nil {
-		return nil, false, fmt.Errorf("engine: parsing candidate %v as %s: %w", r, vp.NT, err)
+		return nil, false, err
 	}
-	obj = grammar.BuildValue(node, doc.Content())
 	if !vp.Exact {
 		ok, err := xsql.EvalCond(xsql.Env{vp.Var: obj}, q.Where)
 		if err != nil {
@@ -555,17 +581,54 @@ func (e *Engine) streamSingle(es *execEnv, q *xsql.Query, plan *compile.Plan, vp
 	var ast algebra.Stats
 	var src region.Iterator
 	fromCache := false
+	// Worthiness and the epoch-prefixed key are computed once and shared by
+	// the cache read, the CSE join and the publish below.
+	key, worthy := e.ev.SharedKey(vp.Candidates)
+	var shFlight *algebra.Flight
 	// A region budget must meter the actual phase-1 work, so budgeted
-	// queries bypass the cross-query cache, exactly like the materializing
-	// path.
-	if es.budget == nil {
-		if s, ok := e.ev.CachedResult(vp.Candidates); ok {
+	// queries bypass the cross-query cache and the CSE join, exactly like
+	// the materializing path.
+	if es.budget == nil && worthy {
+		if s, ok := e.ev.CachedResultKey(key); ok {
 			res.Stats.ResultCached = true
 			res.Stats.ResultCacheHits++
 			src = s.Iter()
 			fromCache = true
+		} else if e.shared != nil && q.Limit == 0 {
+			// Whole-candidate-set CSE: concurrent streaming queries with the
+			// same candidate expression share one evaluation and drain.
+			// Limited queries bypass it — a limit-stopped leader cannot
+			// produce the full set — which also keeps their behavior
+			// byte-identical to unshared execution.
+			if ferr := faultinject.Hit(faultinject.EngineCSE); ferr == nil {
+				for src == nil {
+					fl, leader := e.shared.cse.Join(key)
+					if leader {
+						shFlight = fl
+						break
+					}
+					s, werr := fl.Wait(es.ctx)
+					if werr == nil {
+						res.Stats.CSEHits++
+						src = s.Iter()
+						fromCache = true // the leader already published it
+					} else if cerr := es.poll(); cerr != nil {
+						return cerr
+					}
+					// The leader failed (canceled, faulted, or panicked out)
+					// while this query is live: loop and take over.
+				}
+			}
 		}
 	}
+	// The flight must complete on every exit — error, cancel or panic
+	// unwind — so waiters never hang; success completes it below.
+	leaderDone := false
+	defer func() {
+		if shFlight != nil && !leaderDone {
+			e.shared.cse.Abort(key, shFlight)
+		}
+	}()
 	if src == nil {
 		it, err := e.ev.Stream(es.ctx, vp.Candidates, &ast, es.budget)
 		if err != nil {
@@ -578,16 +641,23 @@ func (e *Engine) streamSingle(es *execEnv, q *xsql.Query, plan *compile.Plan, vp
 
 	all, complete, err := e.streamPhase2(es, q, plan, vp, src, res)
 	res.Stats.ResultCacheHits += ast.ResultCacheHits
+	res.Stats.SharedScans += ast.SharedScans
 	res.Stats.Candidates = len(all)
 	res.Stats.PeakBytes += ast.PeakBytes + regionBytes*(ast.RegionsTouched+len(all))
 	if err != nil {
 		return err
 	}
-	if complete && !fromCache {
+	if complete && !fromCache && worthy {
 		// The stream was drained in full, so the accumulated candidates
 		// are the exact phase-1 answer — safe to publish. A limit-stopped
-		// or failed drain never reaches this point.
-		e.ev.PublishResult(vp.Candidates, region.FromRegions(all))
+		// or failed drain never reaches this point, preserving the
+		// killed-runs-never-publish invariant for cache and waiters alike.
+		set := region.FromRegions(all)
+		e.ev.PublishResultKey(key, set)
+		if shFlight != nil {
+			leaderDone = true
+			e.shared.cse.Complete(key, shFlight, set, nil)
+		}
 	}
 	return nil
 }
@@ -918,12 +988,33 @@ func (e *Engine) parseRegion(es *execEnv, nt string, r region.Region, st *Stats)
 	if err := es.chargeBytes(r.Len()); err != nil {
 		return nil, err
 	}
+	v, err := e.parseValue(es, nt, r)
+	if err != nil {
+		return nil, err
+	}
+	st.Parsed++
+	st.ParsedBytes += r.Len()
+	return v, nil
+}
+
+// parseValue parses one candidate region into its database value, through
+// the shared parse table when shared execution is on. The caller has
+// already polled cancellation and charged its byte budget. Shared values
+// are immutable by the same contract as cached region sets: every consumer
+// (filtering, projection, result conversion) only reads them.
+func (e *Engine) parseValue(es *execEnv, nt string, r region.Region) (db.Value, error) {
+	if e.shared == nil {
+		return e.parseValueRaw(nt, r)
+	}
+	return e.shared.parse(es, nt, r)
+}
+
+// parseValueRaw is the unshared parse: grammar parse plus value build.
+func (e *Engine) parseValueRaw(nt string, r region.Region) (db.Value, error) {
 	doc := e.in.Document()
 	node, err := e.cat.Grammar.ParseAs(doc, nt, r.Start, r.End)
 	if err != nil {
 		return nil, fmt.Errorf("engine: parsing candidate %v as %s: %w", r, nt, err)
 	}
-	st.Parsed++
-	st.ParsedBytes += r.Len()
 	return grammar.BuildValue(node, doc.Content()), nil
 }

@@ -1,0 +1,59 @@
+package engine_test
+
+// Shared-execution integration tests: a shared engine hammered by
+// overlapping queries must produce byte-identical results and result-facing
+// statistics to an unshared engine over the same instance. The white-box
+// batching mechanics live in shared_internal_test.go.
+
+import (
+	"testing"
+
+	"qof/internal/bibtex"
+	"qof/internal/engine"
+	"qof/internal/grammar"
+	"qof/internal/testutil"
+)
+
+// TestEngineSharedMatchesUnshared computes every query's baseline on an
+// unshared engine, then runs the concurrent stress against a shared engine
+// over the same instance: snapshots (results + result-facing stats, with
+// the observational shared counters masked) must match exactly.
+func TestEngineSharedMatchesUnshared(t *testing.T) {
+	specs := map[string]grammar.IndexSpec{
+		"FullIndex": {},
+		// Partial indexing forces phase-2 parsing, putting the parse-dedup
+		// table in play alongside the batch scans and the CSE table.
+		"PartialIndex": {Names: []string{bibtex.NTReference, bibtex.NTKey, bibtex.NTLastName}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			f := testutil.NewBibFixture(t, 80, spec, nil)
+			queries := parseAll(t, concurrentQueries)
+			want := make([]string, len(queries))
+			for i, q := range queries {
+				res, err := f.Eng.Execute(q)
+				if err != nil {
+					t.Fatalf("unshared baseline %s: %v", q, err)
+				}
+				want[i] = snapshot(res)
+			}
+
+			shared := engine.New(f.Cat, f.In)
+			shared.Parallelism = 4 // phase-2 workers give queries yield points to overlap on
+			shared.EnableSharedExecution()
+			runEngineConcurrent(t, shared, queries, 8, 4)
+
+			// The concurrent run's own baseline already matched; cross-check
+			// the warm shared engine against the unshared baselines too.
+			for i, q := range queries {
+				res, err := shared.Execute(q)
+				if err != nil {
+					t.Fatalf("shared %s: %v", q, err)
+				}
+				if got := snapshot(res); got != want[i] {
+					t.Errorf("shared %s diverged from unshared:\n got %s\nwant %s", q, got, want[i])
+				}
+			}
+		})
+	}
+}

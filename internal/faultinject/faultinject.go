@@ -70,6 +70,8 @@ const (
 	CorpusFile     = "corpus.file"     // per-file evaluation in Corpus.Execute*
 	ServeShard     = "serve.shard"     // per-shard scatter leg in serve.Server.Execute
 	ServePublish   = "serve.publish"   // per-shard corpus build in serve.Server.Publish
+	EngineCSE      = "engine.cse"      // cross-query CSE join (fires = bypass sharing, solo eval)
+	ScanMPM        = "scan.mpm"        // batched multi-pattern scan (fires = batch falls back to probes)
 )
 
 // Catalog lists every failpoint name in stable order.
@@ -78,6 +80,7 @@ func Catalog() []string {
 		IndexBuild, PersistSave, PersistLoad,
 		PlanCacheGet, PlanCachePut, ResultCacheGet, ResultCachePut,
 		Phase2, CorpusFile, ServeShard, ServePublish,
+		EngineCSE, ScanMPM,
 	}
 }
 

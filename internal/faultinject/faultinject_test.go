@@ -171,8 +171,8 @@ func TestConfigureRejectsBadSpecs(t *testing.T) {
 
 func TestCatalogIsStable(t *testing.T) {
 	names := Catalog()
-	if len(names) != 11 {
-		t.Fatalf("Catalog has %d names, want 11", len(names))
+	if len(names) != 13 {
+		t.Fatalf("Catalog has %d names, want 13", len(names))
 	}
 	seen := make(map[string]bool)
 	for _, n := range names {

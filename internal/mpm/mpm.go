@@ -1,0 +1,251 @@
+// Package mpm implements batched multi-pattern word scanning: the word
+// literals (σ_w atoms) of every query in a batch are compiled into one
+// Aho-Corasick automaton whose single pass over the document text answers
+// all of their postings lookups at once, replacing N independent index
+// probes with one scan (the literal-prefilter technique from the regular
+// expression indexing literature, applied to the paper's word selections).
+//
+// Exactness contract: for every compiled pattern w, the scan produces the
+// same region set index.WordIndex.MatchPoints(w) returns — one region per
+// whole-token occurrence. Only patterns that tokenize to exactly one word
+// (every rune a text.IsWordRune) are scannable; a match [i, i+len(w)) is
+// accepted only when text.IsWord holds, i.e. the occurrence is delimited by
+// word boundaries on both sides, which is precisely when the tokenizer
+// emits it as one token. UTF-8 self-synchronization guarantees byte-level
+// matches of rune-clean patterns always fall on rune boundaries.
+package mpm
+
+import (
+	"context"
+	"sync"
+
+	"qof/internal/faultinject"
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+// Automaton is a compiled multi-pattern matcher: a byte-level Aho-Corasick
+// DFA (goto and failure transitions flattened into one dense delta table)
+// over the batch's scannable word literals. Immutable after Compile;
+// concurrent Scans may share one Automaton freely.
+type Automaton struct {
+	delta [][256]int32 // delta[state][b]: next state after reading b
+	out   [][]int32    // pattern ids whose occurrence ends at this state
+	pats  []string     // scannable patterns by id
+}
+
+// Scannable reports whether w can be answered by the automaton: non-empty
+// and entirely word runes, so it tokenizes to exactly one token and the
+// whole-token occurrences the scan finds coincide with the word index's
+// postings. Anything else (phrases, punctuation, empty) falls back to the
+// per-query index probe — which for such patterns is empty anyway, since
+// tokens never contain non-word runes.
+func Scannable(w string) bool {
+	if w == "" {
+		return false
+	}
+	for _, r := range w {
+		if !text.IsWordRune(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compile builds the automaton over the scannable subset of words,
+// deduplicated. It returns nil when no pattern is scannable; a nil
+// *Automaton scans nothing.
+func Compile(words []string) *Automaton {
+	seen := make(map[string]bool, len(words))
+	var pats []string
+	for _, w := range words {
+		if !seen[w] && Scannable(w) {
+			seen[w] = true
+			pats = append(pats, w)
+		}
+	}
+	if len(pats) == 0 {
+		return nil
+	}
+	a := &Automaton{pats: pats}
+	// Trie construction; -1 marks transitions to fill from failure links.
+	a.addState()
+	for pid, p := range pats {
+		s := int32(0)
+		for i := 0; i < len(p); i++ {
+			b := p[i]
+			if a.delta[s][b] < 0 {
+				a.delta[s][b] = a.addState()
+			}
+			s = a.delta[s][b]
+		}
+		a.out[s] = append(a.out[s], int32(pid))
+	}
+	// BFS over the trie computing failure links and flattening them into a
+	// full DFA: unset transitions route where the failure state would go,
+	// and output sets absorb their failure state's outputs.
+	fail := make([]int32, len(a.delta))
+	queue := make([]int32, 0, len(a.delta))
+	for b := 0; b < 256; b++ {
+		if s := a.delta[0][b]; s > 0 {
+			fail[s] = 0
+			queue = append(queue, s)
+		} else {
+			a.delta[0][b] = 0
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if f := fail[s]; len(a.out[f]) > 0 {
+			a.out[s] = append(a.out[s], a.out[f]...)
+		}
+		for b := 0; b < 256; b++ {
+			if t := a.delta[s][b]; t > 0 {
+				fail[t] = a.delta[fail[s]][b]
+				queue = append(queue, t)
+			} else {
+				a.delta[s][b] = a.delta[fail[s]][b]
+			}
+		}
+	}
+	return a
+}
+
+func (a *Automaton) addState() int32 {
+	a.delta = append(a.delta, [256]int32{})
+	for b := range a.delta[len(a.delta)-1] {
+		a.delta[len(a.delta)-1][b] = -1
+	}
+	a.out = append(a.out, nil)
+	return int32(len(a.delta) - 1)
+}
+
+// Patterns reports how many distinct patterns the automaton matches.
+func (a *Automaton) Patterns() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.pats)
+}
+
+// rec is one accepted occurrence, accumulated in pooled scratch during the
+// scan and distributed into per-pattern sets afterwards.
+type rec struct {
+	pid   int32
+	start int
+}
+
+// scratch is the per-scan match accumulator, recycled across scans. It
+// never leaves this package: Scan drains it into freshly allocated
+// per-pattern region slices before returning.
+type scratch struct {
+	recs []rec
+}
+
+// scratchMaxCap bounds how large a recycled match buffer may be; scans over
+// pathological documents fall back to garbage-collected growth.
+const scratchMaxCap = 1 << 16
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(sc *scratch) {
+	if cap(sc.recs) > scratchMaxCap {
+		return
+	}
+	sc.recs = sc.recs[:0]
+	scratchPool.Put(sc)
+}
+
+// Scan runs the automaton over content and returns every pattern's
+// whole-word occurrence set. A nil automaton returns a nil Result. The
+// scan.mpm failpoint fires here: an injected error abandons the batch scan
+// and every query in the batch degrades to its own index probes.
+func (a *Automaton) Scan(content string) (*Result, error) {
+	if a == nil {
+		return nil, nil
+	}
+	if err := faultinject.Hit(faultinject.ScanMPM); err != nil {
+		return nil, err
+	}
+	sc := getScratch()
+	state := int32(0)
+	for i := 0; i < len(content); i++ {
+		state = a.delta[state][content[i]]
+		for _, pid := range a.out[state] {
+			start := i + 1 - len(a.pats[pid])
+			if text.IsWord(content, start, i+1) {
+				sc.recs = append(sc.recs, rec{pid: pid, start: start})
+			}
+		}
+	}
+	// Size each pattern's slice exactly, then distribute. The AC pass emits
+	// matches in increasing end position and patterns have fixed length, so
+	// each per-pattern slice arrives sorted, matching postings order.
+	counts := make([]int32, len(a.pats))
+	for _, m := range sc.recs {
+		counts[m.pid]++
+	}
+	sets := make(map[string]region.Set, len(a.pats))
+	bufs := make([][]region.Region, len(a.pats))
+	for pid, n := range counts {
+		if n > 0 {
+			bufs[pid] = make([]region.Region, 0, n)
+		}
+	}
+	for _, m := range sc.recs {
+		bufs[m.pid] = append(bufs[m.pid], region.Region{Start: m.start, End: m.start + len(a.pats[m.pid])})
+	}
+	for pid, rs := range bufs {
+		sets[a.pats[pid]] = region.FromRegions(rs)
+	}
+	putScratch(sc)
+	return &Result{sets: sets}, nil
+}
+
+// Result holds the per-pattern occurrence sets of one batch scan. Immutable
+// after Scan; every query of the batch reads it concurrently.
+type Result struct {
+	sets map[string]region.Set
+}
+
+// Lookup returns the occurrence set for w when w was part of the scan. The
+// second result is false — and the caller must probe the index itself —
+// for patterns outside the batch. A nil Result answers nothing.
+func (r *Result) Lookup(w string) (region.Set, bool) {
+	if r == nil {
+		return region.Empty, false
+	}
+	s, ok := r.sets[w]
+	return s, ok
+}
+
+// Patterns reports how many patterns the scan answered.
+func (r *Result) Patterns() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.sets)
+}
+
+type ctxKey struct{}
+
+// NewContext attaches a batch scan result to ctx; the evaluator picks it up
+// once per evaluation and answers Word leaves from it.
+func NewContext(ctx context.Context, r *Result) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext extracts the batch scan result, nil when none is attached.
+func FromContext(ctx context.Context) *Result {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Result)
+	return r
+}

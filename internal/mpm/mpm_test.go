@@ -1,0 +1,183 @@
+package mpm
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qof/internal/faultinject"
+	"qof/internal/index"
+	"qof/internal/region"
+	"qof/internal/text"
+)
+
+func TestScannable(t *testing.T) {
+	cases := []struct {
+		w    string
+		want bool
+	}{
+		{"", false},
+		{"chang", true},
+		{"Chang", true},
+		{"x86", true},
+		{"1994", true},
+		{"naïve", true},
+		{"日本語", true},
+		{"two words", false},
+		{"semi;colon", false},
+		{"dash-ed", false},
+		{"dot.", false},
+		{"@misc", false},
+	}
+	for _, c := range cases {
+		if got := Scannable(c.w); got != c.want {
+			t.Errorf("Scannable(%q) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+// assertParity scans content for pats and checks every pattern's set against
+// the word index's postings — the package's exactness contract.
+func assertParity(t *testing.T, content string, pats []string) {
+	t.Helper()
+	a := Compile(pats)
+	words := index.NewWordIndex(text.NewDocument("parity.txt", content))
+	r, err := a.Scan(content)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, w := range pats {
+		if !Scannable(w) {
+			if _, ok := r.Lookup(w); ok {
+				t.Errorf("non-scannable %q answered by the scan", w)
+			}
+			continue
+		}
+		got, ok := r.Lookup(w)
+		if !ok {
+			t.Fatalf("scannable %q missing from scan result", w)
+		}
+		want := words.MatchPoints(w)
+		if !regionEqual(got, want) {
+			t.Errorf("pattern %q: scan %v, index %v", w, got.Regions(), want.Regions())
+		}
+	}
+}
+
+func regionEqual(a, b region.Set) bool {
+	ra, rb := a.Regions(), b.Regions()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScanParity(t *testing.T) {
+	content := `@article{chang94, author = {C. Chang and D. Chang},
+  title = {Optimizing Queries on Files}, year = {1994},
+  note  = {ab abc b ababab changchang xchang changx Chang},
+  tags  = {naïve naïvete café 日本語 x86 86x}}`
+	pats := []string{
+		"chang", "Chang", "changchang", // case-distinct, self-overlapping
+		"ab", "abc", "b", "ababab", // nested and overlapping patterns
+		"1994", "year", "author",
+		"naïve", "café", "日本語", "x86", // multi-byte and mixed
+		"missing", "zzz", // no occurrences
+		"two words", "", // not scannable
+	}
+	assertParity(t, content, pats)
+}
+
+// TestScanParityRandom cross-checks automaton output against the word index
+// on randomized documents whose words are drawn from a small alphabet, so
+// overlaps, substrings and repeats are common.
+func TestScanParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	vocab := []string{"a", "ab", "ba", "aba", "bab", "abab", "x", "xy", "café", "日本"}
+	seps := []string{" ", ", ", "\n", "--", "\t"}
+	for round := 0; round < 50; round++ {
+		var b strings.Builder
+		for i := 0; i < 40; i++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			b.WriteString(seps[rng.Intn(len(seps))])
+		}
+		pats := make([]string, 0, 6)
+		for i := 0; i < 6; i++ {
+			pats = append(pats, vocab[rng.Intn(len(vocab))])
+		}
+		assertParity(t, b.String(), pats)
+	}
+}
+
+func TestCompileEmpty(t *testing.T) {
+	if a := Compile(nil); a != nil {
+		t.Errorf("Compile(nil) = %v, want nil", a)
+	}
+	if a := Compile([]string{"", "two words"}); a != nil {
+		t.Errorf("Compile(non-scannable) = %v, want nil", a)
+	}
+	var a *Automaton
+	r, err := a.Scan("anything")
+	if r != nil || err != nil {
+		t.Errorf("nil Scan = (%v, %v), want (nil, nil)", r, err)
+	}
+	if a.Patterns() != 0 {
+		t.Errorf("nil Patterns() = %d, want 0", a.Patterns())
+	}
+}
+
+func TestCompileDedups(t *testing.T) {
+	a := Compile([]string{"chang", "chang", "li", "chang"})
+	if got := a.Patterns(); got != 2 {
+		t.Errorf("Patterns() = %d, want 2", got)
+	}
+}
+
+func TestResultNil(t *testing.T) {
+	var r *Result
+	if s, ok := r.Lookup("w"); ok || s.Len() != 0 {
+		t.Errorf("nil Lookup = (%v, %v), want (empty, false)", s, ok)
+	}
+	if r.Patterns() != 0 {
+		t.Errorf("nil Patterns() = %d, want 0", r.Patterns())
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Errorf("FromContext(empty) = %v, want nil", got)
+	}
+	if got := FromContext(nil); got != nil {
+		t.Errorf("FromContext(nil) = %v, want nil", got)
+	}
+	ctx := NewContext(context.Background(), nil)
+	if got := FromContext(ctx); got != nil {
+		t.Errorf("FromContext(NewContext(nil)) = %v, want nil", got)
+	}
+	r := &Result{sets: map[string]region.Set{"w": region.Empty}}
+	ctx = NewContext(context.Background(), r)
+	if got := FromContext(ctx); got != r {
+		t.Errorf("FromContext = %v, want %v", got, r)
+	}
+}
+
+func TestScanFault(t *testing.T) {
+	if err := faultinject.Configure(faultinject.ScanMPM + "=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	a := Compile([]string{"chang"})
+	r, err := a.Scan("chang li chang")
+	if err == nil {
+		t.Fatal("Scan with injected fault: no error")
+	}
+	if r != nil {
+		t.Errorf("Scan with injected fault returned a result: %v", r)
+	}
+}

@@ -26,12 +26,13 @@ import (
 // default streaming pipeline and the materializing reference — and the
 // oracle.
 type Harness struct {
-	Name   string // e.g. "bibtex/spec1", for reports
-	In     *index.Instance
-	Eng    *engine.Engine // streaming executor (the default)
-	EngMat *engine.Engine // materializing reference executor
-	Oracle *refeval.Oracle
-	Ref    *refeval.Evaluator
+	Name      string // e.g. "bibtex/spec1", for reports
+	In        *index.Instance
+	Eng       *engine.Engine // streaming executor (the default)
+	EngMat    *engine.Engine // materializing reference executor
+	EngShared *engine.Engine // streaming executor with shared execution on
+	Oracle    *refeval.Oracle
+	Ref       *refeval.Evaluator
 }
 
 // limitLegKs are the LIMIT values the prefix leg re-runs every query with.
@@ -54,13 +55,17 @@ func New(d *qgen.Domain, specIdx int, spec grammar.IndexSpec) (*Harness, error) 
 	mat := engine.New(d.Cat, in)
 	mat.Parallelism = 3
 	mat.Materializing = true
+	shared := engine.New(d.Cat, in)
+	shared.Parallelism = 3
+	shared.EnableSharedExecution()
 	return &Harness{
-		Name:   fmt.Sprintf("%s/spec%d", d.Name, specIdx),
-		In:     in,
-		Eng:    eng,
-		EngMat: mat,
-		Oracle: oracle,
-		Ref:    refeval.New(in),
+		Name:      fmt.Sprintf("%s/spec%d", d.Name, specIdx),
+		In:        in,
+		Eng:       eng,
+		EngMat:    mat,
+		EngShared: shared,
+		Oracle:    oracle,
+		Ref:       refeval.New(in),
 	}, nil
 }
 
@@ -79,7 +84,8 @@ func Harnesses(d *qgen.Domain) ([]*Harness, error) {
 
 // CheckQuery executes q on each engine three times — the second and third
 // runs must come from the plan cache, and by the third the cross-query
-// result cache is warm, so both cache layers of both executors are under
+// result cache is warm, so both cache layers of every executor (streaming,
+// materializing, and streaming with shared execution) are under
 // differential test — and on the oracle, and returns a mismatch report as
 // an error, or nil when all runs agree. When the query succeeds, the LIMIT
 // leg re-runs it with LIMIT k on both executors and checks the limited
@@ -90,7 +96,7 @@ func (h *Harness) CheckQuery(q *xsql.Query) error {
 	for _, leg := range []struct {
 		mode string
 		eng  *engine.Engine
-	}{{"streaming", h.Eng}, {"materializing", h.EngMat}} {
+	}{{"streaming", h.Eng}, {"materializing", h.EngMat}, {"shared", h.EngShared}} {
 		for run := 0; run < 3; run++ {
 			got, err := leg.eng.Execute(q)
 			if (err != nil) != (oerr != nil) {
@@ -133,15 +139,22 @@ func (h *Harness) checkLimit(q *xsql.Query, k int, full *engine.Result) error {
 	lq.Limit = k
 	stream, serr := h.Eng.Execute(&lq)
 	mat, merr := h.EngMat.Execute(&lq)
-	if serr != nil || merr != nil {
-		return fmt.Errorf("%s: LIMIT %d on %s failed:\n  streaming: %v\n  materializing: %v",
-			h.Name, k, q, serr, merr)
+	shared, sherr := h.EngShared.Execute(&lq)
+	if serr != nil || merr != nil || sherr != nil {
+		return fmt.Errorf("%s: LIMIT %d on %s failed:\n  streaming: %v\n  materializing: %v\n  shared: %v",
+			h.Name, k, q, serr, merr, sherr)
 	}
 	if stream.Projected != mat.Projected ||
 		!stream.Regions.Equal(mat.Regions) ||
 		!equalStrings(stream.Strings, mat.Strings) {
 		return fmt.Errorf("%s: LIMIT %d executor disagreement on %s:\n  streaming:     %v %v\n  materializing: %v %v",
 			h.Name, k, q, stream.Regions, stream.Strings, mat.Regions, mat.Strings)
+	}
+	if stream.Projected != shared.Projected ||
+		!stream.Regions.Equal(shared.Regions) ||
+		!equalStrings(stream.Strings, shared.Strings) {
+		return fmt.Errorf("%s: LIMIT %d shared-executor disagreement on %s:\n  streaming: %v %v\n  shared:    %v %v",
+			h.Name, k, q, stream.Regions, stream.Strings, shared.Regions, shared.Strings)
 	}
 	// Row count: exactly k rows unless the full answer is smaller.
 	rows, fullRows := stream.Stats.Results, full.Stats.Results

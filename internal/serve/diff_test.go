@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"qof"
@@ -78,13 +79,14 @@ type daemonLeg struct {
 	ts     *httptest.Server
 }
 
-func startLeg(t *testing.T, name string, schema *qof.Schema, files map[string]string, shards int, materializing bool) *daemonLeg {
+func startLeg(t *testing.T, name string, schema *qof.Schema, files map[string]string, shards int, materializing, shared bool) *daemonLeg {
 	t.Helper()
 	srv, err := serve.New(serve.Config{
-		Schema:        schema,
-		Shards:        shards,
-		Parallelism:   2,
-		Materializing: materializing,
+		Schema:          schema,
+		Shards:          shards,
+		Parallelism:     2,
+		Materializing:   materializing,
+		SharedExecution: shared,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -156,8 +158,9 @@ func expected(t *testing.T, res *qof.CorpusResults, epoch uint64, shards, files 
 
 // TestHTTPDifferential is the serving layer's differential guarantee: for
 // every generated query, the daemon's HTTP answer — sharded N=1 and N=4 on
-// the streaming executor, and sharded N=2 on the materializing reference —
-// is byte-identical to the direct facade's answer over the same files.
+// the streaming executor, N=7 with shared execution, and sharded N=2 on
+// the materializing reference — is byte-identical to the direct facade's
+// answer over the same files.
 func TestHTTPDifferential(t *testing.T) {
 	for _, domain := range []string{"bibtex", "sgml", "logs"} {
 		domain := domain
@@ -178,10 +181,13 @@ func TestHTTPDifferential(t *testing.T) {
 			}
 
 			legs := []*daemonLeg{
-				startLeg(t, domain+"/shards=1", schema, files, 1, false),
-				startLeg(t, domain+"/shards=4", schema, files, 4, false),
+				startLeg(t, domain+"/shards=1", schema, files, 1, false, false),
+				startLeg(t, domain+"/shards=4", schema, files, 4, false, false),
+				// Shared execution must be envelope-invisible: the leg is
+				// compared against the same unshared facade reference.
+				startLeg(t, domain+"/shards=7+shared", schema, files, 7, false, true),
 			}
-			matLeg := startLeg(t, domain+"/shards=2+materializing", schema, files, 2, true)
+			matLeg := startLeg(t, domain+"/shards=2+materializing", schema, files, 2, true, false)
 
 			gen := qgen.NewQueryGen(qgenDomain(domain), diffQuerySeed)
 			n := queriesPerDomain(t)
@@ -320,7 +326,7 @@ func TestHTTPDifferentialDegraded(t *testing.T) {
 	if err := direct.AddAll(files); err != nil {
 		t.Fatal(err)
 	}
-	leg := startLeg(t, "bibtex/shards=4", schema, files, 4, false)
+	leg := startLeg(t, "bibtex/shards=4", schema, files, 4, false, false)
 	const src = `SELECT r FROM References r`
 	res, err := direct.ExecuteContext(t.Context(), src,
 		qof.WithPartialResults(), qof.WithMaxRegions(1))
@@ -337,5 +343,67 @@ func TestHTTPDifferentialDegraded(t *testing.T) {
 	}
 	if !strings.Contains(string(got), `"degraded"`) {
 		t.Fatalf("degraded envelope lost its degradation: %s", got)
+	}
+}
+
+// TestHTTPSharedConcurrentDifferential stampedes a shared-execution daemon
+// with overlapping clients replaying a generated workload and checks every
+// response byte-identical to the sequential unshared facade reference: the
+// batching window, the cross-query CSE table and the parse-dedup table must
+// be invisible in the envelope no matter which queries happened to overlap.
+// Run under -race this is the serving layer's shared-execution gate.
+func TestHTTPSharedConcurrentDifferential(t *testing.T) {
+	files := domainFiles("bibtex")
+	schema := schemaFor("bibtex")
+	direct := schema.NewCorpus(qof.WithParallelism(2))
+	if err := direct.AddAll(files); err != nil {
+		t.Fatal(err)
+	}
+	leg := startLeg(t, "bibtex/shards=2+shared", schema, files, 2, false, true)
+
+	const nQueries = 40
+	gen := qgen.NewQueryGen(qgenDomain("bibtex"), diffQuerySeed+1)
+	queries := make([]string, 0, nQueries)
+	want := make(map[string][]byte, nQueries)
+	for len(queries) < nQueries {
+		src := gen.Query().String()
+		if _, ok := want[src]; ok {
+			continue
+		}
+		res, err := direct.ExecuteContext(t.Context(), src, qof.WithPartialResults())
+		if err != nil {
+			t.Fatalf("%q: direct facade: %v", src, err)
+		}
+		queries = append(queries, src)
+		want[src] = expected(t, res, leg.srv.Epoch(), leg.shards, len(files))
+	}
+
+	const clients = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger so clients overlap on the same query and on
+				// different queries of the mix.
+				for off := range queries {
+					src := queries[(c+r+off)%len(queries)]
+					got := canonical(t, leg.post(t, src))
+					if !bytes.Equal(got, want[src]) {
+						errc <- fmt.Errorf("client %d: %q diverged under shared execution:\n  got  %s\n  want %s",
+							c, src, got, want[src])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }

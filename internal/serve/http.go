@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -121,6 +122,16 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds renders the shed backoff hint with jitter — uniform over
+// [base, 1.5×base], rounded up to whole seconds — so clients shed together
+// don't retry together and re-stampede the admission gate (and, with shared
+// execution, the batcher) in lockstep.
+func (s *Server) retryAfterSeconds() int {
+	base := s.cfg.retryAfter()
+	d := base + time.Duration(rand.Int64N(int64(base)/2+1))
+	return int((d + time.Second - 1) / time.Second)
+}
+
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -203,8 +214,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusOK, NewEnvelope(resp))
 	case errors.Is(err, ErrShed):
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.retryAfter()+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrNoCorpus):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -248,6 +258,10 @@ type MetricsBody struct {
 	CanceledTotal    uint64                   `json:"canceled_total"`
 	DegradedTotal    uint64                   `json:"degraded_total"`
 	Inflight         int64                    `json:"inflight"`
+	SharedQueries    uint64                   `json:"shared_queries_total"`
+	SharedScansTotal uint64                   `json:"shared_scans_total"`
+	CSEHitsTotal     uint64                   `json:"cse_hits_total"`
+	ParseDedupsTotal uint64                   `json:"parse_dedups_total"`
 	LatencyMs        map[string]float64       `json:"latency_ms"`
 	Tenants          map[string]TenantMetrics `json:"tenants,omitempty"`
 	MaxInflight      int                      `json:"max_inflight"`
@@ -256,20 +270,28 @@ type MetricsBody struct {
 
 // TenantMetrics are one tenant's counters.
 type TenantMetrics struct {
-	Queries uint64 `json:"queries"`
-	Shed    uint64 `json:"shed"`
+	Queries       uint64 `json:"queries"`
+	Shed          uint64 `json:"shed"`
+	SharedQueries uint64 `json:"shared_queries,omitempty"`
+	SharedScans   uint64 `json:"shared_scans,omitempty"`
+	CSEHits       uint64 `json:"cse_hits,omitempty"`
+	ParseDedups   uint64 `json:"parse_dedups,omitempty"`
 }
 
 // Metrics snapshots the server's counters.
 func (s *Server) Metrics() MetricsBody {
 	m := MetricsBody{
-		QueriesTotal:  s.met.queries.Load(),
-		OkTotal:       s.met.ok.Load(),
-		ShedTotal:     s.met.shed.Load(),
-		BadQueryTotal: s.met.badQuery.Load(),
-		CanceledTotal: s.met.canceled.Load(),
-		DegradedTotal: s.met.degraded.Load(),
-		Inflight:      s.met.inflight.Load(),
+		QueriesTotal:     s.met.queries.Load(),
+		OkTotal:          s.met.ok.Load(),
+		ShedTotal:        s.met.shed.Load(),
+		BadQueryTotal:    s.met.badQuery.Load(),
+		CanceledTotal:    s.met.canceled.Load(),
+		DegradedTotal:    s.met.degraded.Load(),
+		Inflight:         s.met.inflight.Load(),
+		SharedQueries:    s.met.sharedQueries.Load(),
+		SharedScansTotal: s.met.sharedScans.Load(),
+		CSEHitsTotal:     s.met.cseHits.Load(),
+		ParseDedupsTotal: s.met.parseDedups.Load(),
 		LatencyMs: map[string]float64{
 			"p50":  s.met.hist.quantile(0.50),
 			"p99":  s.met.hist.quantile(0.99),
@@ -286,7 +308,14 @@ func (s *Server) Metrics() MetricsBody {
 		m.Tenants = make(map[string]TenantMetrics, len(names))
 		for _, n := range names {
 			tc := s.met.tenant(n)
-			m.Tenants[n] = TenantMetrics{Queries: tc.queries.Load(), Shed: tc.shed.Load()}
+			m.Tenants[n] = TenantMetrics{
+				Queries:       tc.queries.Load(),
+				Shed:          tc.shed.Load(),
+				SharedQueries: tc.sharedQueries.Load(),
+				SharedScans:   tc.sharedScans.Load(),
+				CSEHits:       tc.cseHits.Load(),
+				ParseDedups:   tc.parseDedups.Load(),
+			}
 		}
 	}
 	return m

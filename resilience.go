@@ -168,9 +168,12 @@ type FileError struct {
 }
 
 // CorpusStats aggregates execution statistics over the files of a corpus
-// query. Every field is partition-invariant: splitting the same files
-// across several corpora (as the qofd shards do) and summing per-corpus
-// stats yields the same totals as one corpus holding them all.
+// query. The result-facing fields (Results through FullScan) are
+// partition-invariant: splitting the same files across several corpora (as
+// the qofd shards do) and summing per-corpus stats yields the same totals as
+// one corpus holding them all. The shared-execution counters (SharedScans,
+// CSEHits, ParseDedups) are observational — they describe how much work this
+// execution shared with concurrent queries, which depends on scheduling.
 type CorpusStats struct {
 	// Results is the total number of result rows across files.
 	Results int
@@ -184,6 +187,15 @@ type CorpusStats struct {
 	Exact bool
 	// FullScan reports that the index offered no narrowing on some file.
 	FullScan bool
+	// SharedScans is the number of word-leaf lookups answered by a batched
+	// multi-pattern scan (shared execution; always 0 otherwise).
+	SharedScans int
+	// CSEHits is the number of subexpression or candidate-set evaluations
+	// this query received from a concurrent query via cross-query CSE.
+	CSEHits int
+	// ParseDedups is the number of phase-2 parses this query shared instead
+	// of performing itself.
+	ParseDedups int
 }
 
 // CorpusResults is the outcome of a corpus query run with ExecuteContext.
@@ -240,6 +252,9 @@ func (c *Corpus) ExecuteContext(ctx context.Context, src string, opts ...QueryOp
 		ParsedBytes: res.Stats.ParsedBytes,
 		Exact:       res.Stats.Exact,
 		FullScan:    res.Stats.FullScan,
+		SharedScans: res.Stats.SharedScans,
+		CSEHits:     res.Stats.CSEHits,
+		ParseDedups: res.Stats.ParseDedups,
 	}}
 	for _, h := range res.Hits {
 		hit := CorpusHit{File: h.File, Values: append([]string(nil), h.Strings...)}
