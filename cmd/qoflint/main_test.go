@@ -1,15 +1,23 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
-	if got := run([]string{"-list"}); got != 0 {
+	if got := run([]string{"-list"}, io.Discard); got != 0 {
 		t.Errorf("-list exited %d, want 0", got)
 	}
 }
 
 func TestRunCleanPackage(t *testing.T) {
-	if got := run([]string{"-run", "lockcheck,epochbump", "../../internal/region"}); got != 0 {
+	if got := run([]string{"-run", "lockcheck,epochbump", "../../internal/region"}, io.Discard); got != 0 {
 		t.Errorf("clean package exited %d, want 0", got)
 	}
 }
@@ -17,20 +25,59 @@ func TestRunCleanPackage(t *testing.T) {
 func TestRunFindsSeededBugs(t *testing.T) {
 	// The lockcheck fixture carries deliberate violations, so the driver
 	// must exit 1 on it.
-	if got := run([]string{"-run", "lockcheck", "../../internal/lint/testdata/lockcheck"}); got != 1 {
+	if got := run([]string{"-run", "lockcheck", "../../internal/lint/testdata/lockcheck"}, io.Discard); got != 1 {
 		t.Errorf("seeded-bug fixture exited %d, want 1", got)
 	}
 }
 
 func TestRunUnknownAnalyzer(t *testing.T) {
-	if got := run([]string{"-run", "nosuch"}); got != 2 {
+	if got := run([]string{"-run", "nosuch"}, io.Discard); got != 2 {
 		t.Errorf("unknown analyzer exited %d, want 2", got)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if got := run([]string{"-definitely-not-a-flag"}); got != 2 {
+	if got := run([]string{"-definitely-not-a-flag"}, io.Discard); got != 2 {
 		t.Errorf("bad flag exited %d, want 2", got)
+	}
+}
+
+// TestRunJSONGolden pins the -json wire format: one object per line with
+// pos/analyzer/message, in RunPackage's deterministic order. Positions are
+// normalized to their testdata-relative form so the golden file is
+// machine-independent.
+func TestRunJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if got := run([]string{"-json", "-run", "lockcheck", "../../internal/lint/testdata/lockcheck"}, &buf); got != 1 {
+		t.Fatalf("seeded-bug fixture exited %d, want 1", got)
+	}
+	var norm strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("not one JSON object per line: %q: %v", line, err)
+		}
+		if f.Pos == "" || f.Analyzer == "" || f.Message == "" {
+			t.Fatalf("incomplete finding: %q", line)
+		}
+		i := strings.Index(f.Pos, "testdata")
+		if i < 0 {
+			t.Fatalf("pos %q does not point into testdata", f.Pos)
+		}
+		f.Pos = filepath.ToSlash(f.Pos[i:])
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm.Write(b)
+		norm.WriteByte('\n')
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "json.golden"))
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	if norm.String() != string(want) {
+		t.Errorf("-json output drifted from golden.\ngot:\n%swant:\n%s", norm.String(), want)
 	}
 }
 

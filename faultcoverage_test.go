@@ -1,0 +1,97 @@
+package qof_test
+
+// Failpoint-coverage gate: every failpoint declared in the
+// internal/faultinject const block must be listed in Catalog() and
+// exercised by the fault matrix. The const block is parsed from source, so
+// a failpoint added as a const but forgotten in Catalog() — which the
+// matrix iterates — fails here instead of silently skipping the gate.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qof/internal/faultinject"
+)
+
+// failpointConsts parses internal/faultinject/faultinject.go and returns
+// every string-valued constant: const identifier → failpoint name.
+func failpointConsts(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/faultinject/faultinject.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing faultinject source: %v", err)
+	}
+	out := make(map[string]string)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("unquoting %s: %v", lit.Value, err)
+				}
+				out[name.Name] = val
+			}
+		}
+	}
+	return out
+}
+
+func TestFailpointCoverage(t *testing.T) {
+	consts := failpointConsts(t)
+	if len(consts) == 0 {
+		t.Fatal("no string constants found in faultinject source; the parser lost the catalog")
+	}
+	catalog := make(map[string]bool)
+	for _, name := range faultinject.Catalog() {
+		catalog[name] = true
+	}
+
+	// Every declared failpoint const is in Catalog(), and vice versa.
+	values := make(map[string]string) // failpoint name → const identifier
+	for ident, val := range consts {
+		if !catalog[val] {
+			t.Errorf("failpoint const %s = %q is missing from Catalog()", ident, val)
+		}
+		values[val] = ident
+	}
+	for name := range catalog {
+		if _, ok := values[name]; !ok {
+			t.Errorf("Catalog() entry %q has no declared const in faultinject.go", name)
+		}
+	}
+
+	// Every catalog failpoint is exercised by the fault matrix: its const
+	// identifier must appear in faultmatrix_test.go (the matrix references
+	// failpoints as faultinject.<Ident>).
+	src, err := os.ReadFile("faultmatrix_test.go")
+	if err != nil {
+		t.Fatalf("reading fault matrix source: %v", err)
+	}
+	matrix := string(src)
+	for name, ident := range values {
+		if !strings.Contains(matrix, "faultinject."+ident) {
+			t.Errorf("failpoint %s (%q) never appears in faultmatrix_test.go; add a matrix case", ident, name)
+		}
+	}
+}

@@ -730,6 +730,13 @@ func (e *Engine) streamPhase2Parallel(es *execEnv, q *xsql.Query, plan *compile.
 	go func() {
 		defer close(feederDone)
 		defer close(feed)
+		// Registered last so it runs first: feedErr must be set before the
+		// channel closes release the collector.
+		defer func() {
+			if p := recover(); p != nil {
+				feedErr = fmt.Errorf("engine: phase 2 feeder panic: %v: %w", p, qerr.ErrInternal)
+			}
+		}()
 		for i := 0; ; i++ {
 			r, ok, err := src.Next()
 			if err != nil {

@@ -24,9 +24,16 @@ type Analyzer struct {
 	// summary, the rest elaborates the rule and its escape hatches.
 	Doc string
 
+	// Requires lists analyzers whose results this one consumes. The driver
+	// runs each requirement once per package — regardless of how many
+	// analyzers require it — and delivers its Run result through
+	// pass.ResultOf. Requirements must form a DAG.
+	Requires []*Analyzer
+
 	// Run applies the analysis to a package. Findings are delivered through
 	// pass.Report; the error return is for operational failures only
-	// (malformed package, impossible state), not for findings.
+	// (malformed package, impossible state), not for findings. The return
+	// value is exposed to dependents via Pass.ResultOf.
 	Run func(*Pass) (any, error)
 }
 
@@ -42,6 +49,12 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver owns filtering
 	// (suppression comments) and formatting.
 	Report func(Diagnostic)
+
+	// ResultOf holds the Run results of the analyzers listed in
+	// Analyzer.Requires, keyed by the required analyzer. Shared facts (a
+	// package's control-flow graphs, say) are computed once per package
+	// and handed to every dependent through this map.
+	ResultOf map[*Analyzer]any
 }
 
 // Diagnostic is one finding at a position.

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"qof/internal/lint/analysis"
+	"qof/internal/lint/cfg"
+)
+
+// BudgetCharge enforces the streaming executor's metering invariant: a
+// kernel working under a budget (a streamCtx or Budget parameter or
+// receiver) that accumulates regions in a loop must charge the budget for
+// them before any successful return — otherwise the buffer it built is
+// invisible to admission control. Error returns are exempt: the charge
+// models delivered work, and a failed path delivers nothing.
+//
+// Concretely: for every loop that appends to a []Region value, every path
+// from the loop's exit to a non-error return must pass a charge call
+// (meter, charge, or tap).
+var BudgetCharge = &analysis.Analyzer{
+	Name: "budgetcharge",
+	Doc: "reports region-accumulating loops in budgeted kernels whose " +
+		"buffers can reach a successful return without a budget charge",
+	Requires: []*analysis.Analyzer{cfg.FactAnalyzer},
+	Run:      runBudgetCharge,
+}
+
+func runBudgetCharge(pass *analysis.Pass) (any, error) {
+	cfgs := pass.ResultOf[cfg.FactAnalyzer].(*cfg.PackageCFGs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isBudgetedFunc(pass, fd) {
+				continue
+			}
+			checkBudgetCharges(pass, cfgs, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isBudgetedFunc reports whether fd works under admission control: a
+// parameter or receiver of (pointer to) named type streamCtx or Budget.
+func isBudgetedFunc(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	check := func(fields *ast.FieldList) bool {
+		if fields == nil {
+			return false
+		}
+		for _, fld := range fields.List {
+			if isBudgetType(pass.TypesInfo.Types[fld.Type].Type) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}
+
+func isBudgetType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "streamCtx" || name == "Budget"
+}
+
+func checkBudgetCharges(pass *analysis.Pass, cfgs *cfg.PackageCFGs, body *ast.BlockStmt) {
+	g := cfgs.Of(body)
+	edges := g.BackEdges()
+	if len(edges) == 0 {
+		return
+	}
+	sources := make(map[*cfg.Block][]*cfg.Block)
+	for _, e := range edges {
+		sources[e.To] = append(sources[e.To], e.From)
+	}
+	for _, head := range g.Blocks {
+		srcs := sources[head]
+		if len(srcs) == 0 || head.Stmt == nil || len(head.Succs) < 2 {
+			continue
+		}
+		bodyBlocks := loopBody(head, srcs)
+		if !appendsRegions(pass, head, bodyBlocks) {
+			continue
+		}
+		// A charge inside the loop (per-batch metering) already covers the
+		// buffer; only charge-free loops must meter after.
+		if loopCharges(pass, head, bodyBlocks) {
+			continue
+		}
+		// The loop's structural exit edge: Succs[1] for both range heads
+		// and condition heads (break edges land in the same after block
+		// for structured loops).
+		after := head.Succs[1]
+		if uncharged(pass, after, g.Exit) {
+			pass.Reportf(head.Stmt.Pos(),
+				"loop accumulates regions but a successful return is reachable without charging the budget (call meter/charge/tap)")
+		}
+	}
+}
+
+// loopBody collects the blocks on cycles through head: reachable from the
+// head's body edge without re-entering head, and able to reach a back-edge
+// source the same way.
+func loopBody(head *cfg.Block, srcs []*cfg.Block) map[*cfg.Block]bool {
+	fwd := make(map[*cfg.Block]bool)
+	var walk func(*cfg.Block)
+	walk = func(b *cfg.Block) {
+		if b == head || fwd[b] {
+			return
+		}
+		fwd[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if len(head.Succs) > 0 {
+		walk(head.Succs[0])
+	}
+	// Backward pass: keep only blocks that can reach a back-edge source.
+	keep := make(map[*cfg.Block]bool)
+	var back func(*cfg.Block)
+	back = func(b *cfg.Block) {
+		if !fwd[b] || keep[b] {
+			return
+		}
+		keep[b] = true
+		for _, p := range b.Preds {
+			back(p)
+		}
+	}
+	for _, s := range srcs {
+		back(s)
+	}
+	return keep
+}
+
+// appendsRegions reports whether the loop (head plus body blocks) grows a
+// []Region value via append.
+func appendsRegions(pass *analysis.Pass, head *cfg.Block, body map[*cfg.Block]bool) bool {
+	blocks := []*cfg.Block{head}
+	for b := range body {
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		for _, node := range b.Nodes {
+			found := false
+			cfg.Inspect(node, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					return true
+				}
+				if t := pass.TypesInfo.Types[call].Type; t != nil && isRegionSlice(t) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopCharges reports whether any block of the loop makes a charge call.
+func loopCharges(pass *analysis.Pass, head *cfg.Block, body map[*cfg.Block]bool) bool {
+	blocks := []*cfg.Block{head}
+	for b := range body {
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		if charged, _ := scanChargeBlock(pass, b); charged {
+			return true
+		}
+	}
+	return false
+}
+
+func isRegionSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Region"
+}
+
+// uncharged reports whether a successful (non-error) return is reachable
+// from start without passing a charge call. Error returns and panics may
+// reach Exit uncharged — they deliver no result; the implicit
+// fall-off-the-end return of a void kernel may not.
+func uncharged(pass *analysis.Pass, start, exit *cfg.Block) bool {
+	seen := make(map[*cfg.Block]bool)
+	queue := []*cfg.Block{start}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] || b == exit {
+			continue
+		}
+		seen[b] = true
+		charged, badExit := scanChargeBlock(pass, b)
+		if badExit {
+			return true
+		}
+		if charged {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s != exit {
+				queue = append(queue, s)
+				continue
+			}
+			// Only terminating statements may take the exit edge without a
+			// charge: an error return (success returns already tripped
+			// badExit) or a panic. A plain fall-through is a successful
+			// void return.
+			if n := len(b.Nodes); n > 0 {
+				last := b.Nodes[n-1]
+				if _, ok := last.(*ast.ReturnStmt); ok {
+					continue
+				}
+				if es, ok := last.(*ast.ExprStmt); ok {
+					if call, ok := es.X.(*ast.CallExpr); ok && calleeName(call) == "panic" {
+						continue
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// scanChargeBlock walks one block in order: charged means a charge call
+// runs before control leaves through any return in this block; badExit
+// means the block performs a successful return before any charge.
+func scanChargeBlock(pass *analysis.Pass, b *cfg.Block) (charged, badExit bool) {
+	for _, node := range b.Nodes {
+		if ret, ok := node.(*ast.ReturnStmt); ok {
+			if !isErrorReturn(pass, ret) {
+				return false, true
+			}
+			continue
+		}
+		found := false
+		cfg.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				switch calleeName(call) {
+				case "meter", "charge", "tap":
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// isErrorReturn reports whether the return delivers a non-nil error: some
+// result expression has type error and is not the nil literal.
+func isErrorReturn(pass *analysis.Pass, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		if t := pass.TypesInfo.Types[res].Type; t != nil && t.String() == "error" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package cfg
+
+// A generic worklist dataflow solver over a CFG: meet-over-paths
+// approximated by a fixpoint, forward or backward, with widening applied at
+// loop heads so lattices of unbounded height (counters) still terminate.
+//
+// The state type S is supplied by the analysis along with the lattice
+// operations. States must be treated as immutable values: Transfer and
+// Merge return fresh states rather than mutating their inputs, because the
+// solver retains states across iterations.
+
+// Dir selects the direction of a dataflow problem.
+type Dir int
+
+const (
+	// Forward propagates states along edges: In(b) = merge of Out(preds),
+	// Out(b) = Transfer(b, In(b)); the boundary state enters at Entry.
+	Forward Dir = iota
+	// Backward propagates against edges: Out(b) = merge of In(succs),
+	// In(b) = Transfer(b, Out(b)); the boundary state enters at Exit.
+	Backward
+)
+
+// Flow is one dataflow problem: the lattice and transfer function.
+type Flow[S any] interface {
+	// Bottom is the state of a block no path has reached yet; it is the
+	// identity of Merge.
+	Bottom() S
+
+	// Boundary is the state at the graph boundary: Entry's input for a
+	// forward problem, Exit's input for a backward one.
+	Boundary() S
+
+	// Transfer pushes a state through a block's nodes (in execution order
+	// for Forward problems; the solver calls it with the block regardless
+	// of direction, the implementation reverses iteration for Backward).
+	Transfer(b *Block, s S) S
+
+	// Merge joins two states where paths meet. It must be monotone,
+	// commutative, and have Bottom as identity.
+	Merge(a, b S) S
+
+	// Equal reports whether two states coincide (fixpoint detection).
+	Equal(a, b S) bool
+
+	// Widen accelerates convergence at loop heads: called with the
+	// previous and the newly merged state once a head has been revisited
+	// often enough, it must return an upper bound of both. Lattices of
+	// finite height can simply return merged.
+	Widen(prev, merged S) S
+}
+
+// EdgeRefiner is an optional Flow extension for path-sensitive problems: a
+// flow that implements it has Refine called as states propagate along the
+// out-edges of a branching block (Forward direction only), letting the
+// analysis narrow the state with what the branch condition established —
+// "err != nil was true on this edge, so the paired iterator is nil". from
+// is the branching block (its Cond is the condition) and branch is the
+// successor index: 0 for the true edge, 1 for the false edge.
+type EdgeRefiner[S any] interface {
+	Refine(from *Block, branch int, s S) S
+}
+
+// widenAfter is how many times a loop head is revisited before the solver
+// starts widening its input state.
+const widenAfter = 3
+
+// Result holds the solved states per block.
+type Result[S any] struct {
+	// In is the state entering each block: before its first node (Forward)
+	// or after its last (Backward).
+	In map[*Block]S
+	// Out is Transfer applied to In — the state leaving the block.
+	Out map[*Block]S
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the per-block
+// states. Unreachable blocks keep Bottom.
+func Solve[S any](g *CFG, dir Dir, f Flow[S]) *Result[S] {
+	res := &Result[S]{In: make(map[*Block]S), Out: make(map[*Block]S)}
+	for _, b := range g.Blocks {
+		res.In[b] = f.Bottom()
+		res.Out[b] = f.Bottom()
+	}
+	start := g.Entry
+	if dir == Backward {
+		start = g.Exit
+	}
+	res.In[start] = f.Boundary()
+
+	next := func(b *Block) []*Block {
+		if dir == Forward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+
+	refiner, _ := any(f).(EdgeRefiner[S])
+
+	visits := make(map[*Block]int)
+	queue := []*Block{start}
+	queued := map[*Block]bool{start: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		out := f.Transfer(b, res.In[b])
+		res.Out[b] = out
+		for i, s := range next(b) {
+			eff := out
+			if refiner != nil && dir == Forward && b.Cond != nil && i < 2 {
+				eff = refiner.Refine(b, i, out)
+			}
+			merged := f.Merge(res.In[s], eff)
+			if s.Head {
+				visits[s]++
+				if visits[s] > widenAfter {
+					merged = f.Widen(res.In[s], merged)
+				}
+			}
+			if f.Equal(merged, res.In[s]) {
+				continue
+			}
+			res.In[s] = merged
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,37 @@
+package cfg
+
+import (
+	"go/ast"
+
+	"qof/internal/lint/analysis"
+)
+
+// FactAnalyzer is the shared-fact producer for control-flow graphs: it
+// reports nothing itself, but any analyzer listing it in Requires receives
+// a *PackageCFGs in pass.ResultOf and gets each function's CFG built at
+// most once per package, no matter how many analyzers ask.
+var FactAnalyzer = &analysis.Analyzer{
+	Name: "cfgfact",
+	Doc:  "builds per-function control-flow graphs shared by flow-aware analyzers",
+	Run: func(pass *analysis.Pass) (any, error) {
+		return &PackageCFGs{m: make(map[*ast.BlockStmt]*CFG)}, nil
+	},
+}
+
+// PackageCFGs memoizes one CFG per function body. Bodies are keyed by
+// their *ast.BlockStmt, which identifies FuncDecl bodies and FuncLit
+// bodies alike. Construction is lazy: analyzers that inspect only a few
+// functions don't pay for the rest of the package.
+type PackageCFGs struct {
+	m map[*ast.BlockStmt]*CFG
+}
+
+// Of returns the CFG for body, building it on first request.
+func (p *PackageCFGs) Of(body *ast.BlockStmt) *CFG {
+	if g, ok := p.m[body]; ok {
+		return g
+	}
+	g := New(body)
+	p.m[body] = g
+	return g
+}

@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"qof/internal/lint/analysis"
+	"qof/internal/lint/cfg"
+)
+
+// CtxPoll enforces the streaming era's cancellation contract: a kernel that
+// accepts a Checker (region's *Ctl entry points and their helpers) and an
+// Iterator's Next method must not run a data-proportional loop without
+// polling for cancellation. "Polling" is calling the Checker (directly or
+// through the poll helper, or passing it onward to a callee), or — in a
+// Next method — pulling from an upstream iterator via Next/head, which
+// propagates the upstream's own polling.
+//
+// The check is per loop, on the function's control-flow graph: every cycle
+// through a loop head must pass a polling block. Loops whose trip count is
+// structurally bounded by local data already in memory (ranging over a
+// fixed-size array or an integer constant, or a for condition built only
+// from len/cap-derived locals) are exempt — those are the small trim loops
+// of the merge kernels, not scans.
+var CtxPoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "reports loops in Checker-accepting kernels and Iterator.Next " +
+		"methods that can complete an iteration without polling for cancellation",
+	Requires: []*analysis.Analyzer{cfg.FactAnalyzer},
+	Run:      runCtxPoll,
+}
+
+func runCtxPoll(pass *analysis.Pass) (any, error) {
+	cfgs := pass.ResultOf[cfg.FactAnalyzer].(*cfg.PackageCFGs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isNext := isNextMethod(pass, fd)
+			if !isNext && !hasCheckerParam(pass, fd) {
+				continue
+			}
+			checkPollLoops(pass, cfgs, fd.Body, isNext)
+		}
+	}
+	return nil, nil
+}
+
+// checkPollLoops verifies every loop in body: a back edge that can be
+// reached from its head without passing a polling block means some
+// iteration runs unpolled.
+func checkPollLoops(pass *analysis.Pass, cfgs *cfg.PackageCFGs, body *ast.BlockStmt, isNext bool) {
+	g := cfgs.Of(body)
+	edges := g.BackEdges()
+	if len(edges) == 0 {
+		return
+	}
+	bounded := boundedVars(pass, body)
+	sources := make(map[*cfg.Block][]*cfg.Block)
+	for _, e := range edges {
+		sources[e.To] = append(sources[e.To], e.From)
+	}
+	polls := make(map[*cfg.Block]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		polls[b] = blockPolls(pass, b, isNext)
+	}
+	for _, head := range g.Blocks {
+		srcs := sources[head]
+		if len(srcs) == 0 || exemptLoop(pass, head.Stmt, bounded) {
+			continue
+		}
+		if !unpolledCycle(head, srcs, polls) {
+			continue
+		}
+		pos := loopPos(head, srcs)
+		if pos == token.NoPos {
+			continue
+		}
+		pass.Reportf(pos, "loop can complete an iteration without polling the Checker (call check/poll, or pull via Next, on every path)")
+	}
+}
+
+// unpolledCycle reports whether any back-edge source in srcs is reachable
+// from head without entering a polling block.
+func unpolledCycle(head *cfg.Block, srcs []*cfg.Block, polls map[*cfg.Block]bool) bool {
+	if polls[head] {
+		return false
+	}
+	isSrc := make(map[*cfg.Block]bool, len(srcs))
+	for _, s := range srcs {
+		isSrc[s] = true
+	}
+	seen := map[*cfg.Block]bool{head: true}
+	queue := []*cfg.Block{head}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if isSrc[b] {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] && !polls[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return false
+}
+
+// loopPos picks the position to report a loop at: the loop statement when
+// the head came from one, else the head's first node, else the back-edge
+// source's last node (goto-formed loops).
+func loopPos(head *cfg.Block, srcs []*cfg.Block) token.Pos {
+	if head.Stmt != nil {
+		return head.Stmt.Pos()
+	}
+	if len(head.Nodes) > 0 {
+		return head.Nodes[0].Pos()
+	}
+	for _, s := range srcs {
+		if n := len(s.Nodes); n > 0 {
+			return s.Nodes[n-1].Pos()
+		}
+	}
+	return token.NoPos
+}
+
+// blockPolls reports whether executing b polls for cancellation: a call of
+// a Checker-typed expression, a call forwarding a Checker argument, a call
+// of the poll helper, or (under the Next pull rule) a Next/head call that
+// delegates polling to the upstream iterator. A block whose branch
+// condition tests a Checker against nil also counts — it is the standard
+// "if check != nil { check() }" gate and the guarded call sits on its true
+// edge only.
+func blockPolls(pass *analysis.Pass, b *cfg.Block, isNext bool) bool {
+	found := false
+	for _, node := range b.Nodes {
+		cfg.Inspect(node, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if isPollCall(pass, n, isNext) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	if cond, ok := b.Cond.(*ast.BinaryExpr); ok && (cond.Op == token.NEQ || cond.Op == token.EQL) {
+		if isNilCheckerTest(pass, cond.X, cond.Y) || isNilCheckerTest(pass, cond.Y, cond.X) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilCheckerTest(pass *analysis.Pass, checker, nilSide ast.Expr) bool {
+	id, ok := nilSide.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	return isCheckerType(pass.TypesInfo.Types[checker].Type)
+}
+
+func isPollCall(pass *analysis.Pass, call *ast.CallExpr, isNext bool) bool {
+	if isCheckerType(pass.TypesInfo.Types[call.Fun].Type) {
+		return true
+	}
+	for _, arg := range call.Args {
+		if isCheckerType(pass.TypesInfo.Types[arg].Type) {
+			return true
+		}
+	}
+	name := calleeName(call)
+	if name == "poll" {
+		return true
+	}
+	if isNext && (name == "Next" || name == "head") {
+		return true
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isCheckerType reports whether t is a named type Checker with underlying
+// func() error — region.Checker, or a fixture's local equivalent.
+func isCheckerType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Checker" {
+		return false
+	}
+	sig, ok := named.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return sig.Results().At(0).Type().String() == "error"
+}
+
+// hasCheckerParam reports whether fd takes a Checker parameter.
+func hasCheckerParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, fld := range fd.Type.Params.List {
+		if isCheckerType(pass.TypesInfo.Types[fld.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNextMethod reports whether fd implements the Iterator contract's Next:
+// a method with no parameters returning (T, bool, error).
+func isNextMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Next" {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 3 {
+		return false
+	}
+	return types.Identical(sig.Results().At(1).Type(), types.Typ[types.Bool]) &&
+		sig.Results().At(2).Type().String() == "error"
+}
+
+// boundedVars computes the local variables whose value is derived only from
+// integer constants and len/cap of in-memory data — the trip-count
+// variables of the small trim loops. The computation is a fixpoint over
+// plain assignments (x := len(s); x--; keep := x - cut), treating a
+// variable's self-reference in its own update as bounded so i++ converges.
+func boundedVars(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	assigns := make(map[*types.Var][]ast.Expr)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := objOf(pass, id).(*types.Var)
+		if !ok {
+			return
+		}
+		assigns[v] = append(assigns[v], rhs)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for i := range n.Lhs {
+					record(n.Lhs[i], nil) // multi-value: conservatively unbounded
+				}
+			}
+		case *ast.IncDecStmt:
+			record(n.X, n.X) // i++ derives from i itself
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						record(name, vs.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	bounded := make(map[*types.Var]bool)
+	for changed := true; changed; {
+		changed = false
+		for v, rhss := range assigns {
+			if bounded[v] {
+				continue
+			}
+			ok := true
+			for _, rhs := range rhss {
+				if rhs == nil || !boundedExpr(pass, rhs, bounded, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bounded[v] = true
+				changed = true
+			}
+		}
+	}
+	return bounded
+}
+
+// boundedExpr reports whether e is built only from integer constants,
+// len/cap calls, and already-bounded variables (self counts as bounded so
+// updates like i++ and keep -= cut converge).
+func boundedExpr(pass *analysis.Pass, e ast.Expr, bounded map[*types.Var]bool, self *types.Var) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.Ident:
+		obj := objOf(pass, e)
+		if _, ok := obj.(*types.Const); ok {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v == self || bounded[v]
+		}
+		return false
+	case *ast.ParenExpr:
+		return boundedExpr(pass, e.X, bounded, self)
+	case *ast.UnaryExpr:
+		return boundedExpr(pass, e.X, bounded, self)
+	case *ast.BinaryExpr:
+		return boundedExpr(pass, e.X, bounded, self) && boundedExpr(pass, e.Y, bounded, self)
+	case *ast.CallExpr:
+		name := calleeName(e)
+		return name == "len" || name == "cap"
+	}
+	return false
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// exemptLoop reports whether the loop's trip count is structurally bounded:
+// ranging over a fixed-size array or an integer constant or bounded local,
+// or a for condition referencing only bounded locals and constants. Data
+// scans (ranging over a slice or map, conditions on iterator state) are
+// never exempt.
+func exemptLoop(pass *analysis.Pass, stmt ast.Stmt, bounded map[*types.Var]bool) bool {
+	switch s := stmt.(type) {
+	case *ast.RangeStmt:
+		t := pass.TypesInfo.Types[s.X].Type
+		if t == nil {
+			return false
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if _, ok := t.Underlying().(*types.Array); ok {
+			return true
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return boundedExpr(pass, s.X, bounded, nil) || pass.TypesInfo.Types[s.X].Value != nil
+		}
+		return false
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			return false
+		}
+		// The trim loops of the merge kernels pair a bounded conjunct with
+		// a data comparison ("cut < len(p) && p[cut].End <= s.Start"):
+		// short-circuit && means any one bounded conjunct caps the trip
+		// count, so one is enough.
+		for _, c := range conjuncts(s.Cond) {
+			if boundedExpr(pass, c, bounded, nil) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// conjuncts splits e on top-level && operators.
+func conjuncts(e ast.Expr) []ast.Expr {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return conjuncts(e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return append(conjuncts(e.X), conjuncts(e.Y)...)
+		}
+	}
+	return []ast.Expr{e}
+}

@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"qof/internal/lint/analysis"
+	"qof/internal/lint/cfg"
+)
+
+// IterClose enforces the Iterator ownership contract of the streaming
+// executor: a locally acquired Iterator must, on every path to return, be
+// either Closed or handed off (returned, passed to a call that assumes
+// ownership — wrapping constructors, Materialize — stored into a struct,
+// or captured by a closure). A path on which the acquisition's paired
+// error was non-nil is exempt: by the constructor contract the iterator is
+// nil there.
+//
+// The analysis is a forward may-leak problem per acquired variable on the
+// function's CFG, with edge refinement on "err != nil" and "it == nil"
+// branches.
+var IterClose = &analysis.Analyzer{
+	Name: "iterclose",
+	Doc: "reports locally acquired Iterators that are neither closed nor " +
+		"handed off on some path to return",
+	Requires: []*analysis.Analyzer{cfg.FactAnalyzer},
+	Run:      runIterClose,
+}
+
+func runIterClose(pass *analysis.Pass) (any, error) {
+	cfgs := pass.ResultOf[cfg.FactAnalyzer].(*cfg.PackageCFGs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkIterClose(pass, cfgs, fd.Body)
+			// Function literals own their acquisitions too.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkIterClose(pass, cfgs, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// Per-variable lifecycle states. Merge is max, so a leak on any path
+// dominates.
+const (
+	iterReleased = 0 // closed or ownership handed off
+	iterNotAcq   = 1 // not acquired on this path (also the absent default)
+	iterLive     = 2 // acquired and still owned
+)
+
+type iterState map[types.Object]int
+
+type iterFlow struct {
+	pass *analysis.Pass
+	fn   *iterFuncInfo
+}
+
+// iterFuncInfo is the syntactic pre-pass over one body: acquisition sites
+// and the error variables paired with them.
+type iterFuncInfo struct {
+	acq  map[types.Object]token.Pos // iterator var → first acquisition
+	name map[types.Object]string    // iterator var → source name
+	// errFor records every (iterator, acquisition position) an error var is
+	// assigned alongside. Error vars are routinely reused across successive
+	// acquisitions ("l, err := ...; it, err := ..."), so a nil test on err
+	// speaks for the nearest acquisition above it, found by position.
+	errFor map[types.Object][]iterPair
+}
+
+type iterPair struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func (iterFlow) Bottom() iterState   { return nil }
+func (iterFlow) Boundary() iterState { return iterState{} }
+
+func (f iterFlow) Transfer(b *cfg.Block, s iterState) iterState {
+	if s == nil {
+		return nil
+	}
+	out := make(iterState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	for _, n := range b.Nodes {
+		applyIterOps(f.pass, f.fn, n, out)
+	}
+	return out
+}
+
+func (iterFlow) Merge(a, b iterState) iterState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(iterState)
+	get := func(m iterState, k types.Object) int {
+		if v, ok := m[k]; ok {
+			return v
+		}
+		return iterNotAcq
+	}
+	put := func(k types.Object, v int) {
+		if v != iterNotAcq {
+			out[k] = v
+		}
+	}
+	for k := range a {
+		va, vb := get(a, k), get(b, k)
+		if vb > va {
+			va = vb
+		}
+		put(k, va)
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			va, vb := iterNotAcq, get(b, k)
+			if vb > va {
+				va = vb
+			}
+			put(k, va)
+		}
+	}
+	return out
+}
+
+func (iterFlow) Equal(a, b iterState) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (iterFlow) Widen(_, merged iterState) iterState { return merged }
+
+// Refine narrows the state on branch edges: after "err != nil" the paired
+// iterator is nil (constructor contract), and after "it == nil" the
+// variable holds no iterator at all.
+func (f iterFlow) Refine(from *cfg.Block, branch int, s iterState) iterState {
+	if s == nil {
+		return nil
+	}
+	cond, ok := from.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.NEQ && cond.Op != token.EQL) {
+		return s
+	}
+	obj, viaErr := f.nilTestSubject(cond)
+	if obj == nil {
+		return s
+	}
+	// Which edge concludes "the iterator is nil"? Testing the iterator
+	// itself: "it == nil" true, or "it != nil" false. Testing the paired
+	// error inverts: "err != nil" true means the constructor failed and
+	// returned a nil iterator.
+	nilBranch := 1
+	if (cond.Op == token.EQL) != viaErr {
+		nilBranch = 0
+	}
+	if branch != nilBranch {
+		return s
+	}
+	out := make(iterState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	delete(out, obj) // back to the notAcquired default
+	return out
+}
+
+// nilTestSubject resolves the iterator variable a nil comparison speaks
+// for: the compared variable itself if tracked, or (viaErr) the iterator
+// paired with a compared error variable.
+func (f iterFlow) nilTestSubject(cond *ast.BinaryExpr) (obj types.Object, viaErr bool) {
+	expr := cond.X
+	if id, ok := cond.X.(*ast.Ident); ok && id.Name == "nil" {
+		expr = cond.Y
+	} else if id, ok := cond.Y.(*ast.Ident); ok && id.Name == "nil" {
+		expr = cond.X
+	} else {
+		return nil, false
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	o := objOf(f.pass, id)
+	if o == nil {
+		return nil, false
+	}
+	if _, tracked := f.fn.acq[o]; tracked {
+		return o, false
+	}
+	// The most recent acquisition paired with this error var above the test
+	// is the one the test speaks for.
+	var best types.Object
+	bestPos := token.NoPos
+	for _, p := range f.fn.errFor[o] {
+		if p.pos < cond.Pos() && p.pos > bestPos {
+			best, bestPos = p.obj, p.pos
+		}
+	}
+	if best != nil {
+		return best, true
+	}
+	return nil, false
+}
+
+// applyIterOps folds one block node into the state: acquisitions go live,
+// Close releases, and any other use of the variable — argument, return
+// value, store, send, closure capture — transfers ownership.
+func applyIterOps(pass *analysis.Pass, fn *iterFuncInfo, node ast.Node, s iterState) {
+	// receiverOf marks idents consumed as method-call receivers so the
+	// general use rule below skips them; parents are visited before
+	// children in Inspect, so the set fills in time.
+	receivers := make(map[*ast.Ident]bool)
+	assignees := make(map[*ast.Ident]bool)
+	cfg.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				assignees[id] = true
+				obj := objOf(pass, id)
+				if obj == nil {
+					continue
+				}
+				if _, tracked := fn.acq[obj]; tracked && acquiresIter(pass, n, i) {
+					s[obj] = iterLive
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil {
+						if _, tracked := fn.acq[obj]; tracked {
+							receivers[id] = true
+							if sel.Sel.Name == "Close" {
+								s[obj] = iterReleased
+							}
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Captured variables escape into the closure.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := objOf(pass, id); obj != nil {
+						if _, tracked := fn.acq[obj]; tracked && s[obj] == iterLive {
+							s[obj] = iterReleased
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if receivers[n] || assignees[n] {
+				return true
+			}
+			obj := objOf(pass, n)
+			if obj == nil {
+				return true
+			}
+			if _, tracked := fn.acq[obj]; tracked && s[obj] == iterLive {
+				s[obj] = iterReleased // used as a value: ownership handed off
+			}
+		}
+		return true
+	})
+}
+
+// acquiresIter reports whether position i of the assignment receives an
+// Iterator from a call.
+func acquiresIter(pass *analysis.Pass, as *ast.AssignStmt, i int) bool {
+	var rhs ast.Expr
+	var resultIdx int
+	if len(as.Lhs) == len(as.Rhs) {
+		rhs, resultIdx = as.Rhs[i], 0
+	} else if len(as.Rhs) == 1 {
+		rhs, resultIdx = as.Rhs[0], i
+	} else {
+		return false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.Types[call].Type
+	if tup, ok := t.(*types.Tuple); ok {
+		if resultIdx >= tup.Len() {
+			return false
+		}
+		t = tup.At(resultIdx).Type()
+	} else if resultIdx != 0 {
+		return false
+	}
+	return isIteratorType(t)
+}
+
+// isIteratorType reports whether t is a named interface "Iterator" with
+// Next and Close methods — region.Iterator or a fixture's equivalent.
+func isIteratorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Iterator" {
+		return false
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasNext, hasClose := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "Next":
+			hasNext = true
+		case "Close":
+			hasClose = true
+		}
+	}
+	return hasNext && hasClose
+}
+
+// collectIterInfo finds the acquisitions in one body: assignments whose
+// RHS call returns an Iterator into a local variable, plus the error
+// variable assigned alongside (for the nil-on-error refinement).
+func collectIterInfo(pass *analysis.Pass, body *ast.BlockStmt) *iterFuncInfo {
+	fn := &iterFuncInfo{
+		acq:    make(map[types.Object]token.Pos),
+		name:   make(map[types.Object]string),
+		errFor: make(map[types.Object][]iterPair),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals run their own analysis
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(pass, id)
+			if obj == nil || !acquiresIter(pass, as, i) {
+				continue
+			}
+			if _, seen := fn.acq[obj]; !seen {
+				fn.acq[obj] = id.Pos()
+				fn.name[obj] = id.Name
+			}
+			// A sibling error result pairs with this acquisition.
+			for j, other := range as.Lhs {
+				oid, ok := other.(*ast.Ident)
+				if !ok || j == i || oid.Name == "_" {
+					continue
+				}
+				oobj := objOf(pass, oid)
+				if oobj != nil && oobj.Type() != nil && oobj.Type().String() == "error" {
+					fn.errFor[oobj] = append(fn.errFor[oobj], iterPair{obj: obj, pos: as.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return fn
+}
+
+func checkIterClose(pass *analysis.Pass, cfgs *cfg.PackageCFGs, body *ast.BlockStmt) {
+	fn := collectIterInfo(pass, body)
+	if len(fn.acq) == 0 {
+		return
+	}
+	g := cfgs.Of(body)
+	res := cfg.Solve[iterState](g, cfg.Forward, iterFlow{pass: pass, fn: fn})
+	final := res.In[g.Exit]
+	for obj, state := range final {
+		if state == iterLive {
+			pass.Reportf(fn.acq[obj],
+				"iterator %s is not closed or handed off on every path to return", fn.name[obj])
+		}
+	}
+}

@@ -25,6 +25,10 @@ func All() []*analysis.Analyzer {
 		EpochBump,
 		PoolEscape,
 		RegionOrder,
+		CtxPoll,
+		IterClose,
+		GoRecover,
+		BudgetCharge,
 	}
 }
 
@@ -50,28 +54,62 @@ func (f Finding) String() string {
 }
 
 // RunPackage applies the analyzers to one loaded package and returns the
-// surviving findings (after qoflint:allow suppression) in position order.
+// surviving findings (after qoflint:allow suppression) in a fully
+// deterministic order: position, then analyzer, then message — total, so
+// repeated runs (and -json artifact diffs) are byte-stable even when one
+// line carries several findings.
+//
+// Analyzers listed in Requires run first and exactly once per package;
+// their results are shared with every dependent through pass.ResultOf.
 func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	sup := collectSuppressions(pkg)
 	var out []Finding
-	for _, a := range analyzers {
+	results := make(map[*analysis.Analyzer]any)
+	ran := make(map[*analysis.Analyzer]bool)
+
+	var run func(a *analysis.Analyzer, report bool) error
+	run = func(a *analysis.Analyzer, report bool) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := run(req, false); err != nil {
+				return err
+			}
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			ResultOf:  make(map[*analysis.Analyzer]any, len(a.Requires)),
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
+			if !report {
+				return
+			}
 			pos := pkg.Fset.Position(d.Pos)
 			if sup.allows(name, pos) {
 				return
 			}
 			out = append(out, Finding{Pos: pos, Message: d.Message, Analyzer: name})
 		}
-		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := run(a, true); err != nil {
+			return nil, err
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -82,7 +120,13 @@ func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out, nil
 }

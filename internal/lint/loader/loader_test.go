@@ -3,6 +3,7 @@ package loader
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -96,6 +97,52 @@ func TestLoadRecursivePattern(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("recursive load missed %s (got %v)", want, seen)
 		}
+	}
+}
+
+func TestLoadDirGenerics(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir("testdata/generics")
+	if err != nil {
+		t.Fatalf("LoadDir on generic code: %v", err)
+	}
+	for _, name := range []string{"Sum", "Pair", "First"} {
+		if pkg.Types.Scope().Lookup(name) == nil {
+			t.Errorf("generic package lacks %s", name)
+		}
+	}
+	// Instantiated calls must resolve like any other expression: the
+	// analyzers lean on Uses and Types being complete.
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("types.Info.Uses not populated for generic code")
+	}
+}
+
+func TestLoadDirBuildTagExcluded(t *testing.T) {
+	l := newTestLoader(t)
+	pkg, err := l.LoadDir("testdata/buildtag")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	// The constrained-out file must not be parsed; if it were, the
+	// duplicate Active constant would have failed type-checking above.
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (excluded.go is constrained out)", len(pkg.Files))
+	}
+	obj := pkg.Types.Scope().Lookup("Active")
+	if obj == nil {
+		t.Fatal("buildtag package lacks Active")
+	}
+}
+
+func TestLoadDirTypeErrorReportsNotPanics(t *testing.T) {
+	l := newTestLoader(t)
+	_, err := l.LoadDir("testdata/typeerror")
+	if err == nil {
+		t.Fatal("LoadDir on a type-broken package should fail")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q should attribute the failure to type-checking", err)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build qof_never_enabled_tag
+
+// Loader fixture: constrained out of every build. If the loader parsed it
+// anyway, the duplicate Active constant would fail type-checking.
+package buildtag
+
+const Active = "excluded"

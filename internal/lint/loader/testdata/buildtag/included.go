@@ -1,0 +1,4 @@
+// Loader fixture: this file is always in the build.
+package buildtag
+
+const Active = "included"

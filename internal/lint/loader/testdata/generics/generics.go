@@ -1,0 +1,33 @@
+// Loader fixture: generic declarations and instantiations must type-check.
+package generics
+
+type Number interface{ ~int | ~float64 }
+
+func Sum[T Number](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+func First[K comparable, V any](ps []Pair[K, V]) (K, bool) {
+	if len(ps) == 0 {
+		var zero K
+		return zero, false
+	}
+	return ps[0].Key, true
+}
+
+func useInstantiations() (int, float64, string) {
+	a := Sum([]int{1, 2, 3})                  // inferred instantiation
+	b := Sum[float64]([]float64{1.5, 2.5})    // explicit instantiation
+	p := Pair[string, int]{Key: "k", Val: 42} // generic type instantiation
+	k, _ := First([]Pair[string, int]{p})
+	return a, b, k
+}

@@ -1,0 +1,9 @@
+// Loader fixture: deliberately fails type-checking. The loader must report
+// the error, not panic.
+package typeerror
+
+var X int = "definitely not an int"
+
+func mismatched() bool {
+	return X
+}

@@ -6,25 +6,28 @@ import (
 	"regexp"
 
 	"qof/internal/lint/analysis"
+	"qof/internal/lint/cfg"
 )
 
 // LockCheck enforces the "// guarded by <mu>" annotation convention: a
 // struct field carrying the annotation may only be read or written while
 // the named sibling mutex of the same value is held.
 //
-// The check is flow-approximate on purpose (a full lockset analysis needs
-// an SSA form the standard library does not provide): within each function
-// the statements are scanned in source order, Lock/RLock raise and
-// Unlock/RUnlock lower a per-(owner, mutex) counter, and a deferred unlock
-// leaves the counter raised until the function returns. Conditional
-// locking therefore confuses it — the engine's invariant is that guarded
-// state is locked unconditionally at the top of each accessor, and code
-// that must deviate documents itself with a qoflint:allow suppression.
+// The analysis is a path-sensitive must-hold lockset over the function's
+// control-flow graph: Lock/RLock raise and Unlock/RUnlock lower a
+// per-(owner, mutex) counter, states merge at joins by pointwise minimum
+// (the mutex is held after a join only if it is held on every incoming
+// path), and a deferred unlock leaves the counter raised until the
+// function returns. A lock taken on only one branch therefore does not
+// cover an access after the join — the source-order scan this replaces
+// missed exactly that case. Function literals are analyzed with the
+// lockset at their creation point.
 var LockCheck = &analysis.Analyzer{
 	Name: "lockcheck",
 	Doc: "reports accesses to '// guarded by mu' annotated struct fields " +
 		"outside the annotated mutex",
-	Run: runLockCheck,
+	Requires: []*analysis.Analyzer{cfg.FactAnalyzer},
+	Run:      runLockCheck,
 }
 
 var guardedRx = regexp.MustCompile(`guarded by (\w+)`)
@@ -41,13 +44,14 @@ func runLockCheck(pass *analysis.Pass) (any, error) {
 	if len(guards) == 0 {
 		return nil, nil
 	}
+	cfgs := pass.ResultOf[cfg.FactAnalyzer].(*cfg.PackageCFGs)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkLockBody(pass, fd.Body, guards)
+			checkLockBody(pass, cfgs, fd.Body, lockState{}, guards)
 		}
 	}
 	return nil, nil
@@ -108,23 +112,164 @@ type lockKey struct {
 
 var lockMethods = map[string]int{"Lock": +1, "RLock": +1, "Unlock": -1, "RUnlock": -1}
 
-// checkLockBody scans one function body in source order, tracking which
-// (owner, mutex) pairs are held and reporting guarded-field accesses made
-// while the matching mutex is not.
-func checkLockBody(pass *analysis.Pass, body *ast.BlockStmt, guards map[types.Object]guardInfo) {
-	held := make(map[lockKey]int)
-	ast.Inspect(body, func(n ast.Node) bool {
+// lockState maps each held mutex to its hold depth. A nil map is the
+// dataflow Bottom ("no path has reached this block"); zero entries are
+// normalized away so Equal can compare by length.
+type lockState map[lockKey]int
+
+// lockFlow is the must-hold lockset problem: forward, pointwise-minimum
+// merge (held after a join only if held on every path in).
+type lockFlow struct {
+	pass  *analysis.Pass
+	entry lockState
+}
+
+func (lockFlow) Bottom() lockState { return nil }
+
+func (lf lockFlow) Boundary() lockState {
+	out := make(lockState, len(lf.entry))
+	for k, v := range lf.entry {
+		out[k] = v
+	}
+	return out
+}
+
+func (lf lockFlow) Transfer(b *cfg.Block, s lockState) lockState {
+	if s == nil {
+		return nil
+	}
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	for _, n := range b.Nodes {
+		applyLockOps(lf.pass, n, out)
+	}
+	return out
+}
+
+func (lockFlow) Merge(a, b lockState) lockState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(lockState)
+	keep := func(k lockKey, v, w int) {
+		if w < v {
+			v = w
+		}
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	for k, v := range a {
+		keep(k, v, b[k])
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			keep(k, 0, v)
+		}
+	}
+	return out
+}
+
+func (lockFlow) Equal(a, b lockState) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Widen stops the downward spiral of an unlock inside a loop (the counter
+// would otherwise decrease without bound): negative counters are clamped
+// away, which is semantically neutral — any value <= 0 means "not held".
+func (lockFlow) Widen(_, merged lockState) lockState {
+	out := make(lockState, len(merged))
+	for k, v := range merged {
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// applyLockOps folds one block node's lock operations into held: Lock/RLock
+// raise, Unlock/RUnlock lower, a deferred unlock is skipped (it keeps the
+// lock held until return), and function literals are opaque (their bodies
+// run at some other time and are analyzed separately).
+func applyLockOps(pass *analysis.Pass, node ast.Node, held lockState) {
+	cfg.Inspect(node, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
 		case *ast.DeferStmt:
-			// A deferred Unlock keeps the lock held for the rest of the
-			// function, so it must not lower the counter; skip the call
-			// (an unlock call has no other guarded subexpressions).
 			if _, delta, ok := lockOp(pass, n.Call); ok && delta < 0 {
 				return false
 			}
 		case *ast.CallExpr:
 			if key, delta, ok := lockOp(pass, n); ok {
-				held[key] += delta
+				if held[key] += delta; held[key] == 0 {
+					delete(held, key)
+				}
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkLockBody solves the must-hold problem on body's CFG (entered with
+// the given lockset) and replays each reachable block to report guarded
+// accesses made while the matching mutex is not held on every path. A
+// function literal encountered during replay is checked recursively with a
+// snapshot of the lockset at its creation point.
+func checkLockBody(pass *analysis.Pass, cfgs *cfg.PackageCFGs, body *ast.BlockStmt, entry lockState, guards map[types.Object]guardInfo) {
+	g := cfgs.Of(body)
+	flow := lockFlow{pass: pass, entry: entry}
+	res := cfg.Solve[lockState](g, cfg.Forward, flow)
+	for _, b := range g.Blocks {
+		in := res.In[b]
+		if in == nil || !b.Reachable() {
+			continue
+		}
+		held := make(lockState, len(in))
+		for k, v := range in {
+			held[k] = v
+		}
+		for _, node := range b.Nodes {
+			replayNode(pass, cfgs, node, held, guards)
+		}
+	}
+}
+
+// replayNode walks one block node with the current lockset, reporting
+// guarded accesses and applying lock operations in evaluation order.
+func replayNode(pass *analysis.Pass, cfgs *cfg.PackageCFGs, node ast.Node, held lockState, guards map[types.Object]guardInfo) {
+	cfg.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			snap := make(lockState, len(held))
+			for k, v := range held {
+				snap[k] = v
+			}
+			checkLockBody(pass, cfgs, n.Body, snap, guards)
+			return false
+		case *ast.DeferStmt:
+			if _, delta, ok := lockOp(pass, n.Call); ok && delta < 0 {
+				return false
+			}
+		case *ast.CallExpr:
+			if key, delta, ok := lockOp(pass, n); ok {
+				if held[key] += delta; held[key] == 0 {
+					delete(held, key)
+				}
 				return false // rc.mu in rc.mu.Lock() is not a guarded access
 			}
 		case *ast.SelectorExpr:

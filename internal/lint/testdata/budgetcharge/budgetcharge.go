@@ -1,0 +1,124 @@
+// Fixture for the budgetcharge analyzer: region-accumulating loops in
+// budgeted kernels must charge the budget before a successful return.
+package budgetcharge
+
+import "errors"
+
+type Region struct{ Start, End int }
+
+type Budget struct{ left int }
+
+func (b *Budget) charge(n int) error {
+	if b.left < n {
+		return errors.New("budget exhausted")
+	}
+	b.left -= n
+	return nil
+}
+
+type streamCtx struct {
+	budget *Budget
+	used   int
+}
+
+func (sc *streamCtx) meter(n int) { sc.used += n }
+
+func containers(r Region) []Region { return []Region{{r.Start - 1, r.End + 1}} }
+
+// GoodMeterAfterLoop accumulates, then meters the buffer before returning —
+// the streamBinary shape.
+func GoodMeterAfterLoop(sc *streamCtx, in []Region) ([]Region, error) {
+	var cand []Region
+	for _, s := range in {
+		cand = append(cand, containers(s)...)
+	}
+	sc.meter(len(cand))
+	return cand, nil
+}
+
+// GoodChargeInLoop charges per appended batch inside the loop.
+func GoodChargeInLoop(b *Budget, in []Region) ([]Region, error) {
+	var out []Region
+	for _, s := range in {
+		cs := containers(s)
+		if err := b.charge(len(cs)); err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+	}
+	return out, nil
+}
+
+// GoodErrorPathsUncharged: error returns after the loop need no charge —
+// nothing is delivered.
+func GoodErrorPathsUncharged(sc *streamCtx, in []Region, ok bool) ([]Region, error) {
+	var cand []Region
+	for _, s := range in {
+		cand = append(cand, containers(s)...)
+	}
+	if !ok {
+		return nil, errors.New("validation failed")
+	}
+	sc.meter(len(cand))
+	return cand, nil
+}
+
+// BadNoCharge builds the buffer and returns it unmetered.
+func BadNoCharge(sc *streamCtx, in []Region) ([]Region, error) {
+	var cand []Region
+	for _, s := range in { // want `loop accumulates regions but a successful return is reachable without charging`
+		cand = append(cand, containers(s)...)
+	}
+	return cand, nil
+}
+
+// BadChargeSkippedOnBranch meters on one branch but a successful return on
+// the other slips through.
+func BadChargeSkippedOnBranch(sc *streamCtx, in []Region, fast bool) ([]Region, error) {
+	var cand []Region
+	for _, s := range in { // want `loop accumulates regions but a successful return is reachable without charging`
+		cand = append(cand, containers(s)...)
+	}
+	if fast {
+		return cand, nil
+	}
+	sc.meter(len(cand))
+	return cand, nil
+}
+
+// BadVoidFallThrough drops off the end of a void kernel uncharged.
+func BadVoidFallThrough(sc *streamCtx, in []Region) {
+	var cand []Region
+	for _, s := range in { // want `loop accumulates regions but a successful return is reachable without charging`
+		cand = append(cand, containers(s)...)
+	}
+	sc.used = len(cand)
+}
+
+// NotBudgeted has no budget in scope: someone upstream meters.
+func NotBudgeted(in []Region) []Region {
+	var out []Region
+	for _, s := range in {
+		out = append(out, containers(s)...)
+	}
+	return out
+}
+
+// GoodNonRegionAppend accumulates ints, not regions.
+func GoodNonRegionAppend(sc *streamCtx, in []Region) []int {
+	var starts []int
+	for _, s := range in {
+		starts = append(starts, s.Start)
+	}
+	return starts
+}
+
+// Suppressed documents an intentionally uncharged accumulation.
+func Suppressed(sc *streamCtx, in []Region) []Region {
+	var out []Region
+	//qoflint:allow budgetcharge scratch buffer is bounded by the operand already metered
+	for _, s := range in {
+		out = append(out, containers(s)...)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Fixture for the ctxpoll analyzer: Checker-accepting kernels and
+// Iterator.Next methods whose loops must poll for cancellation.
+package ctxpoll
+
+// Checker mirrors region.Checker.
+type Checker func() error
+
+const pollStride = 1024
+
+func poll(check Checker, i int) error {
+	if check == nil || i&(pollStride-1) != 0 {
+		return nil
+	}
+	return check()
+}
+
+type Region struct{ Start, End int }
+
+// GoodPollHelper polls through the canonical helper every iteration.
+func GoodPollHelper(check Checker, rs []Region) (int, error) {
+	total := 0
+	for i, r := range rs {
+		if err := poll(check, i); err != nil {
+			return 0, err
+		}
+		total += r.End - r.Start
+	}
+	return total, nil
+}
+
+// GoodDirectCall invokes the checker itself.
+func GoodDirectCall(check Checker, rs []Region) error {
+	for range rs {
+		if check != nil {
+			if err := check(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GoodNilGate polls behind the standard nil gate.
+func GoodNilGate(check Checker, n int) error {
+	for i := 0; i < n; i++ {
+		if check != nil {
+			_ = check
+		}
+	}
+	return nil
+}
+
+// GoodForward hands the checker to a callee that polls.
+func GoodForward(check Checker, rs []Region) (int, error) {
+	total := 0
+	for range rs {
+		n, err := GoodPollHelper(check, rs)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// BadNoPoll scans without ever consulting the checker.
+func BadNoPoll(check Checker, rs []Region) int {
+	total := 0
+	for _, r := range rs { // want `loop can complete an iteration without polling`
+		total += r.End - r.Start
+	}
+	return total
+}
+
+// BadBranchSkipsPoll polls on only one branch of the loop body.
+func BadBranchSkipsPoll(check Checker, rs []Region) (int, error) {
+	total := 0
+	for i, r := range rs { // want `loop can complete an iteration without polling`
+		if r.Start > 0 {
+			if err := poll(check, i); err != nil {
+				return 0, err
+			}
+		}
+		total += r.End
+	}
+	return total, nil
+}
+
+// BadContinueSkipsPoll lets continue bypass the poll at the bottom.
+func BadContinueSkipsPoll(check Checker, rs []Region) error {
+	for i, r := range rs { // want `loop can complete an iteration without polling`
+		if r.Start == r.End {
+			continue
+		}
+		if err := poll(check, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodBoundedTrim: a for condition built from len-derived locals is a trim
+// loop over in-memory data, exempt by design.
+func GoodBoundedTrim(check Checker, rs []Region) []Region {
+	keep := len(rs)
+	for keep > 0 && rs[keep-1].Start == 0 {
+		keep--
+	}
+	return rs[:keep]
+}
+
+// GoodConstRange: counting to a constant is bounded.
+func GoodConstRange(check Checker) int {
+	total := 0
+	for i := 0; i < 64; i++ {
+		total += i
+	}
+	return total
+}
+
+// GoodArrayRange: fixed-size arrays are bounded.
+func GoodArrayRange(check Checker, buckets *[16]int) int {
+	total := 0
+	for _, b := range buckets {
+		total += b
+	}
+	return total
+}
+
+// BadUnboundedFor: condition on mutable non-len state is a scan.
+func BadUnboundedFor(check Checker, next func() bool) {
+	for next() { // want `loop can complete an iteration without polling`
+	}
+}
+
+// NotInScope has no Checker parameter; its loops are someone else's
+// problem (the caller's kernel polls around it).
+func NotInScope(rs []Region) int {
+	total := 0
+	for _, r := range rs {
+		total += r.End - r.Start
+	}
+	return total
+}
+
+// --- Iterator.Next pull rule ---
+
+type iter struct {
+	check Checker
+	src   []Region
+	pos   int
+	child *iter
+}
+
+func (it *iter) Close() {}
+
+// Next for sliceLike: advances one element per call, no loop at all.
+func (it *iter) Next() (Region, bool, error) {
+	if it.pos >= len(it.src) {
+		return Region{}, false, nil
+	}
+	r := it.src[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+type mergeIter struct {
+	check Checker
+	child *iter
+}
+
+func (it *mergeIter) Close() {}
+
+// Next pulls from the child stream each trip: cancellation propagates
+// through the child's own polling, so the pull rule accepts it.
+func (it *mergeIter) Next() (Region, bool, error) {
+	for {
+		r, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return Region{}, false, err
+		}
+		if r.Start < r.End {
+			return r, true, nil
+		}
+	}
+}
+
+type spinIter struct {
+	check Checker
+	n     int
+}
+
+func (it *spinIter) Close() {}
+
+// Next spins on internal state without pulling or polling.
+func (it *spinIter) Next() (Region, bool, error) {
+	for it.n > 0 { // want `loop can complete an iteration without polling`
+		it.n--
+		if it.n%2 == 0 {
+			return Region{Start: it.n}, true, nil
+		}
+	}
+	return Region{}, false, nil
+}
+
+type pollIter struct {
+	check Checker
+	n     int
+	i     int
+}
+
+func (it *pollIter) Close() {}
+
+// Next polls its own checker through the helper.
+func (it *pollIter) Next() (Region, bool, error) {
+	for it.n > 0 {
+		if err := poll(it.check, it.i); err != nil {
+			return Region{}, false, err
+		}
+		it.i++
+		it.n--
+		if it.n%2 == 0 {
+			return Region{Start: it.n}, true, nil
+		}
+	}
+	return Region{}, false, nil
+}
+
+// Suppressed documents a deliberately unpolled loop.
+func Suppressed(check Checker, rs []Region) int {
+	total := 0
+	//qoflint:allow ctxpoll nesting depth is bounded by the grammar
+	for _, r := range rs {
+		total += r.Start
+	}
+	return total
+}

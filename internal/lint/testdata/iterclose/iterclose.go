@@ -1,0 +1,156 @@
+// Fixture for the iterclose analyzer: locally acquired Iterators must be
+// closed or handed off on every path to return.
+package iterclose
+
+import "errors"
+
+type Region struct{ Start, End int }
+
+// Iterator mirrors region.Iterator.
+type Iterator interface {
+	Next() (Region, bool, error)
+	Close()
+}
+
+type nopIter struct{}
+
+func (nopIter) Next() (Region, bool, error) { return Region{}, false, nil }
+func (nopIter) Close()                      {}
+
+func open() Iterator { return nopIter{} }
+func openErr(ok bool) (Iterator, error) {
+	if !ok {
+		return nil, errors.New("no")
+	}
+	return nopIter{}, nil
+}
+func wrap(it Iterator) Iterator { return it }
+func drain(it Iterator) error {
+	defer it.Close()
+	for {
+		_, ok, err := it.Next()
+		if err != nil || !ok {
+			return err
+		}
+	}
+}
+
+type holder struct{ it Iterator }
+
+// GoodDeferClose closes via defer on every path.
+func GoodDeferClose() error {
+	it := open()
+	defer it.Close()
+	_, _, err := it.Next()
+	return err
+}
+
+// GoodExplicitClose pairs the acquisition with a close before return.
+func GoodExplicitClose() {
+	it := open()
+	it.Close()
+}
+
+// GoodReturned hands the iterator to the caller.
+func GoodReturned() Iterator {
+	it := open()
+	return it
+}
+
+// GoodWrapped hands ownership to a wrapping constructor.
+func GoodWrapped() Iterator {
+	it := open()
+	return wrap(it)
+}
+
+// GoodPassed hands ownership to a consuming call.
+func GoodPassed() error {
+	it := open()
+	return drain(it)
+}
+
+// GoodStored escapes into a struct.
+func GoodStored() *holder {
+	it := open()
+	return &holder{it: it}
+}
+
+// GoodCaptured escapes into a closure.
+func GoodCaptured() func() {
+	it := open()
+	return func() { it.Close() }
+}
+
+// GoodErrPath: on the error path the constructor returned nil — nothing to
+// close; the success path hands off.
+func GoodErrPath(ok bool) (Iterator, error) {
+	it, err := openErr(ok)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(it), nil
+}
+
+// GoodCloseOnLaterError mirrors the streaming evaluator: a second
+// acquisition fails, the first is closed before bailing out.
+func GoodCloseOnLaterError(ok bool) (Iterator, error) {
+	l := open()
+	r, err := openErr(ok)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	return wrap(wrapPair(l, r)), nil
+}
+
+func wrapPair(l, r Iterator) Iterator { return l }
+
+// BadNoClose acquires and forgets.
+func BadNoClose() {
+	it := open() // want `iterator it is not closed or handed off on every path`
+	_, _, _ = it.Next()
+}
+
+// BadLeakOnError closes on the happy path but leaks when the later step
+// fails.
+func BadLeakOnError(ok bool) (Iterator, error) {
+	l := open() // want `iterator l is not closed or handed off on every path`
+	r, err := openErr(ok)
+	if err != nil {
+		return nil, err // l leaks here
+	}
+	return wrapPair(l, r), nil
+}
+
+// BadBranchLeak closes on one branch only.
+func BadBranchLeak(cond bool) {
+	it := open() // want `iterator it is not closed or handed off on every path`
+	if cond {
+		it.Close()
+	}
+}
+
+// GoodBranchClose closes on both branches.
+func GoodBranchClose(cond bool) {
+	it := open()
+	if cond {
+		it.Close()
+	} else {
+		it.Close()
+	}
+}
+
+// BadClosureLeak acquires inside a literal and drops it there; the
+// literal's own body is analyzed.
+func BadClosureLeak() func() {
+	return func() {
+		it := open() // want `iterator it is not closed or handed off on every path`
+		_, _, _ = it.Next()
+	}
+}
+
+// Suppressed documents a deliberate leak (process-lifetime iterator).
+func Suppressed() {
+	it := open() //qoflint:allow iterclose process-lifetime stream, closed at shutdown
+	_, _, _ = it.Next()
+}

@@ -102,12 +102,18 @@ func (s Set) IncludedCtl(t Set, check Checker) (Set, error) {
 	buf := getIntBuf()
 	prefMax := buf.ints(len(S.regions) + 1)
 	prefMax[0] = -1
+	var abort error
 	for i, sr := range S.regions {
+		if abort = poll(check, i); abort != nil {
+			break
+		}
 		prefMax[i+1] = max(prefMax[i], sr.End)
 	}
 	out := make([]Region, 0, len(R.regions))
-	var abort error
 	for i, r := range R.regions {
+		if abort != nil {
+			break
+		}
 		if abort = poll(check, i); abort != nil {
 			break
 		}
@@ -448,6 +454,7 @@ func (u *Universe) DirectlyIncludedCtl(R, S Set, check Checker) (Set, error) {
 		if err := poll(check, i); err != nil {
 			return Empty, err
 		}
+		//qoflint:allow ctxpoll direct-container chains are bounded by nesting depth; the outer loop polls per region
 		for _, t := range u.directContainers(r) {
 			if S.Contains(t) {
 				out = append(out, r)
