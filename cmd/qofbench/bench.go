@@ -38,6 +38,9 @@ type benchReport struct {
 	// Serving storms the sharded HTTP daemon far past its admission limit
 	// and reports latency quantiles, shed rate and leak accounting.
 	Serving servingBench `json:"serving"`
+	// Tail compares tail latency with and without hedged requests when one
+	// replica's primary attempts intermittently stall.
+	Tail tailBench `json:"tail"`
 }
 
 // benchLimitK is the LIMIT used for the limit_k_ops_sec workload and the
@@ -156,6 +159,10 @@ func runJSONBench(path string, quick bool) error {
 		return fmt.Errorf("serving: %w", err)
 	}
 	report.Serving = serving
+	report.Tail, err = runTail(quick)
+	if err != nil {
+		return fmt.Errorf("tail: %w", err)
+	}
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -89,4 +89,20 @@ func TestRunJSONBench(t *testing.T) {
 	if sv.GoroutineLeak != 0 {
 		t.Errorf("serving storm leaked %d goroutines", sv.GoroutineLeak)
 	}
+	// The tail section: hedging must actually race (hedges sent and won)
+	// and collapse the slow-shard tail to at most half the unhedged p999.
+	tl := r.Tail
+	if tl.Queries == 0 || tl.Replicas != 2 {
+		t.Errorf("tail header wrong: %+v", tl)
+	}
+	if tl.Unhedged.P999Ms <= 0 || tl.Hedged.P999Ms <= 0 {
+		t.Errorf("tail legs not measured: %+v", tl)
+	}
+	if tl.HedgesSent == 0 || tl.HedgesWon == 0 {
+		t.Errorf("hedged leg never raced: sent=%d won=%d", tl.HedgesSent, tl.HedgesWon)
+	}
+	if tl.P999Ratio <= 0 || tl.P999Ratio > 0.5 {
+		t.Errorf("tail p999 ratio %v outside (0, 0.5]: unhedged %v ms, hedged %v ms",
+			tl.P999Ratio, tl.Unhedged.P999Ms, tl.Hedged.P999Ms)
+	}
 }

@@ -72,7 +72,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("qofd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	dom := fs.String("domain", "bibtex", "file format: bibtex, logs, sgml, src")
-	shards := fs.Int("shards", 1, "engine shards to hash documents across")
+	shards := fs.Int("shards", 1, "engine shards to place documents across")
+	replicas := fs.Int("replicas", 2, "engine replicas per document (clamped to shards; 1 disables replication)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "delay before hedging a slow replica attempt (0 = adaptive p99, negative disables)")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive replica faults that open its circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe")
 	par := fs.Int("parallelism", runtime.GOMAXPROCS(0), "files evaluated concurrently within each shard")
 	maxInflight := fs.Int("max-inflight", 64, "queries executing at once before shedding")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-query deadline")
@@ -135,18 +139,22 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Schema:          schema,
-		Shards:          *shards,
-		Parallelism:     *par,
-		Materializing:   *materializing,
-		SharedExecution: *shared,
-		MaxInflight:     *maxInflight,
-		DefaultTimeout:  *timeout,
-		ShardTimeout:    *shardTimeout,
-		FileTimeout:     *fileTimeout,
-		DefaultLimits:   serve.Limits{MaxRegions: *maxRegions, MaxEvalBytes: *maxBytes},
-		RetryAfter:      *retryAfter,
-		Reload:          load,
+		Schema:           schema,
+		Shards:           *shards,
+		Replicas:         *replicas,
+		HedgeAfter:       *hedgeAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Parallelism:      *par,
+		Materializing:    *materializing,
+		SharedExecution:  *shared,
+		MaxInflight:      *maxInflight,
+		DefaultTimeout:   *timeout,
+		ShardTimeout:     *shardTimeout,
+		FileTimeout:      *fileTimeout,
+		DefaultLimits:    serve.Limits{MaxRegions: *maxRegions, MaxEvalBytes: *maxBytes},
+		RetryAfter:       *retryAfter,
+		Reload:           load,
 	})
 	if err != nil {
 		return err
@@ -163,8 +171,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "qofd: %d files, %d shards, domain %s, epoch %d on http://%s\n",
-		len(files), *shards, *dom, srv.Epoch(), ln.Addr())
+	r := *replicas
+	if r > *shards {
+		r = *shards
+	}
+	if r < 1 {
+		r = 1
+	}
+	fmt.Fprintf(stdout, "qofd: %d files, %d shards x%d replicas, domain %s, epoch %d on http://%s\n",
+		len(files), *shards, r, *dom, srv.Epoch(), ln.Addr())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -182,6 +182,59 @@ func TestDaemonPositionalFiles(t *testing.T) {
 	}
 }
 
+// TestDaemonReplicationFlags boots a replicated daemon and checks that the
+// -replicas, -hedge-after and breaker flags land in the serving config: the
+// startup line reports the replica count, /metrics exposes it with the
+// hedging and breaker counters, and /healthz lists per-shard breaker state.
+func TestDaemonReplicationFlags(t *testing.T) {
+	dir := writeCorpus(t, 4)
+	base := startDaemon(t, []string{"-domain", "bibtex", "-shards", "2", "-replicas", "2",
+		"-hedge-after", "5ms", "-breaker-threshold", "3", "-breaker-cooldown", "200ms", "-dir", dir})
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Shards       int     `json:"shards"`
+		Replicas     int     `json:"replicas"`
+		HedgeDelayMs float64 `json:"hedge_delay_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Shards != 2 || m.Replicas != 2 {
+		t.Fatalf("metrics shards=%d replicas=%d, want 2/2", m.Shards, m.Replicas)
+	}
+	if m.HedgeDelayMs != 5 {
+		t.Fatalf("metrics hedge_delay_ms = %v, want 5 (fixed -hedge-after)", m.HedgeDelayMs)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Replicas int `json:"replicas"`
+		Shard    []struct {
+			Breaker string `json:"breaker"`
+		} `json:"shard_health"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Replicas != 2 || len(health.Shard) != 2 {
+		t.Fatalf("healthz replicas=%d shard_health=%d entries, want 2/2", health.Replicas, len(health.Shard))
+	}
+	for i, sh := range health.Shard {
+		if sh.Breaker != "closed" {
+			t.Fatalf("shard %d breaker = %q at startup, want closed", i, sh.Breaker)
+		}
+	}
+}
+
 // TestDaemonBadInvocations: flag and corpus errors fail fast with a clear
 // message instead of starting a broken daemon.
 func TestDaemonBadInvocations(t *testing.T) {

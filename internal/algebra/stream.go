@@ -38,10 +38,36 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"qof/internal/mpm"
 	"qof/internal/region"
 )
+
+// openStreams counts the root pipelines Stream has handed out that are not
+// yet closed. Leak-accounting tests use OpenStreams to prove every pipeline
+// is closed — including the ones a canceled hedge loser abandons mid-drain.
+var openStreams atomic.Int64
+
+// OpenStreams reports the number of streaming pipelines currently open
+// (built by Stream, not yet Closed).
+func OpenStreams() int64 { return openStreams.Load() }
+
+// rootIter wraps a pipeline's root so the live count drops exactly once on
+// the first Close. Close is idempotent and pipelines are single-consumer,
+// so no synchronization is needed.
+type rootIter struct {
+	region.Iterator
+	closed bool
+}
+
+func (r *rootIter) Close() {
+	if !r.closed {
+		r.closed = true
+		openStreams.Add(-1)
+	}
+	r.Iterator.Close()
+}
 
 // regionBytes is the in-memory footprint of one region.Region (two ints),
 // the unit PeakBytes accounting uses.
@@ -107,7 +133,8 @@ func (ev *Evaluator) Stream(cctx context.Context, e Expr, st *Stats, b *Budget) 
 	if err != nil {
 		return nil, err
 	}
-	return it, nil
+	openStreams.Add(1)
+	return &rootIter{Iterator: it}, nil
 }
 
 // StreamEval drains a streaming pipeline into a Set: Eval semantics with

@@ -208,6 +208,11 @@ type ExecOptions struct {
 	// remaining files are merged normally. Without Partial, any failure
 	// makes the whole Execute fail (reporting every failed file, joined).
 	Partial bool
+	// Files restricts the execution to the named files, preserving corpus
+	// order; names not present in the corpus are ignored. Nil means every
+	// file. The serving layer uses this to run one replica group's files
+	// against a shard that also holds copies of other groups' files.
+	Files []string
 }
 
 // Execute runs the query against every file (in parallel when Parallelism
@@ -225,8 +230,22 @@ func (c *Corpus) Execute(q *xsql.Query) (*CorpusResult, error) {
 // any file fails without opts.Partial, the returned error joins one
 // attributed error per failed file.
 func (c *Corpus) ExecuteContext(ctx context.Context, q *xsql.Query, opts ExecOptions) (*CorpusResult, error) {
-	results := make([]*Result, len(c.engines))
-	errs := make([]error, len(c.engines))
+	engines := c.engines
+	if opts.Files != nil {
+		want := make(map[string]bool, len(opts.Files))
+		for _, f := range opts.Files {
+			want[f] = true
+		}
+		sel := make([]*Engine, 0, len(opts.Files))
+		for _, eng := range c.engines {
+			if want[eng.Instance().Document().Name()] {
+				sel = append(sel, eng)
+			}
+		}
+		engines = sel
+	}
+	results := make([]*Result, len(engines))
+	errs := make([]error, len(engines))
 	run := func(eng *Engine) (res *Result, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -250,7 +269,7 @@ func (c *Corpus) ExecuteContext(ctx context.Context, q *xsql.Query, opts ExecOpt
 		// file would defeat the bound on large corpora.
 		sem := make(chan struct{}, c.Parallelism)
 		var wg sync.WaitGroup
-		for i, eng := range c.engines {
+		for i, eng := range engines {
 			sem <- struct{}{}
 			wg.Add(1)
 			go func(i int, eng *Engine) {
@@ -261,13 +280,13 @@ func (c *Corpus) ExecuteContext(ctx context.Context, q *xsql.Query, opts ExecOpt
 		}
 		wg.Wait()
 	} else {
-		for i, eng := range c.engines {
+		for i, eng := range engines {
 			results[i], errs[i] = run(eng)
 		}
 	}
 	out := &CorpusResult{}
 	var failed []error
-	for i, eng := range c.engines {
+	for i, eng := range engines {
 		name := eng.Instance().Document().Name()
 		if errs[i] != nil {
 			if opts.Partial {

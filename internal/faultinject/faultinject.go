@@ -68,8 +68,10 @@ const (
 	ResultCachePut = "resultcache.put" // engine.ResultCache.Put (fires = entry dropped)
 	Phase2         = "engine.phase2"   // per-candidate work in the phase-2 pool
 	CorpusFile     = "corpus.file"     // per-file evaluation in Corpus.Execute*
-	ServeShard     = "serve.shard"     // per-shard scatter leg in serve.Server.Execute
+	ServeShard     = "serve.shard"     // primary-replica attempt in serve.Server.Execute
 	ServePublish   = "serve.publish"   // per-shard corpus build in serve.Server.Publish
+	ServeReplica   = "serve.replica"   // failover attempt on a secondary replica
+	ServeHedge     = "serve.hedge"     // hedged attempt fired by the tail-latency timer
 	EngineCSE      = "engine.cse"      // cross-query CSE join (fires = bypass sharing, solo eval)
 	ScanMPM        = "scan.mpm"        // batched multi-pattern scan (fires = batch falls back to probes)
 )
@@ -80,6 +82,7 @@ func Catalog() []string {
 		IndexBuild, PersistSave, PersistLoad,
 		PlanCacheGet, PlanCachePut, ResultCacheGet, ResultCachePut,
 		Phase2, CorpusFile, ServeShard, ServePublish,
+		ServeReplica, ServeHedge,
 		EngineCSE, ScanMPM,
 	}
 }
@@ -240,6 +243,24 @@ func Hit(name string) error {
 		return nil
 	}
 	return hitSlow(name)
+}
+
+// HitN is Hit with an instance selector: it evaluates both the plain
+// failpoint name and the instance-scoped "name#n" directive, so a test can
+// target one member of a replicated set ("serve.shard#2=delay:40ms" stalls
+// only shard 2's primary attempts) while "serve.shard=..." still covers all
+// of them. The plain rule is consulted first; n < 0 skips the selector.
+func HitN(name string, n int) error {
+	if !active.Load() {
+		return nil
+	}
+	if err := hitSlow(name); err != nil {
+		return err
+	}
+	if n < 0 {
+		return nil
+	}
+	return hitSlow(name + "#" + strconv.Itoa(n))
 }
 
 func hitSlow(name string) error {

@@ -169,10 +169,50 @@ func TestConfigureRejectsBadSpecs(t *testing.T) {
 	}
 }
 
+func TestHitNInstanceSelector(t *testing.T) {
+	defer Reset()
+	// Only instance 2 is configured: other instances and plain Hit stay
+	// silent, and the instance-scoped rule counts its own hits.
+	if err := Configure("serve.shard#2=error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := HitN(ServeShard, 0); err != nil {
+		t.Fatalf("HitN(serve.shard, 0): %v", err)
+	}
+	if err := HitN(ServeShard, 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("HitN(serve.shard, 2) = %v, want ErrInjected", err)
+	}
+	if err := Hit(ServeShard); err != nil {
+		t.Fatalf("Hit(serve.shard) with only #2 configured: %v", err)
+	}
+	if got := Hits("serve.shard#2"); got != 1 {
+		t.Fatalf("Hits(serve.shard#2) = %d, want 1", got)
+	}
+}
+
+func TestHitNPlainRuleCoversAllInstances(t *testing.T) {
+	defer Reset()
+	if err := Configure("serve.replica=error"); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if err := HitN(ServeReplica, n); !errors.Is(err, ErrInjected) {
+			t.Fatalf("HitN(serve.replica, %d) = %v, want ErrInjected", n, err)
+		}
+	}
+	// n < 0 skips the instance selector entirely.
+	if err := HitN(ServeHedge, -1); err != nil {
+		t.Fatalf("HitN(serve.hedge, -1) unconfigured: %v", err)
+	}
+	if got := Hits(ServeReplica); got != 3 {
+		t.Fatalf("Hits(serve.replica) = %d, want 3", got)
+	}
+}
+
 func TestCatalogIsStable(t *testing.T) {
 	names := Catalog()
-	if len(names) != 13 {
-		t.Fatalf("Catalog has %d names, want 13", len(names))
+	if len(names) != 15 {
+		t.Fatalf("Catalog has %d names, want 15", len(names))
 	}
 	seen := make(map[string]bool)
 	for _, n := range names {

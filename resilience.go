@@ -37,6 +37,7 @@ type queryConfig struct {
 	lim         engine.Limits
 	fileTimeout time.Duration
 	partial     bool
+	files       []string
 }
 
 // QueryOption configures a single query execution (QueryContext,
@@ -78,6 +79,14 @@ func WithFileTimeout(d time.Duration) QueryOption {
 // with attribution, and the remaining files' results are returned.
 func WithPartialResults() QueryOption {
 	return func(c *queryConfig) { c.partial = true }
+}
+
+// WithFiles restricts a corpus query to the named files, preserving corpus
+// order; names not in the corpus are ignored. It has no effect on
+// single-file queries. The serving layer uses it to evaluate one replica
+// group's files on a shard that also carries copies of other files.
+func WithFiles(names ...string) QueryOption {
+	return func(c *queryConfig) { c.files = append([]string(nil), names...) }
 }
 
 // catchPanic converts a panic crossing an API boundary into an error
@@ -241,6 +250,7 @@ func (c *Corpus) ExecuteContext(ctx context.Context, src string, opts ...QueryOp
 		Limits:      cfg.lim,
 		FileTimeout: cfg.fileTimeout,
 		Partial:     cfg.partial,
+		Files:       cfg.files,
 	})
 	if res == nil {
 		return nil, err
